@@ -1,0 +1,186 @@
+"""Ablations of TraceBack's design choices.
+
+The paper motivates several mechanisms by their cost/benefit; each is
+isolated here by toggling it and measuring the same workload:
+
+* **path-bit budget** (§2.1): fewer bits per record force more DAGs and
+  more heavyweight probes — the "unnecessarily voluminous" one-word-per-
+  block strawman is the limit case.  More bits amortize better.
+* **implied-block elision** (§2.1, "blocks that end in unconditional
+  branches do not require lightweight probes"): turning it off inserts
+  probes in implied blocks; overhead rises for nothing.
+* **sub-buffering** (§3.2): "imposes a runtime penalty because of the
+  more frequent callbacks to the runtime and the clearing of the next
+  sub-buffer" — finer sub-buffers cost more wraps.
+* **timestamp probes** (§3.5): the price of cross-thread ordering.
+"""
+
+import pytest
+
+from repro.instrument import InstrumentConfig, instrument_module
+from repro.lang.minic import compile_source
+from repro.runtime import RuntimeConfig
+from repro.workloads.harness import format_table, run_once
+from repro.workloads.specint import benchmark_named
+
+WORKLOAD = benchmark_named("vpr").source  # branchy grid loops
+
+
+def _measure(
+    instrument_config: InstrumentConfig,
+    runtime_config: RuntimeConfig | None = None,
+):
+    base = run_once(compile_source(WORKLOAD, "w"))
+    result = instrument_module(compile_source(WORKLOAD, "w"), instrument_config)
+    traced = run_once(
+        result.module, with_runtime=True, runtime_config=runtime_config
+    )
+    assert traced.output == base.output
+    return base, traced, result.stats
+
+
+def test_path_bit_budget_ablation(report, benchmark):
+    rows = []
+    ratios = {}
+    for bits in (1, 3, 11):
+        base, traced, stats = _measure(InstrumentConfig(path_bits=bits))
+        ratio = traced.cycles / base.cycles
+        ratios[bits] = ratio
+        rows.append((f"{bits} path bits", stats.dags, stats.header_probes,
+                     stats.light_probes, f"{ratio:.2f}"))
+    table = format_table(
+        rows,
+        headers=["Budget", "DAGs", "heavy", "light", "Ratio"],
+        title="Ablation — path-bit budget (fewer bits => more DAG headers)",
+    )
+    report.append(table)
+    print("\n" + table)
+    # Fewer bits => more heavyweight probes => more overhead.
+    assert ratios[1] >= ratios[3] >= ratios[11]
+    assert ratios[1] > ratios[11]
+
+    benchmark.pedantic(
+        lambda: _measure(InstrumentConfig(path_bits=11)),
+        iterations=1, rounds=1,
+    )
+
+
+def test_implied_block_elision_ablation(report, benchmark):
+    # Isolate the knob on a function with genuine implied blocks: an
+    # unconditional chain threaded through out-of-line layout (the shape
+    # optimizing compilers produce for cold paths).
+    from repro.analysis import build_all_cfgs
+    from repro.instrument import tile
+    from repro.isa import assemble
+
+    module = assemble(
+        """
+        .entry main
+        .func main
+          li r0, 5
+          bz r0, Lcold
+        Lhot:
+          addi r1, r1, 1
+          br Lstep2
+        Lcold:
+          li r1, 0
+          halt
+        Lstep2:
+          addi r1, r1, 2      ; single pred (Lhot), unconditional: implied
+          br Lstep3
+        Lstep3:
+          addi r1, r1, 3      ; implied again
+          mov r0, r1
+          halt
+        .endfunc
+        """
+    )
+    with_elision = without = 0
+    for cfg in build_all_cfgs(module).values():
+        plan_on = tile(cfg, elide_implied=True)
+        plan_off = tile(cfg, elide_implied=False)
+        with_elision += sum(
+            1 for p in plan_on.block_probe.values() if p[0] == "light"
+        )
+        without += sum(
+            1 for p in plan_off.block_probe.values() if p[0] == "light"
+        )
+    rows = [
+        ("elision on", with_elision),
+        ("elision off", without),
+    ]
+    table = format_table(
+        rows, headers=["Variant", "lightweight probes"],
+        title="Ablation — implied-block probe elision (§2.1)",
+    )
+    report.append(table)
+    print("\n" + table)
+    assert without > with_elision
+
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+
+
+def test_sub_buffering_cost_ablation(report, benchmark):
+    """Same total buffer memory, different sub-buffer granularity: finer
+    sub-buffers mean more runtime callbacks and more zeroing (§3.2)."""
+    rows = []
+    ratios = {}
+    total_words = 512
+    for subs in (2, 16):
+        config = RuntimeConfig(
+            sub_buffers=subs, sub_buffer_words=total_words // subs,
+            main_buffers=1,
+        )
+        base, traced, _ = _measure(InstrumentConfig(), config)
+        ratio = traced.cycles / base.cycles
+        ratios[subs] = ratio
+        rows.append((f"{subs} sub-buffers x {total_words // subs} words",
+                     f"{ratio:.3f}"))
+    table = format_table(
+        rows, headers=["Layout", "Ratio"],
+        title="Ablation — sub-buffering granularity (§3.2 runtime penalty)",
+    )
+    report.append(table)
+    print("\n" + table)
+    assert ratios[16] > ratios[2]
+
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)
+
+
+def test_timestamp_probe_cost_ablation(report, benchmark):
+    """Timestamp records at sync/OS artifacts buy cross-thread ordering
+    for a small cost (§3.5)."""
+    src = """
+int main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 300; i = i + 1) {
+        lock(1);
+        acc = acc + i;
+        unlock(1);
+    }
+    print_int(acc);
+    return 0;
+}
+"""
+    base = run_once(compile_source(src, "w"))
+    result = instrument_module(compile_source(src, "w"))
+    on = run_once(result.module, with_runtime=True,
+                  runtime_config=RuntimeConfig(timestamp_syscalls=True))
+    off = run_once(result.module, with_runtime=True,
+                   runtime_config=RuntimeConfig(timestamp_syscalls=False))
+    rows = [
+        ("timestamps on", f"{on.cycles / base.cycles:.3f}"),
+        ("timestamps off", f"{off.cycles / base.cycles:.3f}"),
+    ]
+    table = format_table(
+        rows, headers=["Variant", "Ratio"],
+        title="Ablation — timestamp probes at sync points (§3.5)",
+    )
+    report.append(table)
+    print("\n" + table)
+    assert on.cycles >= off.cycles
+    assert on.output == off.output == base.output
+
+    benchmark.pedantic(lambda: None, iterations=1, rounds=1)

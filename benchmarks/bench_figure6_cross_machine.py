@@ -1,0 +1,70 @@
+"""Figure 6: the cross-machine DCOM trace, verified.
+
+Paper: SetPetName on the server writes into a const string and takes an
+access violation in library code; "the server process catches the
+exception and sends it back to the client where it is converted into an
+RPC_E_SERVERFAULT"; the client "does not properly check the returned
+error code" and GetPetName then returns the wrong name.
+
+Verified claims: the client receives the server-fault status and keeps
+running, the returned name is the stale one, the server survives and
+snaps at the fault, the stitched logical thread interleaves client and
+server segments in causal order, and the trace works despite millions
+of cycles of clock skew between the machines.
+"""
+
+from repro.reconstruct import LineStep, render_logical
+from repro.vm import ExcCode
+from repro.workloads.scenarios import figure6_session
+
+
+def run_figure6():
+    session = figure6_session()
+    result = session.run()
+    return session, result, result.reconstruct()
+
+
+def test_figure6_cross_machine_trace(report, benchmark):
+    session, result, trace = run_figure6()
+
+    client = session.nodes["labrador-client"].process
+    server = session.nodes["labrador-server"].process
+
+    # GetPetName "succeeds, though the name the server returns is
+    # incorrect": status 0, stale name.
+    assert client.output == ["0", "Rex"]
+    assert server.exit_state == "running"  # the server survived
+
+    # The server snapped at the first-chance access violation.
+    server_snaps = session.nodes["labrador-server"].runtime.snap_store.snaps
+    assert any(s.reason == "exception" for s in server_snaps)
+    assert server_snaps[0].detail["code"] == ExcCode.ACCESS_VIOLATION
+
+    # Stitching: one logical thread, caller/callee/caller order, with
+    # server-side SetPetName lines causally inside the client's call.
+    logical = trace.logical_threads[0]
+    legs = [seg.leg for seg in logical.segments]
+    assert legs[0] == "caller" and "callee" in legs
+
+    owners_lines = [
+        (owner.process_name, step.line)
+        for owner, step in logical.steps()
+        if isinstance(step, LineStep)
+    ]
+    server_positions = [
+        i for i, (owner, _) in enumerate(owners_lines)
+        if owner == "labrador-server"
+    ]
+    client_positions = [
+        i for i, (owner, _) in enumerate(owners_lines)
+        if owner == "labrador-client"
+    ]
+    assert server_positions, "server lines present in the master trace"
+    assert min(client_positions) < min(server_positions)
+    assert max(client_positions) > max(server_positions)
+
+    table = "Figure 6 — fused cross-machine trace\n" + render_logical(logical)
+    report.append(table)
+    print("\n" + table)
+
+    benchmark.pedantic(run_figure6, iterations=1, rounds=1)

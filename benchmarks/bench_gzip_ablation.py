@@ -1,0 +1,133 @@
+"""§6 commentary: the gzip tight-loop pathology — an ablation.
+
+Paper: "the high overhead from gzip is due to a very tight loop which
+contains a DAG header probe.  The routine longest_match contains a DAG
+header, 2 lightweight probes and a register spill/restore which account
+for 30% of the total execution slowdown.  Most commercial applications
+spread their execution history over a larger number of basic blocks."
+
+Three ablations reproduce the mechanism:
+
+1. **block size**: the same computation with an unrolled (fatter-block)
+   inner loop has measurably lower overhead — probes amortize over more
+   original instructions;
+2. **register pressure**: an assembly variant keeping the probe register
+   live across the hot loop forces spill/restore pairs and pushes the
+   ratio higher still;
+3. **probe census**: the instrumenter's own stats attribute the gzip
+   overhead to header probes in the hot loop.
+"""
+
+from repro.instrument import instrument_module
+from repro.isa import assemble
+from repro.workloads.harness import format_table, measure_overhead, run_once
+from repro.workloads.specint import benchmark_named
+
+UNROLLED_GZIP = """
+int window[600];
+int longest_match(int pos) {
+    int cur;
+    int bestlen;
+    bestlen = 0;
+    // Unrolled x4: same work, fatter basic blocks.
+    for (cur = pos - 258; cur < pos - 2; cur = cur + 4) {
+        bestlen = bestlen + (window[cur] == window[pos])
+                + (window[cur + 1] == window[pos])
+                + (window[cur + 2] == window[pos])
+                + (window[cur + 3] == window[pos]);
+    }
+    return bestlen;
+}
+int main() {
+    int i;
+    for (i = 0; i < 600; i = i + 1) {
+        window[i] = (i * 7 + 3) % 256;
+    }
+    int pos;
+    int acc;
+    acc = 0;
+    for (pos = 260; pos < 440; pos = pos + 1) {
+        acc = acc + longest_match(pos);
+    }
+    print_int(acc);
+    return 0;
+}
+"""
+
+#: Hand-written hot loop keeping r11 (the probe register) live: every
+#: probe in the loop needs a spill/restore pair.
+SPILL_LOOP = """
+.entry main
+.func main
+  movi r11, 0          ; accumulator lives in the probe register
+  li r1, 40000
+top:
+  add r11, r11, r1
+  addi r1, r1, -1
+  bnz r1, top
+  mov r0, r11
+  sys 1
+  halt
+.endfunc
+"""
+
+NOSPILL_LOOP = """
+.entry main
+.func main
+  movi r5, 0
+  li r1, 40000
+top:
+  add r5, r5, r1
+  addi r1, r1, -1
+  bnz r1, top
+  mov r0, r5
+  sys 1
+  halt
+.endfunc
+"""
+
+
+def _asm_ratio(src: str) -> float:
+    base = run_once(assemble(src))
+    result = instrument_module(assemble(src))
+    traced = run_once(result.module, with_runtime=True)
+    assert traced.output == base.output
+    return traced.cycles / base.cycles, result.stats  # type: ignore[return-value]
+
+
+def test_gzip_ablation(report, benchmark):
+    tight = measure_overhead(benchmark_named("gzip").source, "gzip-tight")
+    unrolled = measure_overhead(UNROLLED_GZIP, "gzip-unrolled")
+    spill_ratio, spill_stats = _asm_ratio(SPILL_LOOP)
+    nospill_ratio, nospill_stats = _asm_ratio(NOSPILL_LOOP)
+
+    rows = [
+        ("gzip tight loop", f"{tight.ratio:.2f}", "small blocks, header in loop"),
+        ("gzip unrolled x4", f"{unrolled.ratio:.2f}", "fatter blocks amortize probes"),
+        ("asm loop, r11 live", f"{spill_ratio:.2f}",
+         f"{spill_stats.spills} spill site(s) in the loop"),
+        ("asm loop, r11 free", f"{nospill_ratio:.2f}", "no spills"),
+    ]
+    table = format_table(
+        rows,
+        headers=["Variant", "Ratio", "Mechanism"],
+        title="gzip ablation — why tight loops are the worst case (§6)",
+    )
+    report.append(table)
+    print("\n" + table)
+
+    # 1. Fatter blocks => lower overhead.
+    assert unrolled.ratio < tight.ratio
+    # 2. A live probe register costs extra (spill/restore pairs).
+    assert spill_stats.spills >= 1 and nospill_stats.spills == 0
+    assert spill_ratio > nospill_ratio
+    # 3. The hot-loop probes dominate: removing the loop-interior work
+    #    (unrolling) recovers a large share of the gap to 1.0.
+    recovered = (tight.ratio - unrolled.ratio) / (tight.ratio - 1)
+    assert recovered > 0.15
+
+    benchmark.pedantic(
+        lambda: measure_overhead(UNROLLED_GZIP, "gzip-unrolled"),
+        iterations=1,
+        rounds=1,
+    )

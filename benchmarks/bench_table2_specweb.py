@@ -1,0 +1,75 @@
+"""Table 2: SPECweb99 / Apache overhead.
+
+Paper: response time 347.7 -> 364.8 ms (1.049x), ops/sec 60.3 -> 57.5
+(1.049x), Kbits/sec 345.3 -> 328.7 (1.051x) — about 5% on every metric,
+because request time is dominated by kernel/network work that probes
+never execute.
+
+Reproduced claims: all three metrics degrade by the *same* small factor
+(they are one ratio seen three ways), and that factor is far below the
+CPU-bound SPECint overhead — the paper's central deployability argument.
+"""
+
+import pytest
+
+from repro.workloads.harness import format_table
+from repro.workloads.webserver import CONNECTIONS, measure
+
+
+@pytest.fixture(scope="module")
+def measured():
+    return measure()
+
+
+def test_table2_specweb(measured, report, benchmark):
+    result, base, traced = measured
+    rows = [
+        (
+            "Response (cyc)",
+            f"{base.response_cycles:.1f}",
+            f"{traced.response_cycles:.1f}",
+            f"{traced.response_cycles / base.response_cycles:.3f}",
+            "1.049",
+        ),
+        (
+            "ops/Mcycle",
+            f"{base.ops_per_mcycle:.2f}",
+            f"{traced.ops_per_mcycle:.2f}",
+            f"{base.ops_per_mcycle / traced.ops_per_mcycle:.3f}",
+            "1.049",
+        ),
+        (
+            "Kwords/Mcycle",
+            f"{base.kwords_per_mcycle:.2f}",
+            f"{traced.kwords_per_mcycle:.2f}",
+            f"{base.kwords_per_mcycle / traced.kwords_per_mcycle:.3f}",
+            "1.051",
+        ),
+    ]
+    table = format_table(
+        rows,
+        headers=["Metric", "Normal", "TraceBack", "Ratio", "Paper"],
+        title=(
+            "Table 2 — SPECweb99 analog (static web serving, "
+            f"{CONNECTIONS}-connection-profile)"
+        ),
+    )
+    report.append(table)
+    print("\n" + table)
+
+    ratio = result.ratio
+    assert 1.0 < ratio < 1.15, f"web overhead {ratio} outside the ~5% regime"
+    # Latency and throughput degrade identically (single-ratio claim).
+    latency_ratio = traced.response_cycles / base.response_cycles
+    throughput_ratio = base.ops_per_mcycle / traced.ops_per_mcycle
+    assert abs(latency_ratio - throughput_ratio) < 1e-9
+
+    # The deployability crossover: the server workload sits several
+    # times below the CPU-bound regime.
+    from repro.workloads.specint import benchmark_named
+    from repro.workloads.harness import measure_overhead
+
+    cpu = measure_overhead(benchmark_named("gcc").source, "gcc")
+    assert result.ratio - 1 < (cpu.ratio - 1) / 3
+
+    benchmark.pedantic(measure, iterations=1, rounds=1)

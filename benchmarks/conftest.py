@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure from the paper's
+evaluation: it measures the simulated system, prints the paper-vs-
+measured rows, and asserts the *ordinal* claims (who wins, roughly by
+how much, where the crossovers are).  Absolute numbers differ by design:
+the substrate is a simulator, not the authors' 2005 testbed.
+
+Run with ``pytest benchmarks/ --benchmark-only``.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Collect printed tables so the final output groups them."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n\n".join(lines))

@@ -1,0 +1,44 @@
+"""Figure 5: cross-language trace, managed code into native code.
+
+Run:  python examples/figure5_cross_language.py
+
+The paper's JNI bug: Java passes a string to native C code that
+"only gets short strings" and allocated four characters.  The copy
+overruns, corrupts a neighbouring value, and a wild access crashes —
+"which would prevent an accurate stack backtrace in a standard
+debugger".  The TraceBack trace still shows the flow of control from
+the managed module (NativeString.java, IL-mode instrumentation) into
+the native module (NativeString.c, native instrumentation), down to the
+faulting line.
+"""
+
+from repro.workloads.scenarios import NATIVE_STRING_C, NATIVE_STRING_JAVA, figure5_session
+from repro.reconstruct import render_flat, render_tree
+
+
+def main() -> None:
+    session = figure5_session()
+    run = session.run(max_cycles=5_000_000)
+
+    print("program output :", run.output)
+    print("process state  :", run.process.exit_state)
+    print("fault          :", run.process.fault)
+    print()
+
+    trace = run.trace()
+    thread = trace.threads[-1]
+    sources = {
+        "NativeString.java": NATIVE_STRING_JAVA.splitlines(),
+        "NativeString.c": NATIVE_STRING_C.splitlines(),
+    }
+    print("=== cross-language trace (both source files, one history) ===")
+    print(render_flat(thread, sources=sources))
+
+    files = {s.file for s in thread.line_steps()}
+    assert files == {"NativeString.java", "NativeString.c"}, files
+    print("\n=== call tree ===")
+    print(render_tree(thread))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Hang diagnosis: the external snap path for unresponsive processes.
+
+Run:  python examples/hang_diagnosis.py
+
+Two threads deadlock on a pair of locks.  The per-machine service
+process notices the missed heartbeat (§3.7.5), snaps the hung process,
+and the fault-directed view (§4.3.3) shows "one line per thread, to aid
+the user in understanding what is blocking each thread's execution" —
+the eBay-GUI story from §6.1, where a snap of a hung process was enough
+to diagnose the bug remotely.
+"""
+
+from repro import TraceSession
+from repro.runtime import RuntimeConfig, ServiceProcess, SnapPolicy
+
+DEADLOCK = """
+int balance_a = 100;
+int balance_b = 250;
+
+int transfer_ab(int arg) {
+    lock(1);
+    sleep(2000);             // widen the race window
+    lock(2);                 // deadlock: main holds 2, wants 1
+    balance_a = balance_a - arg;
+    balance_b = balance_b + arg;
+    unlock(2);
+    unlock(1);
+    exit_thread(0);
+    return 0;
+}
+
+int main() {
+    thread_create(transfer_ab, 30);
+    lock(2);
+    sleep(2000);
+    lock(1);                 // deadlock: worker holds 1, wants 2
+    balance_b = balance_b - 5;
+    balance_a = balance_a + 5;
+    unlock(1);
+    unlock(2);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    service = ServiceProcess()
+    session = TraceSession(
+        process_name="ledger",
+        runtime_config=RuntimeConfig(policy=SnapPolicy.parse("snap on hang")),
+        service=service,
+    )
+    session.add_minic(DEADLOCK, name="ledger", file_name="ledger.c")
+    run = session.run(max_cycles=5_000_000)
+
+    print("run status     :", run.status, "(the process is hung)")
+    hung = service.poll_status()
+    print("service poll   :", [r.process.name for r in hung], "missed heartbeat")
+    for thread in run.process.threads.values():
+        print(f"  thread {thread.tid}: blocked on {thread.block_reason}")
+    print()
+    print(run.view())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+"""Multi-threaded crash diagnosis: per-thread traces and the merged view.
+
+Run:  python examples/multithreaded_crash.py
+
+A work-queue server: three workers pull jobs and process them; job #7
+carries a malformed payload that crashes its worker.  The snap taken at
+the fault holds *every* thread's history: the faulting worker's path to
+the bad job, and what the other workers were doing concurrently
+(§4.3.2's multi-threaded trace display, ordered by timestamp probes at
+the lock-protected queue).
+"""
+
+from repro import TraceSession
+from repro.reconstruct import render_flat, render_multithread
+from repro.runtime import RuntimeConfig, SnapPolicy
+
+SERVER = """
+int queue[32];
+int head[1];
+int tail[1];
+int processed[1];
+
+int push(int job) {
+    lock(1);
+    queue[tail[0] % 32] = job;
+    tail[0] = tail[0] + 1;
+    unlock(1);
+    return 0;
+}
+
+int pop() {
+    int job;
+    lock(1);
+    if (head[0] < tail[0]) {
+        job = queue[head[0] % 32];
+        head[0] = head[0] + 1;
+    } else {
+        job = -1;
+    }
+    unlock(1);
+    return job;
+}
+
+int process(int job) {
+    int payload;
+    payload = job % 10;
+    if (job == 7) {
+        payload = 0;             // the malformed job
+    } else {
+        payload = payload + 1;
+    }
+    return 1000 / payload;       // crashes on job 7
+}
+
+int worker(int wid) {
+    while (1) {
+        int job;
+        job = pop();
+        if (job < 0) {
+            sleep(500);
+        } else {
+            process(job);
+            lock(2);
+            processed[0] = processed[0] + 1;
+            unlock(2);
+        }
+        if (processed[0] >= 12) {
+            exit_thread(0);
+        }
+    }
+    return 0;
+}
+
+int main() {
+    int w;
+    for (w = 0; w < 3; w = w + 1) {
+        thread_create(worker, w);
+    }
+    int j;
+    for (j = 0; j < 12; j = j + 1) {
+        push(j);
+        sleep(200);
+    }
+    sleep(200000);
+    print_int(processed[0]);
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    session = TraceSession(
+        process_name="workqueue",
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled"),
+            main_buffers=4,
+            max_buffers=6,
+        ),
+    )
+    session.add_minic(SERVER, name="server", file_name="server.c")
+    run = session.run(max_cycles=20_000_000)
+
+    print("process state:", run.process.exit_state, "-", run.process.fault)
+    trace = run.trace()
+    print(f"threads recovered: {[t.tid for t in trace.threads]}")
+    print()
+
+    faulting = next(t for t in trace.threads if t.events("exception"))
+    print("=== the crashing worker's history (tail) ===")
+    print("\n".join(render_flat(faulting).splitlines()[-12:]))
+    print()
+
+    print("=== merged multi-thread view around the fault (tail) ===")
+    merged = render_multithread(trace.threads)
+    print("\n".join(merged.splitlines()[-20:]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Flight-record a real Python program with pytrace.
+
+Run:  python examples/pytrace_demo.py
+
+The same TraceBack idea applied to live Python via ``sys.settrace``:
+lines stream into per-thread ring buffers in the TraceBack record
+format; when the program blows up you read the history back — no
+re-run, no debugger attached in advance.
+"""
+
+import threading
+
+from repro.pytrace import PyTracer
+
+
+def parse_entry(raw: str) -> int:
+    name, _, value = raw.partition("=")
+    return int(value)          # crashes on the malformed entry
+
+
+def load_config(entries):
+    settings = {}
+    for raw in entries:
+        key = raw.split("=")[0]
+        settings[key] = parse_entry(raw)
+    return settings
+
+
+def background_counter(n):
+    total = 0
+    for i in range(n):
+        total += i
+    return total
+
+
+def main() -> None:
+    entries = ["retries=3", "timeout=30", "depth[oops", "verbose=1"]
+
+    tracer = PyTracer()
+    worker = threading.Thread(target=background_counter, args=(4,))
+    try:
+        with tracer:
+            worker.start()
+            worker.join()
+            load_config(entries)
+    except ValueError as exc:
+        print(f"crashed: {exc!r}")
+
+    print()
+    print("=== flight recording (per thread) ===")
+    print(tracer.render())
+
+    traces = tracer.reconstruct()
+    crashed = next(t for t in traces if t.events("exception"))
+    last = crashed.line_steps()[-1]
+    print()
+    print(f"first-fault location: {last.file}:{last.line} in {last.func}")
+    print(f"threads recorded: {len(traces)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: trace a crashing program and read its history.
+
+Run:  python examples/quickstart.py
+
+Compiles a MiniC program, instruments it with TraceBack, runs it until
+it crashes, and prints the reconstructed execution history — what went
+wrong and the line-by-line path that led there, without re-running
+anything.
+"""
+
+from repro import trace_program
+
+SOURCE = """
+int parse_field(int raw) {
+    if (raw < 0) {
+        throw 100;        // malformed input
+    }
+    return raw % 97;
+}
+
+int checksum(int count) {
+    int acc;
+    int i;
+    acc = 0;
+    for (i = 0; i < count; i = i + 1) {
+        acc = acc + parse_field(i * 13 - 20);
+    }
+    return acc / (count - 8);    // crashes when count == 8
+}
+
+int main() {
+    int e;
+    try {
+        print_int(checksum(4));
+    } catch (e) {
+        print_int(e);
+    }
+    print_int(checksum(8));      // the first-fault moment
+    return 0;
+}
+"""
+
+
+def main() -> None:
+    run = trace_program(SOURCE, name="quickstart")
+
+    print("program output:", run.output)
+    print("process state :", run.process.exit_state)
+    print("snap reason   :", run.snap.reason if run.snap else None)
+    print()
+    print(run.view())
+    print()
+    print("--- flat history of thread 0 (most recent last) ---")
+    print(run.flat_view(0))
+
+
+if __name__ == "__main__":
+    main()

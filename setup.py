@@ -1,0 +1,7 @@
+"""Setup shim so ``pip install -e .`` / ``setup.py develop`` work offline
+(the sandbox has setuptools but no ``wheel``, so PEP 660 editable installs
+cannot build; ``develop`` installs an egg-link instead)."""
+
+from setuptools import setup
+
+setup()

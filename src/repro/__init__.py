@@ -1,0 +1,39 @@
+"""repro — a reproduction of TraceBack (PLDI 2005).
+
+TraceBack is a first-fault diagnosis system: it statically rewrites
+binaries to record their control flow into per-thread ring buffers at
+basic-block granularity, then reconstructs source-line execution
+histories after a crash, hang, or abrupt kill — across threads,
+modules, languages, and machines.
+
+This package implements the complete system over TBVM, a simulated
+binary substrate (see DESIGN.md for the substitution table):
+
+- :mod:`repro.isa` — the TBVM instruction set, assembler, module format
+- :mod:`repro.vm` — the multi-threaded process VM (exceptions, signals,
+  RPC, kill -9)
+- :mod:`repro.analysis` — CFG recovery, dominators, liveness
+- :mod:`repro.instrument` — DAG tiling, probes, the binary rewriter,
+  mapfiles
+- :mod:`repro.runtime` — trace buffers, DAG rebasing, snaps, the
+  service process
+- :mod:`repro.reconstruct` — records -> source-line traces, call trees,
+  thread interleaving, distributed stitching
+- :mod:`repro.distributed` — simulated machines/network with clock skew
+- :mod:`repro.lang.minic` — a C-like language compiled to TBVM
+- :mod:`repro.pytrace` — a sys.settrace flight recorder for real Python
+  programs using the same record format and reconstruction
+- :mod:`repro.workloads` — the SPEC-analog evaluation workloads
+
+Quickstart::
+
+    from repro import trace_program
+    result = trace_program(minic_source)   # run + snap + reconstruct
+    print(result.view())
+"""
+
+from repro.api import TraceSession, TracedRun, trace_program
+
+__version__ = "1.0.0"
+
+__all__ = ["TraceSession", "TracedRun", "trace_program", "__version__"]

@@ -1,0 +1,27 @@
+"""Binary analysis: CFG recovery, dominators/loops, register liveness."""
+
+from repro.analysis.cfg import CFG, BasicBlock, build_all_cfgs, build_cfg, indirect_targets
+from repro.analysis.dominators import (
+    back_edges,
+    compute_dominators,
+    loop_headers,
+    natural_loop,
+    retreating_edges,
+)
+from repro.analysis.liveness import Liveness, instr_defs, instr_uses
+
+__all__ = [
+    "BasicBlock",
+    "CFG",
+    "Liveness",
+    "back_edges",
+    "build_all_cfgs",
+    "build_cfg",
+    "compute_dominators",
+    "indirect_targets",
+    "instr_defs",
+    "instr_uses",
+    "loop_headers",
+    "natural_loop",
+    "retreating_edges",
+]

@@ -1,0 +1,119 @@
+"""Dominators and natural-loop detection on recovered CFGs.
+
+DAG tiling needs to know where cycles are: "each loop will contain at
+least one heavyweight probe" (§2.1).  Back edges are found the classic
+way — an edge ``u -> v`` is a back edge iff ``v`` dominates ``u`` — via
+the iterative dominance algorithm of Cooper, Harvey & Kennedy.  Any edge
+that closes a cycle but is *not* a natural back edge (irreducible flow,
+possible with recovered binaries) is handled conservatively by a DFS
+cycle check, so tiling never builds a cyclic "DAG".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG
+
+
+def compute_dominators(cfg: CFG) -> dict[int, set[int]]:
+    """Full dominator sets per block (small CFGs; clarity over speed).
+
+    Blocks unreachable from the entries dominate nothing and are mapped
+    to the set of all blocks (the standard lattice top).
+    """
+    all_blocks = set(cfg.blocks)
+    entries = set(cfg.entries)
+    dom: dict[int, set[int]] = {}
+    for start in cfg.blocks:
+        dom[start] = {start} if start in entries else set(all_blocks)
+
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for start in order:
+            if start in entries:
+                continue
+            preds = cfg.blocks[start].preds
+            if preds:
+                new = set(all_blocks)
+                for pred in preds:
+                    new &= dom[pred]
+            else:
+                new = set(all_blocks) - {start}
+            new = new | {start}
+            if new != dom[start]:
+                dom[start] = new
+                changed = True
+    return dom
+
+
+def back_edges(cfg: CFG) -> set[tuple[int, int]]:
+    """Edges ``(u, v)`` where ``v`` dominates ``u`` (natural back edges)."""
+    dom = compute_dominators(cfg)
+    edges = set()
+    for start, block in cfg.blocks.items():
+        for succ in block.succs:
+            if succ in dom[start]:
+                edges.add((start, succ))
+    return edges
+
+
+def retreating_edges(cfg: CFG) -> set[tuple[int, int]]:
+    """All cycle-closing edges, including irreducible ones.
+
+    A DFS from the entries marks an edge retreating when it targets a
+    node currently on the DFS stack.  This is a superset of
+    :func:`back_edges` and is what DAG tiling cuts, guaranteeing the
+    tiles are acyclic even for irreducible control flow.
+    """
+    edges: set[tuple[int, int]] = set()
+    color: dict[int, int] = {}  # 0/absent = white, 1 = on stack, 2 = done
+
+    def dfs(root: int) -> None:
+        stack: list[tuple[int, iter]] = [(root, iter(cfg.blocks[root].succs))]
+        color[root] = 1
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for succ in it:
+                if color.get(succ, 0) == 1:
+                    edges.add((node, succ))
+                elif color.get(succ, 0) == 0:
+                    color[succ] = 1
+                    stack.append((succ, iter(cfg.blocks[succ].succs)))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = 2
+                stack.pop()
+
+    for entry in cfg.entries:
+        if color.get(entry, 0) == 0:
+            dfs(entry)
+    for start in cfg.block_order():
+        if color.get(start, 0) == 0:
+            dfs(start)
+    return edges
+
+
+def loop_headers(cfg: CFG) -> set[int]:
+    """Targets of retreating edges: where tiling must start new DAGs."""
+    return {target for _, target in retreating_edges(cfg)}
+
+
+def natural_loop(cfg: CFG, back_edge: tuple[int, int]) -> set[int]:
+    """The natural loop of a back edge ``(u, v)``: ``v`` plus all blocks
+    that reach ``u`` without passing through ``v``."""
+    tail, header = back_edge
+    loop = {header}
+    stack = []
+    if tail not in loop:
+        loop.add(tail)
+        stack.append(tail)
+    while stack:
+        node = stack.pop()
+        for pred in cfg.blocks[node].preds:
+            if pred not in loop:
+                loop.add(pred)
+                stack.append(pred)
+    return loop

@@ -1,0 +1,138 @@
+"""Register liveness analysis over recovered CFGs.
+
+The paper: "TraceBack uses well-known compiler algorithms like liveness
+analysis to allow instrumentation code to make use of architectural
+registers."  Probes need a scratch register (the ``EAX`` analog,
+``PROBE_REG`` = r11); when it is live at a probe site the rewriter must
+spill it to the TLS scratch slot, which is precisely the register
+spill/restore the paper blames for 30% of gzip's slowdown (§6).
+
+This is a standard backward may-analysis at block granularity, refined
+to instruction granularity on demand via :func:`live_at`.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.isa.instructions import Fmt, Instr, Op
+
+#: Registers an opcode family implicitly uses/defines.
+_ALL_SCRATCH = frozenset(range(12))  # caller-saved convention: r0..r11
+_ARG_REGS = frozenset(range(6))
+_SP = frozenset({12})
+
+
+def instr_uses(instr: Instr) -> frozenset[int]:
+    """Registers ``instr`` reads."""
+    op = instr.op
+    fmt = instr.fmt
+    if op in (Op.CALL, Op.CALLR, Op.CALLX):
+        base = _ARG_REGS | _SP
+        return base | ({instr.rd} if op is Op.CALLR else frozenset())
+    if op is Op.SYS:
+        return _ARG_REGS
+    if op is Op.RET:
+        return frozenset({0}) | _SP
+    if op is Op.PUSH:
+        return frozenset({instr.rd}) | _SP
+    if op is Op.POP:
+        return _SP
+    if op in (Op.STW,):
+        return frozenset({instr.rd, instr.rs})
+    if op in (Op.THROW, Op.JMP, Op.ORM, Op.STDAG, Op.BSENT):
+        return frozenset({instr.rd})
+    if op is Op.JTAB:
+        return frozenset({instr.rd, instr.rs})
+    if op is Op.TLSST:
+        return frozenset({instr.rd})
+    if fmt is Fmt.R3:
+        return frozenset({instr.rs, instr.rt})
+    if fmt in (Fmt.RRI, Fmt.R2):
+        return frozenset({instr.rs})
+    if fmt is Fmt.RRB:
+        return frozenset({instr.rd, instr.rs})
+    if fmt is Fmt.RB:
+        return frozenset({instr.rd})
+    return frozenset()
+
+
+def instr_defs(instr: Instr) -> frozenset[int]:
+    """Registers ``instr`` writes."""
+    op = instr.op
+    if op in (Op.CALL, Op.CALLR, Op.CALLX):
+        # All caller-saved registers are clobbered across a call.
+        return _ALL_SCRATCH
+    if op is Op.SYS:
+        return frozenset({0})
+    if op in (Op.STW, Op.THROW, Op.JMP, Op.JTAB, Op.ORM, Op.STDAG,
+              Op.BSENT, Op.TLSST, Op.RET, Op.HALT, Op.NOP, Op.BR):
+        return frozenset()
+    if op is Op.PUSH:
+        return _SP
+    if op is Op.POP:
+        return frozenset({instr.rd}) | _SP
+    if instr.fmt in (Fmt.RB, Fmt.RRB, Fmt.I16, Fmt.NONE):
+        return frozenset()
+    return frozenset({instr.rd})
+
+
+class Liveness:
+    """Block-level live-in / live-out sets for one CFG."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self.live_in: dict[int, frozenset[int]] = {}
+        self.live_out: dict[int, frozenset[int]] = {}
+        self._use: dict[int, frozenset[int]] = {}
+        self._def: dict[int, frozenset[int]] = {}
+        self._compute()
+
+    def _block_use_def(self, block: BasicBlock) -> tuple[frozenset[int], frozenset[int]]:
+        use: set[int] = set()
+        defs: set[int] = set()
+        for instr in block.instrs:
+            use |= instr_uses(instr) - defs
+            defs |= instr_defs(instr)
+        return frozenset(use), frozenset(defs)
+
+    def _compute(self) -> None:
+        blocks = self.cfg.blocks
+        for start, block in blocks.items():
+            self._use[start], self._def[start] = self._block_use_def(block)
+            self.live_in[start] = frozenset()
+            self.live_out[start] = frozenset()
+
+        # Conservative boundary: values live out of exit blocks are the
+        # return value and sp (RET already uses them; handlers re-enter
+        # with r0 redefined, so nothing extra is needed).
+        changed = True
+        order = list(reversed(self.cfg.reverse_postorder()))
+        while changed:
+            changed = False
+            for start in order:
+                block = blocks[start]
+                out: set[int] = set()
+                for succ in block.succs:
+                    out |= self.live_in[succ]
+                new_out = frozenset(out)
+                new_in = self._use[start] | (new_out - self._def[start])
+                if new_out != self.live_out[start] or new_in != self.live_in[start]:
+                    self.live_out[start] = new_out
+                    self.live_in[start] = frozenset(new_in)
+                    changed = True
+
+    # ------------------------------------------------------------------
+    def live_at(self, block_start: int, index: int) -> frozenset[int]:
+        """Registers live immediately *before* instruction ``index``
+        (0-based) of the given block."""
+        block = self.cfg.blocks[block_start]
+        live = set(self.live_out[block_start])
+        for instr in reversed(block.instrs[index:]):
+            live -= instr_defs(instr)
+            live |= instr_uses(instr)
+        return frozenset(live)
+
+    def reg_free_at_block_start(self, block_start: int, reg: int) -> bool:
+        """Whether ``reg`` is dead on entry to the block — i.e. a probe
+        inserted at the top may clobber it without a spill."""
+        return reg not in self.live_in[block_start]

@@ -1,0 +1,156 @@
+"""High-level convenience API: compile, instrument, run, reconstruct.
+
+The full pipeline is composable from the subpackages; this module wires
+the common path — "I have a program, show me what it did when it died" —
+into three calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.instrument import InstrumentConfig, Mapfile, instrument_module
+from repro.isa.module import Module
+from repro.lang.minic import compile_source
+from repro.reconstruct import ProcessTrace, Reconstructor, render_flat, select_view
+from repro.runtime import (
+    RuntimeConfig,
+    ServiceProcess,
+    SnapFile,
+    TraceBackRuntime,
+)
+from repro.vm import Machine, Process
+
+
+@dataclass
+class TracedRun:
+    """The outcome of a traced execution."""
+
+    process: Process
+    runtime: TraceBackRuntime
+    mapfiles: list[Mapfile]
+    status: str
+    snap: SnapFile | None
+
+    @property
+    def output(self) -> list[str]:
+        """The guest program's printed output."""
+        return self.process.output
+
+    def trace(self) -> ProcessTrace | None:
+        """Reconstruct the snap (if any) into per-thread line traces."""
+        if self.snap is None:
+            return None
+        return Reconstructor(self.mapfiles).reconstruct(self.snap)
+
+    def view(self) -> str:
+        """The fault-directed text view of the trace."""
+        trace = self.trace()
+        if trace is None:
+            return "(no snap was taken)"
+        return select_view(trace)
+
+    def flat_view(self, tid: int = 0) -> str:
+        """Flat line-by-line history of one thread."""
+        trace = self.trace()
+        if trace is None:
+            return "(no snap was taken)"
+        found = trace.thread(tid)
+        return render_flat(found) if found else f"(no trace for thread {tid})"
+
+
+class TraceSession:
+    """Builder for traced runs: add modules, run, reconstruct.
+
+    Example::
+
+        session = TraceSession()
+        session.add_minic(source, name="app")
+        run = session.run()
+        print(run.view())
+    """
+
+    def __init__(
+        self,
+        machine: Machine | None = None,
+        process_name: str = "app",
+        runtime_config: RuntimeConfig | None = None,
+        instrument_config: InstrumentConfig | None = None,
+        service: ServiceProcess | None = None,
+    ):
+        self.machine = machine or Machine()
+        self.process = self.machine.create_process(process_name)
+        self.runtime = TraceBackRuntime(
+            self.process, runtime_config or RuntimeConfig(), service=service
+        )
+        self.instrument_config = instrument_config or InstrumentConfig()
+        self.mapfiles: list[Mapfile] = []
+        self._entry_module: str | None = None
+
+    # ------------------------------------------------------------------
+    def add_module(self, module: Module, instrument: bool = True) -> Module:
+        """Instrument (optionally) and load a module; returns what was
+        actually loaded."""
+        if instrument:
+            result = instrument_module(module, self.instrument_config)
+            self.mapfiles.append(result.mapfile)
+            module = result.module
+        self.process.load_module(module)
+        if self._entry_module is None and module.entry is not None:
+            self._entry_module = module.name
+        return module
+
+    def add_minic(
+        self,
+        source: str,
+        name: str = "main",
+        file_name: str | None = None,
+        instrument: bool = True,
+    ) -> Module:
+        """Compile MiniC source and add it as a module."""
+        bounds = self.instrument_config.mode == "il"
+        module = compile_source(
+            source, module_name=name, file_name=file_name, bounds_checks=bounds
+        )
+        return self.add_module(module, instrument=instrument)
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 50_000_000) -> TracedRun:
+        """Start the entry module's main thread and run to completion.
+
+        A stalled machine (hang/deadlock) triggers the external-snap
+        path, exactly like the paper's snap utility for unresponsive
+        processes.
+        """
+        if self._entry_module is None:
+            raise ValueError("no module with an entry point was added")
+        self.process.start(self._entry_module)
+        status = self.machine.run(max_cycles=max_cycles)
+        if status == "stalled" and self.runtime.config.policy.hang:
+            self.runtime.snap_external(reason="hang", detail={"status": status})
+        snap = self.runtime.snap_store.latest()
+        return TracedRun(
+            process=self.process,
+            runtime=self.runtime,
+            mapfiles=self.mapfiles,
+            status=status,
+            snap=snap,
+        )
+
+
+def trace_program(
+    source: str,
+    name: str = "app",
+    mode: str = "native",
+    max_cycles: int = 50_000_000,
+) -> TracedRun:
+    """One-shot: compile MiniC, instrument, run, snap on faults.
+
+    ``mode`` is "native" or "il" (the managed-language pipeline).
+    """
+    session = TraceSession(
+        process_name=name,
+        instrument_config=InstrumentConfig(mode=mode),
+    )
+    session.add_minic(source, name=name)
+    return session.run(max_cycles=max_cycles)

@@ -1,0 +1,10 @@
+"""Distributed tracing substrate: simulated machines, network, sessions."""
+
+from repro.distributed.network import Network
+from repro.distributed.session import (
+    DistributedResult,
+    DistributedSession,
+    NodeHandle,
+)
+
+__all__ = ["DistributedResult", "DistributedSession", "Network", "NodeHandle"]

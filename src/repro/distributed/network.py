@@ -1,0 +1,82 @@
+"""A simulated network of machines (§5's distributed substrate).
+
+Each :class:`~repro.vm.machine.Machine` has its own cycle counter and a
+configurable clock skew, so timestamps from different machines genuinely
+disagree — the condition TraceBack's SYNC records exist to overcome.
+RPC requests route by service id to whichever process on whichever
+machine registered the service; the caller's thread stays blocked until
+the callee side completes, while both machines' clocks keep running.
+
+Execution interleaves machines in bounded slices; the network detects
+global completion, global deadlock (everyone blocked on everyone), and
+budget exhaustion.
+"""
+
+from __future__ import annotations
+
+from repro.vm.errors import ExcCode
+from repro.vm.machine import Machine, Process, RpcRequest, spawn_service_thread
+
+
+class Network:
+    """A set of machines sharing an RPC fabric."""
+
+    def __init__(self, rpc_latency: int = 500):
+        self.machines: list[Machine] = []
+        #: Extra cycles charged to the *caller's* machine per RPC, the
+        #: wire latency stand-in.
+        self.rpc_latency = rpc_latency
+        self.rpc_count = 0
+
+    # ------------------------------------------------------------------
+    def add_machine(
+        self,
+        name: str,
+        clock_skew: int = 0,
+        io_latency: int = 2000,
+    ) -> Machine:
+        """Create a machine attached to this network."""
+        machine = Machine(name=name, clock_skew=clock_skew, io_latency=io_latency)
+        machine.rpc_router = self.dispatch
+        self.machines.append(machine)
+        return machine
+
+    def processes(self) -> list[Process]:
+        """All processes across all machines."""
+        return [p for m in self.machines for p in m.processes]
+
+    # ------------------------------------------------------------------
+    def dispatch(self, request: RpcRequest) -> None:
+        """Route an RPC to whichever process serves its service id."""
+        self.rpc_count += 1
+        caller_machine = request.caller_process.machine
+        caller_machine.cycles += self.rpc_latency
+        for machine in self.machines:
+            for process in machine.processes:
+                if process.alive and request.service in process.rpc_services:
+                    spawn_service_thread(process, request)
+                    return
+        caller_machine.complete_rpc(request, status=ExcCode.RPC_SERVER_FAULT)
+
+    # ------------------------------------------------------------------
+    def run(self, max_total_cycles: int = 100_000_000, slice_cycles: int = 2000) -> str:
+        """Interleave the machines until quiescence.
+
+        Returns ``"done"`` (no live threads anywhere), ``"stalled"``
+        (live threads but a full round made no progress — a distributed
+        deadlock or hang), or ``"limit"``.
+        """
+        while True:
+            total = sum(m.cycles for m in self.machines)
+            if total >= max_total_cycles:
+                return "limit"
+            statuses = []
+            for machine in self.machines:
+                statuses.append(
+                    machine.run(max_cycles=machine.cycles + slice_cycles)
+                )
+            if all(status == "done" for status in statuses):
+                return "done"
+            progressed = sum(m.cycles for m in self.machines) > total
+            if not progressed and "limit" not in statuses:
+                return "stalled"

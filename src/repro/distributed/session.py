@@ -1,0 +1,130 @@
+"""Convenience builder for distributed traced runs.
+
+Wires the pieces of a multi-machine scenario: machines with skewed
+clocks, one TraceBack runtime + service process per machine, MiniC
+modules per process, RPC service registration — then runs the network,
+snaps every process, and reconstructs the master trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.network import Network
+from repro.instrument import InstrumentConfig, Mapfile, instrument_module
+from repro.lang.minic import compile_source
+from repro.reconstruct import DistributedTrace, Reconstructor
+from repro.runtime import (
+    RuntimeConfig,
+    ServiceProcess,
+    SnapFile,
+    TraceBackRuntime,
+)
+from repro.vm import Machine, Process
+
+
+@dataclass
+class NodeHandle:
+    """One process in the distributed session."""
+
+    process: Process
+    runtime: TraceBackRuntime
+    entry_module: str | None = None
+
+
+@dataclass
+class DistributedResult:
+    """Outcome of a distributed run."""
+
+    status: str
+    snaps: list[SnapFile]
+    mapfiles: list[Mapfile]
+    nodes: dict[str, NodeHandle] = field(default_factory=dict)
+
+    def reconstruct(self) -> DistributedTrace:
+        """Stitch all snaps into the master trace (§5)."""
+        return Reconstructor(self.mapfiles).reconstruct_distributed(self.snaps)
+
+
+class DistributedSession:
+    """Builder for multi-machine TraceBack scenarios."""
+
+    def __init__(
+        self,
+        rpc_latency: int = 500,
+        runtime_config: RuntimeConfig | None = None,
+        instrument_config: InstrumentConfig | None = None,
+    ):
+        self.network = Network(rpc_latency=rpc_latency)
+        self.runtime_config = runtime_config or RuntimeConfig()
+        self.instrument_config = instrument_config or InstrumentConfig()
+        self.mapfiles: list[Mapfile] = []
+        self.nodes: dict[str, NodeHandle] = {}
+        self.services: dict[Machine, ServiceProcess] = {}
+
+    # ------------------------------------------------------------------
+    def add_machine(self, name: str, clock_skew: int = 0) -> Machine:
+        """A machine with its own (skewed) clock and service process."""
+        machine = self.network.add_machine(name, clock_skew=clock_skew)
+        self.services[machine] = ServiceProcess(name=f"tb-service@{name}")
+        return machine
+
+    def add_process(
+        self,
+        machine: Machine,
+        name: str,
+        source: str,
+        module_name: str | None = None,
+        services: dict[int, str] | None = None,
+        start: bool = False,
+    ) -> NodeHandle:
+        """A process running instrumented MiniC code.
+
+        ``services`` maps RPC service ids to exported function names.
+        ``start`` launches the module's main thread when the run begins.
+        """
+        process = machine.create_process(name)
+        import dataclasses
+
+        config = dataclasses.replace(self.runtime_config)
+        runtime = TraceBackRuntime(
+            process, config, service=self.services[machine]
+        )
+        module_name = module_name or name
+        compiled = compile_source(source, module_name=module_name,
+                                  file_name=f"{module_name}.c")
+        result = instrument_module(compiled, self.instrument_config)
+        self.mapfiles.append(result.mapfile)
+        process.load_module(result.module)
+        for service_id, func in (services or {}).items():
+            process.register_rpc_service(service_id, func)
+        handle = NodeHandle(
+            process=process,
+            runtime=runtime,
+            entry_module=module_name if start else None,
+        )
+        self.nodes[name] = handle
+        return handle
+
+    # ------------------------------------------------------------------
+    def run(self, max_total_cycles: int = 100_000_000) -> DistributedResult:
+        """Start entry processes, run the network, snap everything."""
+        for handle in self.nodes.values():
+            if handle.entry_module is not None:
+                handle.process.start(handle.entry_module)
+        status = self.network.run(max_total_cycles=max_total_cycles)
+        snaps: list[SnapFile] = []
+        for name, handle in self.nodes.items():
+            snap = handle.runtime.snap_store.latest()
+            if snap is None:
+                snap = handle.runtime.snap_external(
+                    reason="external", detail={"at": "end-of-run"}
+                )
+            if snap is not None:
+                snaps.append(snap)
+        return DistributedResult(
+            status=status,
+            snaps=snaps,
+            mapfiles=list(self.mapfiles),
+            nodes=dict(self.nodes),
+        )

@@ -1,0 +1,56 @@
+"""TraceBack instrumentation: DAG tiling, probes, binary rewriting."""
+
+from repro.instrument.dagbase import DagBaseError, DagBaseFile
+from repro.instrument.mapfile import BlockMap, DagMap, Mapfile
+from repro.instrument.probes import (
+    BUFFER_WRAP_IMPORT,
+    CATCH_IMPORT,
+    HELPER_NAME,
+    header_probe,
+    helper_body,
+    light_probe,
+)
+from repro.instrument.rewriter import (
+    DEFAULT_DAG_BASE,
+    InstrumentConfig,
+    InstrumentError,
+    InstrumentStats,
+    InstrumentationResult,
+    instrument_module,
+)
+from repro.instrument.tiling import (
+    DagPlan,
+    TilingPlan,
+    decode_path,
+    encode_path,
+    feasible_paths,
+    required_headers,
+    tile,
+)
+
+__all__ = [
+    "BUFFER_WRAP_IMPORT",
+    "BlockMap",
+    "CATCH_IMPORT",
+    "DEFAULT_DAG_BASE",
+    "DagBaseError",
+    "DagBaseFile",
+    "DagMap",
+    "DagPlan",
+    "HELPER_NAME",
+    "InstrumentConfig",
+    "InstrumentError",
+    "InstrumentStats",
+    "InstrumentationResult",
+    "Mapfile",
+    "TilingPlan",
+    "decode_path",
+    "encode_path",
+    "feasible_paths",
+    "header_probe",
+    "helper_body",
+    "instrument_module",
+    "light_probe",
+    "required_headers",
+    "tile",
+]

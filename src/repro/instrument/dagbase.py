@@ -1,0 +1,123 @@
+"""DAG base files: pre-assigned DAG id ranges per module (§2.3).
+
+"To avoid the module load-time penalty of DAG rebasing, TraceBack allows
+the user to supply a DAG base file that automatically assigns DAG ranges
+to different modules instrumented from the same source tree.  These
+ranges are used every time the module is rebuilt."
+
+The file format is deliberately plain text, one ``module base`` pair per
+line, with ``#`` comments — the kind of artifact that lives in a build
+tree.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.records import MAX_DAG_ID
+
+
+class DagBaseError(ValueError):
+    """Malformed DAG base file or conflicting assignment."""
+
+
+class DagBaseFile:
+    """Parsed DAG base assignments: module name -> base id."""
+
+    def __init__(self, bases: dict[str, int] | None = None):
+        self.bases: dict[str, int] = dict(bases or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "DagBaseFile":
+        """Parse the textual format."""
+        bases: dict[str, int] = {}
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip()
+            if not line:
+                continue
+            parts = line.split()
+            if len(parts) != 2:
+                raise DagBaseError(f"line {lineno}: want 'module base'")
+            name, base_text = parts
+            try:
+                base = int(base_text, 0)
+            except ValueError:
+                raise DagBaseError(f"line {lineno}: bad base {base_text!r}") from None
+            if not 0 <= base <= MAX_DAG_ID:
+                raise DagBaseError(f"line {lineno}: base {base} out of range")
+            if name in bases:
+                raise DagBaseError(f"line {lineno}: duplicate module {name!r}")
+            bases[name] = base
+        return cls(bases)
+
+    @classmethod
+    def load(cls, path: str) -> "DagBaseFile":
+        """Read and parse a DAG base file."""
+        with open(path) as fh:
+            return cls.parse(fh.read())
+
+    # ------------------------------------------------------------------
+    def base_for(self, module_name: str) -> int | None:
+        """Assigned base for ``module_name``, or None."""
+        return self.bases.get(module_name)
+
+    def assign(self, module_name: str, base: int) -> None:
+        """Record an assignment (used by allocation tooling)."""
+        self.bases[module_name] = base
+
+    def render(self) -> str:
+        """Serialize back to the textual format."""
+        lines = ["# TraceBack DAG base assignments"]
+        for name in sorted(self.bases):
+            lines.append(f"{name} {self.bases[name]}")
+        return "\n".join(lines) + "\n"
+
+    def allocate(self, sizes: dict[str, int], start: int = 16) -> None:
+        """Assign disjoint ranges to every module in ``sizes``.
+
+        The build-tree tool the paper implies: instrument the tree once
+        to learn each module's DAG count, then emit a base file "used
+        every time the module is rebuilt" so load-time rebasing never
+        fires.  Existing assignments are kept when they still fit.
+        """
+        cursor = start
+        taken = sorted(
+            (self.bases[name], self.bases[name] + sizes.get(name, 1))
+            for name in self.bases
+            if name in sizes
+        )
+        for name in sorted(sizes):
+            if name in self.bases:
+                continue
+            need = sizes[name]
+            placed = False
+            for lo, hi in taken:
+                if cursor + need <= lo:
+                    placed = True
+                    break
+                cursor = max(cursor, hi)
+            if cursor + need > MAX_DAG_ID:
+                raise DagBaseError(
+                    f"DAG id space exhausted allocating {name!r}"
+                )
+            self.bases[name] = cursor
+            taken.append((cursor, cursor + need))
+            taken.sort()
+            cursor += need
+        self.check_disjoint(sizes)
+
+    def check_disjoint(self, sizes: dict[str, int]) -> None:
+        """Verify that the ranges implied by ``sizes`` don't overlap.
+
+        ``sizes`` maps module name -> DAG count; modules without an
+        entry are ignored.
+        """
+        spans = sorted(
+            (self.bases[name], self.bases[name] + sizes[name], name)
+            for name in sizes
+            if name in self.bases
+        )
+        for (s1, e1, n1), (s2, _e2, n2) in zip(spans, spans[1:]):
+            if s2 < e1:
+                raise DagBaseError(
+                    f"DAG ranges overlap: {n1} [{s1},{e1}) and {n2} at {s2}"
+                )

@@ -1,0 +1,138 @@
+"""Probe instruction sequences and the per-module helper subroutine.
+
+Matches the paper's x86 probes in shape and dynamic cost (§2.1):
+
+* the **heavyweight probe** is a ``call`` to a helper subroutine that is
+  statically added to every instrumented module ("to avoid the overhead
+  of an inter-module call"), followed by one store of the pre-shifted
+  DAG id (``STDAG``);
+* the **lightweight probe** is two instructions: load the buffer pointer
+  from the TLS slot, OR the block's bit into the current record;
+* the **helper** loads the pointer, pre-increments it, checks for the
+  buffer-end sentinel, and either commits the new pointer or calls the
+  runtime's ``buffer_wrap`` through the import table.
+
+All probes use the fixed probe register (r11, the ``EAX`` analog).  When
+liveness says r11 is live at a probe site the rewriter wraps the probe
+in a spill/restore pair against the TLS scratch slot — the paper's
+"register spill/restore which account for 30% of the total execution
+slowdown" in gzip.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import PROBE_REG, Instr, Op
+from repro.runtime.abi import BUFFER_WRAP_IMPORT, CATCH_IMPORT, HELPER_NAME
+from repro.vm.thread import TLS_PROBE_SPILL, TLS_TRACE_PTR
+
+__all__ = [
+    "BUFFER_WRAP_IMPORT",
+    "CATCH_IMPORT",
+    "HELPER_NAME",
+    "HELPER_TLS_OFFSETS",
+    "CATCH_STUB_SIZE",
+    "catch_stub",
+    "header_probe",
+    "header_probe_size",
+    "helper_body",
+    "light_probe",
+    "light_probe_size",
+]
+
+
+def helper_body(wrap_import_index: int, tls_slot: int = TLS_TRACE_PTR) -> list[Instr]:
+    """The helper subroutine (7 words).
+
+    Fast path (5 instructions, like the paper's 6-instruction x86
+    helper): load pointer, bump, sentinel check, store pointer, return
+    — leaving the new record slot address in r11 for the caller's
+    ``STDAG``.  Wrap path: the runtime's ``buffer_wrap`` host function
+    repoints both the TLS slot and r11 at a fresh slot.
+    """
+    return [
+        Instr(Op.TLSLD, rd=PROBE_REG, imm=tls_slot),
+        Instr(Op.ADDI, rd=PROBE_REG, rs=PROBE_REG, imm=1),
+        Instr(Op.BSENT, rd=PROBE_REG, imm=2),  # -> offset 5 (wrap path)
+        Instr(Op.TLSST, rd=PROBE_REG, imm=tls_slot),
+        Instr(Op.RET),
+        Instr(Op.CALLX, imm=wrap_import_index),
+        Instr(Op.RET),
+    ]
+
+
+#: Offsets (within the helper) of instructions that reference TLS slots;
+#: listed in the module's TLS fixup table for slot rewriting (§2.5).
+HELPER_TLS_OFFSETS = (0, 3)
+
+
+def header_probe_size(spill: bool) -> int:
+    """Words a heavyweight probe occupies at its call site."""
+    return 4 if spill else 2
+
+
+def light_probe_size(spill: bool) -> int:
+    """Words a lightweight probe occupies."""
+    return 4 if spill else 2
+
+
+def header_probe(
+    dag_id: int,
+    helper_offset_placeholder: int = 0,
+    spill: bool = False,
+    spill_slot: int = TLS_PROBE_SPILL,
+) -> list[Instr]:
+    """The call-site heavyweight probe.
+
+    The ``CALL`` immediate is a placeholder; the rewriter patches it
+    once the helper's final position is known.
+    """
+    core = [
+        Instr(Op.CALL, imm=helper_offset_placeholder),
+        Instr(Op.STDAG, rd=PROBE_REG, imm=dag_id),
+    ]
+    if not spill:
+        return core
+    return [
+        Instr(Op.TLSST, rd=PROBE_REG, imm=spill_slot),
+        *core,
+        Instr(Op.TLSLD, rd=PROBE_REG, imm=spill_slot),
+    ]
+
+
+def light_probe(
+    bit: int,
+    tls_slot: int = TLS_TRACE_PTR,
+    spill: bool = False,
+    spill_slot: int = TLS_PROBE_SPILL,
+) -> list[Instr]:
+    """The two-instruction lightweight probe."""
+    core = [
+        Instr(Op.TLSLD, rd=PROBE_REG, imm=tls_slot),
+        Instr(Op.ORM, rd=PROBE_REG, imm=1 << bit),
+    ]
+    if not spill:
+        return core
+    return [
+        Instr(Op.TLSST, rd=PROBE_REG, imm=spill_slot),
+        *core,
+        Instr(Op.TLSLD, rd=PROBE_REG, imm=spill_slot),
+    ]
+
+
+def catch_stub(dag_id: int, catch_import_index: int) -> list[Instr]:
+    """IL-mode injected catch-all stub (4 words).
+
+    A DAG header (so the catch shows in the trace, "treated just like
+    another procedure entry point"), a call into the runtime with the
+    exception code in r0, and a rethrow to let propagation continue —
+    the §3.7.2 fallback for runtimes with no first-chance hook.
+    """
+    return [
+        Instr(Op.CALL, imm=0),  # placeholder -> helper
+        Instr(Op.STDAG, rd=PROBE_REG, imm=dag_id),
+        Instr(Op.CALLX, imm=catch_import_index),
+        Instr(Op.THROW, rd=0),
+    ]
+
+
+CATCH_STUB_SIZE = 4

@@ -1,0 +1,504 @@
+"""Static binary rewriting: inject probes, relayout, fix everything up.
+
+This is the paper's §2 pipeline: lift each function to a CFG, tile it
+into DAGs, choose probe registers via liveness, then lower back to "a
+legal binary representation" — re-encoding every instruction, patching
+every pc-relative branch whose span changed (the Szymanski
+span-dependent-assembly problem), remapping symbols, function extents,
+exception handler ranges, source line tables, and relocations, and
+appending the probe helper subroutine to the module.
+
+The result is a new :class:`~repro.isa.module.Module` that computes the
+same thing as the original while recording its control flow, plus the
+:class:`~repro.instrument.mapfile.Mapfile` that reconstruction needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import CFG, build_cfg
+from repro.analysis.liveness import Liveness
+from repro.instrument.mapfile import BlockMap, DagMap, Mapfile
+from repro.instrument.probes import (
+    BUFFER_WRAP_IMPORT,
+    CATCH_IMPORT,
+    CATCH_STUB_SIZE,
+    HELPER_NAME,
+    HELPER_TLS_OFFSETS,
+    catch_stub,
+    header_probe,
+    helper_body,
+    light_probe,
+)
+from repro.instrument.tiling import TilingPlan, tile
+from repro.isa.encoding import EncodingError, encode
+from repro.isa.instructions import (
+    PROBE_REG,
+    RELATIVE_BRANCHES,
+    Instr,
+    Op,
+)
+from repro.isa.module import FuncInfo, HandlerRange, LineEntry, Module, Reloc
+from repro.runtime.records import MAX_DAG_ID, PATH_BITS
+from repro.vm.thread import TLS_PROBE_SPILL, TLS_TRACE_PTR
+
+#: The deliberately-universal default DAG base: every module compiled
+#: with defaults claims the same range, so multi-module processes
+#: exercise DAG rebasing exactly as the paper describes (§2.3).
+DEFAULT_DAG_BASE = 16
+
+#: Source-file name attributed to injected instrumentation code.
+INJECTED_FILE = "<traceback>"
+
+
+class InstrumentError(Exception):
+    """Instrumentation failed (module too large, bad metadata, ...)."""
+
+
+@dataclass
+class InstrumentConfig:
+    """Knobs for one instrumentation run."""
+
+    #: "native": exception addresses trim blocks (§2.4 native path).
+    #: "il": blocks split at source lines + injected catch-alls (the
+    #: Java/MSIL path; more probes, line-accurate exceptions).
+    mode: str = "native"
+    dag_base: int = DEFAULT_DAG_BASE
+    tls_slot: int = TLS_TRACE_PTR
+    spill_slot: int = TLS_PROBE_SPILL
+    path_bits: int = PATH_BITS
+    #: Inject a catch-all handler + runtime call per function.  Defaults
+    #: to the mode's convention (IL yes, native no).
+    il_catch_all: bool | None = None
+
+    @property
+    def catch_all(self) -> bool:
+        if self.il_catch_all is not None:
+            return self.il_catch_all
+        return self.mode == "il"
+
+
+@dataclass
+class InstrumentStats:
+    """Probe census for one module (drives the overhead analysis)."""
+
+    dags: int = 0
+    header_probes: int = 0
+    light_probes: int = 0
+    implied_blocks: int = 0
+    spills: int = 0
+    catch_stubs: int = 0
+    original_words: int = 0
+    instrumented_words: int = 0
+
+    @property
+    def size_growth(self) -> float:
+        """Text-section growth factor (paper: ~1.6x for SPECint)."""
+        if not self.original_words:
+            return 1.0
+        return self.instrumented_words / self.original_words
+
+
+@dataclass
+class InstrumentationResult:
+    """Everything instrumentation produces for one module."""
+
+    module: Module
+    mapfile: Mapfile
+    stats: InstrumentStats
+
+
+@dataclass
+class _Item:
+    """One word of the output layout."""
+
+    instr: Instr
+    old_offset: int | None = None  # original instruction's old offset
+    fix_call_to_helper: bool = False
+    is_probe_tls: bool = False
+    is_stdag: bool = False
+
+
+def instrument_module(
+    module: Module, config: InstrumentConfig | None = None
+) -> InstrumentationResult:
+    """Instrument ``module``; returns the rewritten module + mapfile.
+
+    The input module is not modified.
+    """
+    config = config or InstrumentConfig()
+    if module.instrumented:
+        raise InstrumentError(f"module {module.name!r} is already instrumented")
+
+    funcs = sorted(module.funcs, key=lambda f: f.start)
+    stats = InstrumentStats(original_words=len(module.code))
+
+    # ------------------------------------------------------------------
+    # Analyze: CFG + tiling + liveness per function.
+    # ------------------------------------------------------------------
+    analyses: dict[str, tuple[CFG, TilingPlan, Liveness]] = {}
+    for func in funcs:
+        cfg = build_cfg(module, func, split_at_lines=(config.mode == "il"))
+        plan = tile(
+            cfg,
+            path_bits=config.path_bits,
+            elide_implied=(config.mode != "il"),
+        )
+        analyses[func.name] = (cfg, plan, Liveness(cfg))
+
+    # Module-local DAG numbering: function order, then plan order, then
+    # one extra DAG per function for its catch stub.
+    dag_local: dict[tuple[str, int], int] = {}
+    counter = 0
+    stub_dag: dict[str, int] = {}
+    for func in funcs:
+        _, plan, _ = analyses[func.name]
+        for dag in plan.dags:
+            dag_local[(func.name, dag.index)] = counter
+            counter += 1
+        if config.catch_all:
+            stub_dag[func.name] = counter
+            counter += 1
+    dag_count = counter
+    if config.dag_base + dag_count > MAX_DAG_ID:
+        raise InstrumentError(
+            f"module {module.name!r}: {dag_count} DAGs do not fit above "
+            f"base {config.dag_base}"
+        )
+
+    wrap_import_index = len(module.imports)
+    catch_import_index = wrap_import_index + 1  # only used when catch_all
+
+    # ------------------------------------------------------------------
+    # Layout pass.
+    # ------------------------------------------------------------------
+    items: list[_Item] = []
+    probe_begin: dict[int, int] = {}
+    newpos_instr: dict[int, int] = {}
+    func_start_new: dict[str, int] = {}
+    func_body_end_new: dict[str, int] = {}
+    func_end_new: dict[str, int] = {}
+    stub_pos: dict[str, int] = {}
+    func_by_offset: dict[int, FuncInfo] = {}
+    for func in funcs:
+        for off in range(func.start, func.end):
+            func_by_offset[off] = func
+
+    def emit_probe(instrs: list[Instr], helper_call_at: int | None) -> None:
+        for i, instr in enumerate(instrs):
+            items.append(
+                _Item(
+                    instr=instr,
+                    fix_call_to_helper=(i == helper_call_at),
+                    is_probe_tls=instr.op in (Op.TLSLD, Op.TLSST),
+                    is_stdag=instr.op is Op.STDAG,
+                )
+            )
+
+    for old in range(len(module.code)):
+        func = func_by_offset.get(old)
+        probe_begin[old] = len(items)
+        if func is not None:
+            if old == func.start:
+                func_start_new[func.name] = len(items)
+            cfg, plan, live = analyses[func.name]
+            probe = plan.block_probe.get(old)
+            if probe is not None and probe[0] in ("header", "light"):
+                spill = PROBE_REG in live.live_in[old]
+                if spill:
+                    stats.spills += 1
+                if probe[0] == "header":
+                    dag_id = config.dag_base + dag_local[(func.name, probe[1])]
+                    call_at = 1 if spill else 0
+                    emit_probe(header_probe(dag_id, spill=spill,
+                                            spill_slot=config.spill_slot),
+                               helper_call_at=call_at)
+                    stats.header_probes += 1
+                else:
+                    emit_probe(
+                        light_probe(probe[2], tls_slot=config.tls_slot,
+                                    spill=spill, spill_slot=config.spill_slot),
+                        helper_call_at=None,
+                    )
+                    stats.light_probes += 1
+            elif probe is not None and probe[0] == "none":
+                stats.implied_blocks += 1
+        newpos_instr[old] = len(items)
+        items.append(_Item(instr=module.instr_at(old), old_offset=old))
+
+        if func is not None and old == func.end - 1:
+            func_body_end_new[func.name] = len(items)
+            if config.catch_all:
+                stub_pos[func.name] = len(items)
+                dag_id = config.dag_base + stub_dag[func.name]
+                stub = catch_stub(dag_id, catch_import_index)
+                items.append(_Item(instr=stub[0], fix_call_to_helper=True))
+                items.append(_Item(instr=stub[1], is_stdag=True))
+                items.append(_Item(instr=stub[2]))
+                items.append(_Item(instr=stub[3]))
+                stats.catch_stubs += 1
+            func_end_new[func.name] = len(items)
+
+    helper_start = len(items)
+    for i, instr in enumerate(helper_body(wrap_import_index, config.tls_slot)):
+        items.append(
+            _Item(instr=instr, is_probe_tls=(i in HELPER_TLS_OFFSETS))
+        )
+    helper_end = len(items)
+
+    def map_offset(old: int) -> int:
+        """Old offset -> new offset of its block-start (probe included)."""
+        if old in probe_begin:
+            return probe_begin[old]
+        if old == len(module.code):
+            return helper_start  # one-past-the-end ranges
+        raise InstrumentError(f"unmappable code offset {old}")
+
+    # ------------------------------------------------------------------
+    # Resolution pass: branch immediates and encoding.
+    # ------------------------------------------------------------------
+    new_code: list[int] = []
+    dag_fixups: list[int] = []
+    tls_fixups: list[int] = []
+    for pos, item in enumerate(items):
+        instr = item.instr
+        if item.fix_call_to_helper:
+            instr = instr.with_imm(helper_start - (pos + 1))
+        elif item.old_offset is not None and instr.op in RELATIVE_BRANCHES:
+            old_target = item.old_offset + 1 + instr.imm
+            if not 0 <= old_target <= len(module.code):
+                raise InstrumentError(
+                    f"branch at {item.old_offset} targets {old_target}, "
+                    "outside the module"
+                )
+            instr = instr.with_imm(map_offset(old_target) - (pos + 1))
+        if item.is_stdag:
+            dag_fixups.append(pos)
+        if item.is_probe_tls:
+            tls_fixups.append(pos)
+        try:
+            new_code.append(encode(instr))
+        except EncodingError as exc:
+            raise InstrumentError(
+                f"module {module.name!r} too large to instrument: {exc}"
+            ) from exc
+    stats.instrumented_words = len(new_code)
+    stats.dags = dag_count
+
+    # ------------------------------------------------------------------
+    # Metadata remapping.
+    # ------------------------------------------------------------------
+    new_module = Module(
+        name=module.name,
+        code=new_code,
+        data=list(module.data),
+        rodata=list(module.rodata),
+        entry=module.entry,
+        timestamp=module.timestamp,
+    )
+    new_module.imports = list(module.imports) + [BUFFER_WRAP_IMPORT]
+    if config.catch_all:
+        new_module.imports.append(CATCH_IMPORT)
+
+    new_module.symbols = {
+        name: (("code", map_offset(off)) if section == "code" else (section, off))
+        for name, (section, off) in module.symbols.items()
+    }
+    new_module.symbols[HELPER_NAME] = ("code", helper_start)
+    new_module.exports = {
+        name: map_offset(off) for name, off in module.exports.items()
+    }
+
+    for func in funcs:
+        start_new = func_start_new[func.name]
+        end_new = func_end_new[func.name]
+        handlers = [
+            HandlerRange(
+                start=map_offset(h.start),
+                end=map_offset(h.end),
+                handler=map_offset(h.handler),
+                code=h.code,
+            )
+            for h in func.handlers
+        ]
+        if config.catch_all:
+            handlers.append(
+                HandlerRange(
+                    start=start_new,
+                    end=stub_pos[func.name],
+                    handler=stub_pos[func.name],
+                    code=None,
+                )
+            )
+        new_module.funcs.append(
+            FuncInfo(
+                name=func.name,
+                start=start_new,
+                end=end_new,
+                handlers=handlers,
+                frame_size=func.frame_size,
+            )
+        )
+    new_module.funcs.append(
+        FuncInfo(name=HELPER_NAME, start=helper_start, end=helper_end)
+    )
+
+    new_lines: list[LineEntry] = []
+    for entry in module.lines:
+        if entry.start >= len(module.code):
+            continue
+        new_lines.append(LineEntry(map_offset(entry.start), entry.file, entry.line))
+    for func in funcs:
+        if config.catch_all:
+            new_lines.append(LineEntry(stub_pos[func.name], INJECTED_FILE, 0))
+    new_lines.append(LineEntry(helper_start, INJECTED_FILE, 0))
+    new_lines.sort(key=lambda e: e.start)
+    new_module.lines = new_lines
+
+    new_module.relocs = [
+        Reloc(
+            section=r.section,
+            offset=newpos_instr[r.offset] if r.section == "code" else r.offset,
+            kind=r.kind,
+            symbol=r.symbol,
+        )
+        for r in module.relocs
+    ]
+
+    new_module.dag_base = config.dag_base
+    new_module.dag_count = dag_count
+    new_module.dag_fixups = dag_fixups
+    new_module.tls_fixups = tls_fixups
+    new_module.instrumented = True
+
+    # ------------------------------------------------------------------
+    # Mapfile.
+    # ------------------------------------------------------------------
+    mapfile = _build_mapfile(module, new_module, config, funcs, analyses,
+                             dag_local, stub_dag, stub_pos, probe_begin,
+                             newpos_instr, func_by_offset)
+    return InstrumentationResult(module=new_module, mapfile=mapfile, stats=stats)
+
+
+def _block_end_new(cfg_block_end: int, newpos_instr: dict[int, int]) -> int:
+    """New end (exclusive) of a block whose old end is ``cfg_block_end``."""
+    return newpos_instr[cfg_block_end - 1] + 1
+
+
+def _call_annotation(module: Module, cfg: CFG, block_start: int) -> str | None:
+    """Callee name for a call-terminated block (§4.3.1 annotations)."""
+    block = cfg.blocks[block_start]
+    term = block.terminator
+    term_offset = block.end - 1
+    if term.op is Op.CALL:
+        target = term_offset + 1 + term.imm
+        func = module.func_at(target)
+        return func.name if func else f"@{target}"
+    if term.op is Op.CALLX:
+        return module.imports[term.imm]
+    if term.op is Op.CALLR:
+        return "<indirect>"
+    return None
+
+
+def _build_mapfile(
+    module: Module,
+    new_module: Module,
+    config: InstrumentConfig,
+    funcs: list[FuncInfo],
+    analyses: dict,
+    dag_local: dict,
+    stub_dag: dict,
+    stub_pos: dict,
+    probe_begin: dict,
+    newpos_instr: dict,
+    func_by_offset: dict,
+) -> Mapfile:
+    dags: list[DagMap] = [None] * new_module.dag_count  # type: ignore[list-item]
+    for func in funcs:
+        cfg, plan, _ = analyses[func.name]
+        handler_starts = {h.handler for h in func.handlers}
+        for dag in plan.dags:
+            blocks: list[BlockMap] = []
+            for member in dag.members:
+                cfg_block = cfg.blocks[member]
+                # In-DAG edges only; an edge back to the DAG entry is
+                # necessarily retreating (loop back edge) and is cut.
+                in_dag_succs = [
+                    probe_begin[s]
+                    for s in cfg_block.succs
+                    if s in dag.members and s != dag.entry
+                ]
+                term = cfg_block.terminator
+                blocks.append(
+                    BlockMap(
+                        id=probe_begin[member],
+                        end=_block_end_new(cfg_block.end, newpos_instr),
+                        body_start=newpos_instr[member],
+                        bit=dag.members[member],
+                        succs=in_dag_succs,
+                        func_entry=func.name if member == func.start else None,
+                        func_exit=term.op in (Op.RET, Op.HALT),
+                        call=_call_annotation(module, cfg, member),
+                        handler_entry=member in handler_starts,
+                    )
+                )
+            index = dag_local[(func.name, dag.index)]
+            dags[index] = DagMap(
+                index=index,
+                func=func.name,
+                entry=probe_begin[dag.entry],
+                blocks=blocks,
+            )
+        if config.catch_all:
+            pos = stub_pos[func.name]
+            index = stub_dag[func.name]
+            dags[index] = DagMap(
+                index=index,
+                func=func.name,
+                entry=pos,
+                blocks=[
+                    BlockMap(
+                        id=pos,
+                        end=pos + CATCH_STUB_SIZE,
+                        body_start=pos + 2,
+                        bit=None,
+                        succs=[],
+                        handler_entry=True,
+                    )
+                ],
+            )
+
+    return Mapfile(
+        module_name=module.name,
+        checksum=new_module.checksum(),
+        original_checksum=module.checksum(),
+        dag_base=config.dag_base,
+        dag_count=new_module.dag_count,
+        mode=config.mode,
+        dags=dags,
+        lines=[(e.start, e.file, e.line) for e in new_module.lines],
+        funcs=[(f.name, f.start, f.end) for f in new_module.funcs],
+        data_symbols=_data_symbols(module),
+    )
+
+
+def _data_symbols(module: Module) -> dict[str, tuple[str, int, int]]:
+    """Global variable extents: size inferred from symbol ordering.
+
+    Mapfiles carry these so a snap's memory dump can be rendered as
+    named variable values (§3.6).
+    """
+    section_lens = {"data": len(module.data), "rodata": len(module.rodata)}
+    by_section: dict[str, list[tuple[int, str]]] = {"data": [], "rodata": []}
+    for name, (section, offset) in module.symbols.items():
+        if section in by_section:
+            by_section[section].append((offset, name))
+    out: dict[str, tuple[str, int, int]] = {}
+    for section, entries in by_section.items():
+        entries.sort()
+        for i, (offset, name) in enumerate(entries):
+            end = entries[i + 1][0] if i + 1 < len(entries) else section_lens[section]
+            out[name] = (section, offset, max(1, end - offset))
+    return out

@@ -1,0 +1,56 @@
+"""TBVM instruction set: the binary substrate TraceBack instruments.
+
+Public surface: :class:`Op`, :class:`Instr`, :func:`encode`,
+:func:`decode`, :func:`assemble`, :class:`Module`, and the disassembler.
+"""
+
+from repro.isa.asm import AsmError, Assembler, assemble
+from repro.isa.disasm import disassemble, format_instr
+from repro.isa.encoding import EncodingError, decode, decode_all, encode, encode_all
+from repro.isa.instructions import (
+    AT,
+    NUM_REGS,
+    PROBE_REG,
+    SP,
+    Fmt,
+    Instr,
+    Op,
+    parse_reg,
+    reg_name,
+)
+from repro.isa.module import (
+    FuncInfo,
+    HandlerRange,
+    LineEntry,
+    Module,
+    Reloc,
+    RelocKind,
+)
+
+__all__ = [
+    "AT",
+    "AsmError",
+    "Assembler",
+    "EncodingError",
+    "Fmt",
+    "FuncInfo",
+    "HandlerRange",
+    "Instr",
+    "LineEntry",
+    "Module",
+    "NUM_REGS",
+    "Op",
+    "PROBE_REG",
+    "Reloc",
+    "RelocKind",
+    "SP",
+    "assemble",
+    "decode",
+    "decode_all",
+    "disassemble",
+    "encode",
+    "encode_all",
+    "format_instr",
+    "parse_reg",
+    "reg_name",
+]

@@ -1,0 +1,51 @@
+"""Disassembler: decoded instructions back to assembler-compatible text.
+
+Used by the examples and the trace GUI views, and by tests to verify the
+assemble → encode → decode → format round trip.
+"""
+
+from __future__ import annotations
+
+from repro.isa.encoding import EncodingError, decode
+from repro.isa.instructions import Fmt, Instr, reg_name
+from repro.isa.module import Module
+
+
+def format_instr(instr: Instr) -> str:
+    """Render one instruction in assembler syntax."""
+    mnem = instr.op.name.lower()
+    fmt = instr.fmt
+    if fmt is Fmt.R3:
+        ops = f"{reg_name(instr.rd)}, {reg_name(instr.rs)}, {reg_name(instr.rt)}"
+    elif fmt is Fmt.R2:
+        ops = f"{reg_name(instr.rd)}, {reg_name(instr.rs)}"
+    elif fmt is Fmt.R1:
+        ops = reg_name(instr.rd)
+    elif fmt in (Fmt.RI, Fmt.RI20, Fmt.RB):
+        ops = f"{reg_name(instr.rd)}, {instr.imm}"
+    elif fmt in (Fmt.RRI, Fmt.RRB):
+        ops = f"{reg_name(instr.rd)}, {reg_name(instr.rs)}, {instr.imm}"
+    elif fmt is Fmt.I16:
+        ops = str(instr.imm)
+    else:
+        ops = ""
+    return f"{mnem} {ops}".rstrip()
+
+
+def disassemble(module: Module, start: int = 0, end: int | None = None) -> list[str]:
+    """Disassemble ``module.code[start:end]``, one line per word.
+
+    Words that do not decode (data interleaved in code would be a bug in
+    our toolchain, but trace buffers are also word arrays) are rendered
+    as ``.word 0x...``.
+    """
+    if end is None:
+        end = len(module.code)
+    out = []
+    for offset in range(start, end):
+        try:
+            text = format_instr(decode(module.code[offset]))
+        except EncodingError:
+            text = f".word 0x{module.code[offset]:08x}"
+        out.append(f"{offset:6d}: {text}")
+    return out

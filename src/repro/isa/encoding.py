@@ -1,0 +1,131 @@
+"""Binary encoding and decoding of TBVM instructions.
+
+Each instruction occupies one 32-bit little-endian word.  The encoder and
+decoder are exact inverses for every legal instruction; this round-trip
+property is what lets the instrumenter lift a binary module to an
+abstract representation, rewrite it, and lower it back (the paper's
+"lifted to an abstract graph representation ... and then lowered back to
+a legal binary representation").
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import (
+    FORMATS,
+    IMM16_MAX,
+    IMM16_MIN,
+    IMM20_MAX,
+    NUM_REGS,
+    Fmt,
+    Instr,
+    Op,
+)
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or decoded."""
+
+
+_OP_SHIFT = 24
+_RD_SHIFT = 20
+_RS_SHIFT = 16
+_RT_SHIFT = 12
+_IMM16_MASK = 0xFFFF
+_IMM20_MASK = 0xFFFFF
+_REG_MASK = 0xF
+
+_VALID_OPS = {op.value for op in Op}
+
+
+def _check_reg(value: int, field: str, instr: Instr) -> None:
+    if not 0 <= value < NUM_REGS:
+        raise EncodingError(f"{field}={value} out of range in {instr}")
+
+
+#: Opcodes whose 16-bit immediate is zero-extended rather than
+#: sign-extended (bitwise ops, MOVHI, and the ORM probe op).
+UNSIGNED_IMM_OPS = frozenset({Op.ANDI, Op.ORI, Op.XORI, Op.MOVHI, Op.ORM})
+
+
+def _check_imm16(value: int, instr: Instr) -> None:
+    if instr.op in UNSIGNED_IMM_OPS:
+        if not 0 <= value <= 0xFFFF:
+            raise EncodingError(f"unsigned imm16={value} out of range in {instr}")
+    elif not IMM16_MIN <= value <= IMM16_MAX:
+        raise EncodingError(f"imm16={value} out of range in {instr}")
+
+
+def encode(instr: Instr) -> int:
+    """Encode ``instr`` into its 32-bit word.
+
+    Raises :class:`EncodingError` if a register index or immediate does
+    not fit its field.
+    """
+    fmt = FORMATS[instr.op]
+    word = instr.op.value << _OP_SHIFT
+    if fmt in (Fmt.R3, Fmt.R2, Fmt.R1, Fmt.RI, Fmt.RRI, Fmt.RB, Fmt.RRB, Fmt.RI20):
+        _check_reg(instr.rd, "rd", instr)
+        word |= instr.rd << _RD_SHIFT
+    if fmt in (Fmt.R3, Fmt.R2, Fmt.RRI, Fmt.RRB):
+        _check_reg(instr.rs, "rs", instr)
+        word |= instr.rs << _RS_SHIFT
+    if fmt is Fmt.R3:
+        _check_reg(instr.rt, "rt", instr)
+        word |= instr.rt << _RT_SHIFT
+    if fmt in (Fmt.RI, Fmt.RRI, Fmt.I16, Fmt.RB, Fmt.RRB):
+        _check_imm16(instr.imm, instr)
+        word |= instr.imm & _IMM16_MASK
+    if fmt is Fmt.RI20:
+        if not 0 <= instr.imm <= IMM20_MAX:
+            raise EncodingError(f"imm20={instr.imm} out of range in {instr}")
+        word |= instr.imm & _IMM20_MASK
+    return word
+
+
+def decode(word: int) -> Instr:
+    """Decode a 32-bit word into an :class:`Instr`.
+
+    Raises :class:`EncodingError` for unknown opcodes, which is how the
+    disassembler and CFG builder detect data mixed into a code section.
+    """
+    opcode = (word >> _OP_SHIFT) & 0xFF
+    if opcode not in _VALID_OPS:
+        raise EncodingError(f"unknown opcode 0x{opcode:02x} in word 0x{word:08x}")
+    op = Op(opcode)
+    fmt = FORMATS[op]
+    rd = (word >> _RD_SHIFT) & _REG_MASK
+    rs = (word >> _RS_SHIFT) & _REG_MASK
+    rt = (word >> _RT_SHIFT) & _REG_MASK
+    imm = word & _IMM16_MASK
+    if imm > IMM16_MAX and op not in UNSIGNED_IMM_OPS:
+        imm -= 1 << 16  # sign-extend
+
+    if fmt is Fmt.R3:
+        return Instr(op, rd=rd, rs=rs, rt=rt)
+    if fmt is Fmt.R2:
+        return Instr(op, rd=rd, rs=rs)
+    if fmt is Fmt.R1:
+        return Instr(op, rd=rd)
+    if fmt is Fmt.RI:
+        return Instr(op, rd=rd, imm=imm)
+    if fmt is Fmt.RRI:
+        return Instr(op, rd=rd, rs=rs, imm=imm)
+    if fmt is Fmt.I16:
+        return Instr(op, imm=imm)
+    if fmt is Fmt.RI20:
+        return Instr(op, rd=rd, imm=word & _IMM20_MASK)
+    if fmt in (Fmt.RB, Fmt.RRB):
+        if fmt is Fmt.RB:
+            return Instr(op, rd=rd, imm=imm)
+        return Instr(op, rd=rd, rs=rs, imm=imm)
+    return Instr(op)  # Fmt.NONE
+
+
+def encode_all(instrs: list[Instr]) -> list[int]:
+    """Encode a code sequence into its word list."""
+    return [encode(instr) for instr in instrs]
+
+
+def decode_all(words: list[int]) -> list[Instr]:
+    """Decode a word list back into instructions."""
+    return [decode(word) for word in words]

@@ -1,0 +1,283 @@
+"""Binary module format for TBVM.
+
+A :class:`Module` is the unit of instrumentation, loading, and unloading
+— the analog of a Windows DLL / EXE or a Unix shared object in the
+original system.  It carries:
+
+* encoded code words plus writable (``data``) and read-only (``rodata``)
+  data sections;
+* a symbol table of exports and a table of imports resolved at load time
+  (``CALLX`` indexes into it, like a PLT);
+* relocations, because code refers to data and jump tables refer to code
+  by absolute address that is only known once the loader places the
+  module;
+* debug metadata: a function table with exception-handler ranges (the
+  SEH analog) and a source line table;
+* instrumentation metadata added by the TraceBack rewriter: the default
+  DAG id range, fixup tables for DAG rebasing and TLS-slot rewriting
+  (paper §2.3 / §2.5), and the module checksum that keys runtime state
+  and mapfile matching.
+
+The checksum deliberately excludes the ``timestamp`` field, mirroring the
+paper's "MD5 checksum of most of it (omitting timestamps and other data
+that can change easily)".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instr
+
+
+class RelocKind:
+    """Relocation kinds understood by the loader."""
+
+    #: Patch the low 16 bits of an instruction immediate with the low
+    #: half of the symbol's absolute address.
+    LO16 = "lo16"
+    #: Patch the immediate with the high half of the absolute address
+    #: (used with ``MOVHI``).
+    HI16 = "hi16"
+    #: Patch a full data/rodata word with the symbol's absolute address
+    #: (jump tables, function pointers).
+    WORD = "word"
+
+
+@dataclass(frozen=True)
+class Reloc:
+    """One relocation: patch ``section[offset]`` per ``kind`` with ``symbol``."""
+
+    section: str  # "code", "data", or "rodata"
+    offset: int
+    kind: str
+    symbol: str
+
+
+@dataclass(frozen=True)
+class HandlerRange:
+    """An exception-handler range: the SEH / try-catch analog.
+
+    If an exception is raised while ``pc`` is in ``[start, end)`` of this
+    function, control transfers to ``handler`` with the exception code in
+    ``r0``.  ``code`` restricts the handler to one exception code, or
+    ``None`` for a catch-all.
+    """
+
+    start: int
+    end: int
+    handler: int
+    code: int | None = None
+
+    def matches(self, pc: int, exc_code: int) -> bool:
+        """Whether this range covers ``pc`` and catches ``exc_code``."""
+        if not self.start <= pc < self.end:
+            return False
+        return self.code is None or self.code == exc_code
+
+
+@dataclass
+class FuncInfo:
+    """Debug record for one function: name, code extent, handlers.
+
+    ``frame_size`` is the number of stack words the prologue reserves;
+    the unwinder uses it to restore ``sp`` when transferring control to
+    one of this function's exception handlers.
+    """
+
+    name: str
+    start: int
+    end: int
+    handlers: list[HandlerRange] = field(default_factory=list)
+    frame_size: int = 0
+
+    def contains(self, offset: int) -> bool:
+        """Whether ``offset`` lies within this function's code."""
+        return self.start <= offset < self.end
+
+
+@dataclass(frozen=True)
+class LineEntry:
+    """Maps code offsets ``>= start`` (up to the next entry) to a source line."""
+
+    start: int
+    file: str
+    line: int
+
+
+@dataclass
+class Module:
+    """A TBVM binary module.  See the package docstring for the role of
+    each field."""
+
+    name: str
+    code: list[int] = field(default_factory=list)
+    data: list[int] = field(default_factory=list)
+    rodata: list[int] = field(default_factory=list)
+    exports: dict[str, int] = field(default_factory=dict)
+    imports: list[str] = field(default_factory=list)
+    #: All module-local symbols: name -> (section, offset).  Relocations
+    #: refer to these; ``exports`` is the subset visible to other modules.
+    symbols: dict[str, tuple[str, int]] = field(default_factory=dict)
+    relocs: list[Reloc] = field(default_factory=list)
+    funcs: list[FuncInfo] = field(default_factory=list)
+    lines: list[LineEntry] = field(default_factory=list)
+    entry: str | None = None
+    timestamp: int = 0
+
+    # --- Instrumentation metadata (absent until the rewriter runs). ---
+    #: First DAG id this module's probes use by default.
+    dag_base: int | None = None
+    #: Number of DAG ids the module consumes.
+    dag_count: int = 0
+    #: Code offsets of STDAG instructions, for DAG rebasing (§2.3).  The
+    #: encoded imm20 is ``dag_base + local_index``; rebasing rewrites it.
+    dag_fixups: list[int] = field(default_factory=list)
+    #: Code offsets of TLSLD/TLSST probe instructions, for TLS-index
+    #: rewriting when the preferred slot is taken (§2.5).
+    tls_fixups: list[int] = field(default_factory=list)
+    #: True once the TraceBack rewriter has processed this module.
+    instrumented: bool = False
+
+    # ------------------------------------------------------------------
+    # Checksums and identity
+    # ------------------------------------------------------------------
+    def checksum(self) -> str:
+        """MD5 checksum keying this module's runtime and mapfile state.
+
+        Covers code, both data sections, exports, imports, and debug
+        metadata — everything except ``timestamp`` and instrumentation
+        fixups, so a rebuilt-but-identical module keeps its identity.
+        """
+        h = hashlib.md5()
+        h.update(self.name.encode())
+        for section in (self.code, self.rodata, self.data):
+            h.update(struct.pack(f"<{len(section)}I", *[w & 0xFFFFFFFF for w in section]))
+        for name in sorted(self.exports):
+            h.update(f"{name}@{self.exports[name]}".encode())
+        for name in self.imports:
+            h.update(name.encode())
+        for func in self.funcs:
+            h.update(f"{func.name}:{func.start}:{func.end}".encode())
+        return h.hexdigest()
+
+    # ------------------------------------------------------------------
+    # Debug queries
+    # ------------------------------------------------------------------
+    def func_at(self, offset: int) -> FuncInfo | None:
+        """The function containing code ``offset``, or ``None``."""
+        for func in self.funcs:
+            if func.contains(offset):
+                return func
+        return None
+
+    def func_named(self, name: str) -> FuncInfo | None:
+        """Look up a function by name, or ``None``."""
+        for func in self.funcs:
+            if func.name == name:
+                return func
+        return None
+
+    def line_at(self, offset: int) -> LineEntry | None:
+        """The source line covering code ``offset``, or ``None``.
+
+        Entries are kept sorted by ``start``; the covering entry is the
+        last one at or before ``offset``, clipped to the containing
+        function so padding between functions maps to nothing.
+        """
+        if not self.lines:
+            return None
+        starts = [entry.start for entry in self.lines]
+        idx = bisect_right(starts, offset) - 1
+        if idx < 0:
+            return None
+        return self.lines[idx]
+
+    def instr_at(self, offset: int) -> Instr:
+        """Decode the instruction at code ``offset``."""
+        return decode(self.code[offset])
+
+    def entry_offset(self) -> int:
+        """Code offset of the module entry point.
+
+        Prefers the explicit ``entry`` symbol, then an exported ``main``.
+        Raises :class:`KeyError` if the module has no entry.
+        """
+        if self.entry is not None:
+            return self.exports[self.entry]
+        return self.exports["main"]
+
+    # ------------------------------------------------------------------
+    # Serialization (snap metadata, mapfile cross-checks)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form, suitable for JSON embedding in snap files."""
+        return {
+            "name": self.name,
+            "code": list(self.code),
+            "data": list(self.data),
+            "rodata": list(self.rodata),
+            "exports": dict(self.exports),
+            "imports": list(self.imports),
+            "symbols": {k: list(v) for k, v in self.symbols.items()},
+            "relocs": [
+                [r.section, r.offset, r.kind, r.symbol] for r in self.relocs
+            ],
+            "funcs": [
+                {
+                    "name": f.name,
+                    "start": f.start,
+                    "end": f.end,
+                    "handlers": [
+                        [h.start, h.end, h.handler, h.code] for h in f.handlers
+                    ],
+                    "frame_size": f.frame_size,
+                }
+                for f in self.funcs
+            ],
+            "lines": [[e.start, e.file, e.line] for e in self.lines],
+            "entry": self.entry,
+            "timestamp": self.timestamp,
+            "dag_base": self.dag_base,
+            "dag_count": self.dag_count,
+            "dag_fixups": list(self.dag_fixups),
+            "tls_fixups": list(self.tls_fixups),
+            "instrumented": self.instrumented,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Module":
+        """Inverse of :meth:`to_dict`."""
+        module = cls(
+            name=payload["name"],
+            code=list(payload["code"]),
+            data=list(payload["data"]),
+            rodata=list(payload["rodata"]),
+            exports=dict(payload["exports"]),
+            imports=list(payload["imports"]),
+            symbols={k: (v[0], v[1]) for k, v in payload.get("symbols", {}).items()},
+            relocs=[Reloc(*item) for item in payload["relocs"]],
+            funcs=[
+                FuncInfo(
+                    name=f["name"],
+                    start=f["start"],
+                    end=f["end"],
+                    handlers=[HandlerRange(*h) for h in f["handlers"]],
+                    frame_size=f.get("frame_size", 0),
+                )
+                for f in payload["funcs"]
+            ],
+            lines=[LineEntry(*item) for item in payload["lines"]],
+            entry=payload["entry"],
+            timestamp=payload["timestamp"],
+        )
+        module.dag_base = payload["dag_base"]
+        module.dag_count = payload["dag_count"]
+        module.dag_fixups = list(payload["dag_fixups"])
+        module.tls_fixups = list(payload["tls_fixups"])
+        module.instrumented = payload["instrumented"]
+        return module

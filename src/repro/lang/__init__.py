@@ -1,0 +1,1 @@
+"""Source-language frontends targeting TBVM."""

@@ -1,0 +1,24 @@
+"""MiniC: the C-like source language compiled to TBVM binaries."""
+
+from repro.lang.minic.codegen import (
+    BUILTINS,
+    CodeGen,
+    CompileError,
+    compile_source,
+    compile_to_asm,
+)
+from repro.lang.minic.lexer import LexError, Token, tokenize
+from repro.lang.minic.parser import ParseError, parse
+
+__all__ = [
+    "BUILTINS",
+    "CodeGen",
+    "CompileError",
+    "LexError",
+    "ParseError",
+    "Token",
+    "compile_source",
+    "compile_to_asm",
+    "parse",
+    "tokenize",
+]

@@ -1,0 +1,197 @@
+"""MiniC abstract syntax tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class IntLit:
+    value: int
+    line: int = 0
+
+
+@dataclass
+class StrLit:
+    value: str
+    line: int = 0
+
+
+@dataclass
+class Var:
+    """A scalar variable reference, an array decaying to its address, or
+    a function name decaying to its code address."""
+
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Index:
+    """``base[index]`` where base names a local or global array."""
+
+    name: str
+    index: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Unary:
+    op: str  # '-' or '!'
+    operand: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Binary:
+    op: str
+    left: "Expr"
+    right: "Expr"
+    line: int = 0
+
+
+@dataclass
+class Call:
+    """A user function call or a builtin (syscall wrapper)."""
+
+    name: str
+    args: list["Expr"]
+    line: int = 0
+
+
+Expr = IntLit | StrLit | Var | Index | Unary | Binary | Call
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Decl:
+    """``int x;`` / ``int x = e;`` / ``int a[N];`` local declaration."""
+
+    name: str
+    size: int | None  # None = scalar; int = array of that many words
+    init: Expr | None
+    line: int = 0
+
+
+@dataclass
+class Assign:
+    target: Var | Index
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class ExprStmt:
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class If:
+    cond: Expr
+    then_body: list["Stmt"]
+    else_body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class While:
+    cond: Expr
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class For:
+    init: "Stmt | None"
+    cond: Expr | None
+    step: "Stmt | None"
+    body: list["Stmt"]
+    line: int = 0
+
+
+@dataclass
+class Return:
+    value: Expr | None
+    line: int = 0
+
+
+@dataclass
+class Break:
+    line: int = 0
+
+
+@dataclass
+class Continue:
+    line: int = 0
+
+
+@dataclass
+class Throw:
+    value: Expr
+    line: int = 0
+
+
+@dataclass
+class Try:
+    body: list["Stmt"]
+    catch_var: str
+    catch_body: list["Stmt"]
+    line: int = 0
+
+
+Stmt = (
+    Decl | Assign | ExprStmt | If | While | For | Return | Break
+    | Continue | Throw | Try
+)
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    name: str
+    line: int = 0
+
+
+@dataclass
+class Function:
+    name: str
+    params: list[Param]
+    body: list[Stmt]
+    line: int = 0
+
+
+@dataclass
+class GlobalVar:
+    """A module-level variable.  ``const`` variables go to rodata — a
+    write through their address is an access violation (the Figure 6
+    failure shape)."""
+
+    name: str
+    size: int | None
+    init_values: list[int] = field(default_factory=list)
+    const: bool = False
+    line: int = 0
+
+
+@dataclass
+class ExternDecl:
+    """``extern int f(...)``: a cross-module import."""
+
+    name: str
+    arity: int
+    line: int = 0
+
+
+@dataclass
+class Program:
+    functions: list[Function] = field(default_factory=list)
+    globals: list[GlobalVar] = field(default_factory=list)
+    externs: list[ExternDecl] = field(default_factory=list)

@@ -1,0 +1,591 @@
+"""MiniC code generator: AST -> TBVM assembly -> Module.
+
+The generated code is deliberately straightforward (a stack machine for
+expression temporaries, a frame pointer in r10): unoptimized code with
+small basic blocks is what real compilers hand binary instrumenters, and
+it keeps every line boundary visible to the tracer.
+
+Calling convention: arguments in r0..r5 (max 6), result in r0, r10 is
+the frame pointer (saved/restored by the callee's prologue/epilogue).
+``.line`` directives are emitted per statement, so reconstruction's
+source-line traces are exact.
+
+With ``bounds_checks=True`` (the IL / managed-language mode) every array
+index is range-checked and raises ``ARRAY_BOUNDS`` — the Java
+``ArrayIndexOutOfBoundsException`` analog from the paper's §3.6 example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.asm import assemble
+from repro.isa.module import Module
+from repro.lang.minic import ast
+from repro.lang.minic.parser import parse
+from repro.vm.errors import ExcCode
+
+#: builtin name -> (syscall number, arity)
+BUILTINS = {
+    "print_int": (1, 1),
+    "print_str": (2, 1),
+    "putc": (3, 1),
+    "exit_thread": (4, 1),
+    "exit": (5, 1),
+    "sbrk": (6, 1),
+    "clock": (7, 0),
+    "sleep": (8, 1),
+    "io_read": (9, 1),
+    "io_write": (10, 1),
+    "thread_create": (11, 2),
+    "lock": (12, 1),
+    "unlock": (13, 1),
+    "rpc_call": (14, 5),
+    "yield": (15, 0),
+    "rand": (16, 0),
+    "gettid": (17, 0),
+    "signal": (18, 2),
+    "snap": (19, 1),
+}
+
+MAX_PARAMS = 6
+
+
+class CompileError(Exception):
+    """Semantic error in a MiniC program."""
+
+
+@dataclass
+class _LocalInfo:
+    slot: int
+    size: int | None  # None = scalar
+
+
+@dataclass
+class _GlobalInfo:
+    size: int | None
+    const: bool
+
+
+class CodeGen:
+    """Compiles one MiniC translation unit into assembly text."""
+
+    def __init__(
+        self,
+        program: ast.Program,
+        module_name: str,
+        file_name: str,
+        bounds_checks: bool = False,
+    ):
+        self.program = program
+        self.module_name = module_name
+        self.file_name = file_name
+        self.bounds_checks = bounds_checks
+        self.lines: list[str] = []
+        self._strings: dict[str, str] = {}
+        self._label_counter = 0
+        self._functions = {f.name for f in program.functions}
+        self._externs = {e.name for e in program.externs}
+        self._globals: dict[str, _GlobalInfo] = {
+            g.name: _GlobalInfo(size=g.size, const=g.const) for g in program.globals
+        }
+        # Per-function state.
+        self._locals: dict[str, _LocalInfo] = {}
+        self._frame_slots = 0
+        self._loop_stack: list[tuple[str, str]] = []  # (break, continue)
+        self._handlers: list[str] = []
+        self._current_line = -1
+
+    # ------------------------------------------------------------------
+    def generate(self) -> str:
+        """Produce the full assembly text."""
+        for func in self.program.functions:
+            if func.name in BUILTINS:
+                raise CompileError(
+                    f"line {func.line}: {func.name!r} is a builtin"
+                )
+        out = self.lines
+        out.append(f".module {self.module_name}")
+        if "main" in self._functions:
+            out.append(".entry main")
+        for extern in self.program.externs:
+            out.append(f".import {extern.name}")
+        for func in self.program.functions:
+            out.append(f".export {func.name}")
+        for func in self.program.functions:
+            self._function(func)
+        self._data_sections()
+        return "\n".join(out) + "\n"
+
+    def module(self) -> Module:
+        """Generate and assemble into a binary module."""
+        return assemble(self.generate())
+
+    # ------------------------------------------------------------------
+    def _label(self, hint: str) -> str:
+        self._label_counter += 1
+        return f"L{hint}_{self._label_counter}"
+
+    def _emit(self, text: str) -> None:
+        self.lines.append(f"  {text}")
+
+    def _emit_label(self, label: str) -> None:
+        self.lines.append(f"{label}:")
+
+    def _emit_line_marker(self, line: int) -> None:
+        if line > 0 and line != self._current_line:
+            self.lines.append(f".line {self.file_name} {line}")
+            self._current_line = line
+
+    # ------------------------------------------------------------------
+    # Functions
+    # ------------------------------------------------------------------
+    def _collect_locals(self, func: ast.Function) -> int:
+        """Assign frame slots to params, declarations, and catch vars."""
+        self._locals = {}
+        slot = 0
+        for param in func.params:
+            self._locals[param.name] = _LocalInfo(slot=slot, size=None)
+            slot += 1
+
+        def walk(stmts: list[ast.Stmt]) -> None:
+            nonlocal slot
+            for stmt in stmts:
+                if isinstance(stmt, ast.Decl):
+                    if stmt.name not in self._locals:
+                        width = stmt.size if stmt.size is not None else 1
+                        self._locals[stmt.name] = _LocalInfo(
+                            slot=slot, size=stmt.size
+                        )
+                        slot += width
+                elif isinstance(stmt, ast.If):
+                    walk(stmt.then_body)
+                    walk(stmt.else_body)
+                elif isinstance(stmt, ast.While):
+                    walk(stmt.body)
+                elif isinstance(stmt, ast.For):
+                    if stmt.init is not None:
+                        walk([stmt.init])
+                    if stmt.step is not None:
+                        walk([stmt.step])
+                    walk(stmt.body)
+                elif isinstance(stmt, ast.Try):
+                    walk(stmt.body)
+                    if stmt.catch_var not in self._locals:
+                        self._locals[stmt.catch_var] = _LocalInfo(
+                            slot=slot, size=None
+                        )
+                        slot += 1
+                    walk(stmt.catch_body)
+
+        walk(func.body)
+        return slot
+
+    def _function(self, func: ast.Function) -> None:
+        if len(func.params) > MAX_PARAMS:
+            raise CompileError(
+                f"line {func.line}: {func.name} has more than "
+                f"{MAX_PARAMS} parameters"
+            )
+        n = self._collect_locals(func)
+        self._frame_slots = n
+        self._current_line = -1
+        self.lines.append(f".func {func.name}")
+        self.lines.append(f".frame {n + 1}")  # +1 for the saved fp
+        self._emit_line_marker(func.line)
+        self._emit("push r10")
+        self._emit("mov r10, sp")
+        if n:
+            self._emit(f"addi sp, sp, {-n}")
+        for i, param in enumerate(func.params):
+            info = self._locals[param.name]
+            self._emit(f"stw r{i}, r10, {info.slot - n}")
+        self._stmts(func.body)
+        # Implicit `return 0` at the end of the body.
+        self._emit("li r0, 0")
+        self._epilogue()
+        for handler in self._handlers:
+            self.lines.append(handler)
+        self._handlers = []
+        self.lines.append(".endfunc")
+
+    def _epilogue(self) -> None:
+        self._emit("mov sp, r10")
+        self._emit("pop r10")
+        self._emit("ret")
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _stmts(self, stmts: list[ast.Stmt]) -> None:
+        for stmt in stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, stmt: ast.Stmt) -> None:
+        self._emit_line_marker(stmt.line)
+        if isinstance(stmt, ast.Decl):
+            if stmt.init is not None:
+                self._expr(stmt.init)
+                info = self._locals[stmt.name]
+                self._emit(f"stw r0, r10, {info.slot - self._frame_slots}")
+        elif isinstance(stmt, ast.Assign):
+            self._assign(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._expr(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._expr(stmt.value)
+            else:
+                self._emit("li r0, 0")
+            self._epilogue()
+        elif isinstance(stmt, ast.Break):
+            if not self._loop_stack:
+                raise CompileError(f"line {stmt.line}: break outside a loop")
+            self._emit(f"br {self._loop_stack[-1][0]}")
+        elif isinstance(stmt, ast.Continue):
+            if not self._loop_stack:
+                raise CompileError(f"line {stmt.line}: continue outside a loop")
+            self._emit(f"br {self._loop_stack[-1][1]}")
+        elif isinstance(stmt, ast.Throw):
+            self._expr(stmt.value)
+            self._emit("throw r0")
+        elif isinstance(stmt, ast.Try):
+            self._try(stmt)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise CompileError(f"unhandled statement {stmt!r}")
+
+    def _assign(self, stmt: ast.Assign) -> None:
+        self._expr(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Var):
+            if target.name in self._locals:
+                info = self._locals[target.name]
+                if info.size is not None:
+                    raise CompileError(
+                        f"line {stmt.line}: cannot assign to array "
+                        f"{target.name!r}"
+                    )
+                self._emit(f"stw r0, r10, {info.slot - self._frame_slots}")
+            elif target.name in self._globals:
+                # Writes to const globals are emitted as-is: the fault
+                # happens at runtime (the Figure 6 shape).
+                self._emit(f"la r1, {target.name}")
+                self._emit("stw r0, r1, 0")
+            else:
+                raise CompileError(
+                    f"line {stmt.line}: unknown variable {target.name!r}"
+                )
+        else:  # Index
+            self._emit("push r0")  # the value
+            self._elem_address(target)  # address into r0
+            self._emit("pop r1")
+            self._emit("stw r1, r0, 0")
+
+    def _if(self, stmt: ast.If) -> None:
+        l_else = self._label("else")
+        l_end = self._label("endif")
+        self._expr(stmt.cond)
+        self._emit(f"bz r0, {l_else}")
+        self._stmts(stmt.then_body)
+        self._emit(f"br {l_end}")
+        self._emit_label(l_else)
+        self._stmts(stmt.else_body)
+        self._emit_label(l_end)
+
+    def _while(self, stmt: ast.While) -> None:
+        l_cond = self._label("while")
+        l_end = self._label("endwhile")
+        self._emit_label(l_cond)
+        self._emit_line_marker(stmt.line)
+        self._expr(stmt.cond)
+        self._emit(f"bz r0, {l_end}")
+        self._loop_stack.append((l_end, l_cond))
+        self._stmts(stmt.body)
+        self._loop_stack.pop()
+        self._emit(f"br {l_cond}")
+        self._emit_label(l_end)
+
+    def _for(self, stmt: ast.For) -> None:
+        l_cond = self._label("for")
+        l_step = self._label("forstep")
+        l_end = self._label("endfor")
+        if stmt.init is not None:
+            self._stmt(stmt.init)
+        self._emit_label(l_cond)
+        if stmt.cond is not None:
+            self._emit_line_marker(stmt.line)
+            self._expr(stmt.cond)
+            self._emit(f"bz r0, {l_end}")
+        self._loop_stack.append((l_end, l_step))
+        self._stmts(stmt.body)
+        self._loop_stack.pop()
+        self._emit_label(l_step)
+        if stmt.step is not None:
+            self._stmt(stmt.step)
+        self._emit(f"br {l_cond}")
+        self._emit_label(l_end)
+
+    def _try(self, stmt: ast.Try) -> None:
+        l_try0 = self._label("try")
+        l_try1 = self._label("endtry")
+        l_catch = self._label("catch")
+        l_done = self._label("donetry")
+        self._emit_label(l_try0)
+        self._stmts(stmt.body)
+        self._emit_label(l_try1)
+        self._emit(f"br {l_done}")
+        self._emit_label(l_catch)
+        # Re-derive the frame pointer: the unwinder restored sp to the
+        # post-prologue value, but r10 may hold a callee's frame.
+        self._emit("mov r10, sp")
+        if self._frame_slots:
+            self._emit(f"addi r10, r10, {self._frame_slots}")
+        info = self._locals[stmt.catch_var]
+        self._emit(f"stw r0, r10, {info.slot - self._frame_slots}")
+        self._stmts(stmt.catch_body)
+        self._emit_label(l_done)
+        self._handlers.append(f".handler {l_try0} {l_try1} {l_catch}")
+
+    # ------------------------------------------------------------------
+    # Expressions (result in r0; temporaries on the guest stack)
+    # ------------------------------------------------------------------
+    def _expr(self, expr: ast.Expr) -> None:
+        if isinstance(expr, ast.IntLit):
+            self._emit(f"li r0, {expr.value}")
+        elif isinstance(expr, ast.StrLit):
+            self._emit(f"la r0, {self._intern(expr.value)}")
+        elif isinstance(expr, ast.Var):
+            self._var(expr)
+        elif isinstance(expr, ast.Index):
+            self._elem_address(expr)
+            self._emit("ldw r0, r0, 0")
+        elif isinstance(expr, ast.Unary):
+            self._expr(expr.operand)
+            if expr.op == "-":
+                self._emit("li r1, 0")
+                self._emit("sub r0, r1, r0")
+            else:  # '!'
+                self._emit("li r1, 0")
+                self._emit("seq r0, r0, r1")
+        elif isinstance(expr, ast.Binary):
+            self._binary(expr)
+        elif isinstance(expr, ast.Call):
+            self._call(expr)
+        else:  # pragma: no cover
+            raise CompileError(f"unhandled expression {expr!r}")
+
+    def _var(self, expr: ast.Var) -> None:
+        name = expr.name
+        if name in self._locals:
+            info = self._locals[name]
+            offset = info.slot - self._frame_slots
+            if info.size is None:
+                self._emit(f"ldw r0, r10, {offset}")
+            else:  # array decays to its address
+                self._emit(f"addi r0, r10, {offset}")
+        elif name in self._globals:
+            info = self._globals[name]
+            self._emit(f"la r0, {name}")
+            if info.size is None:
+                self._emit("ldw r0, r0, 0")
+        elif name in self._functions:
+            self._emit(f"la r0, {name}")  # function value (thread entry)
+        else:
+            raise CompileError(f"line {expr.line}: unknown name {name!r}")
+
+    def _elem_address(self, expr: ast.Index) -> None:
+        """Address of ``name[index]`` into r0 (with optional bounds check)."""
+        name = expr.name
+        self._expr(expr.index)
+        size: int | None = None
+        if name in self._locals:
+            size = self._locals[name].size
+            if size is None:
+                raise CompileError(
+                    f"line {expr.line}: {name!r} is not an array"
+                )
+        elif name in self._globals:
+            size = self._globals[name].size
+        else:
+            raise CompileError(f"line {expr.line}: unknown array {name!r}")
+        if self.bounds_checks and size is not None:
+            l_ok = self._label("bok")
+            l_throw = self._label("bthrow")
+            self._emit("li r1, 0")
+            self._emit(f"blt r0, r1, {l_throw}")
+            self._emit(f"li r1, {size}")
+            self._emit(f"blt r0, r1, {l_ok}")
+            self._emit_label(l_throw)
+            self._emit(f"li r1, {ExcCode.ARRAY_BOUNDS}")
+            self._emit("throw r1")
+            self._emit_label(l_ok)
+        self._emit("push r0")
+        if name in self._locals:
+            info = self._locals[name]
+            self._emit(f"addi r0, r10, {info.slot - self._frame_slots}")
+        else:
+            self._emit(f"la r0, {name}")
+        self._emit("pop r1")
+        self._emit("add r0, r0, r1")
+
+    _CMP = {
+        "==": "seq r0, r1, r0",
+        "!=": "sne r0, r1, r0",
+        "<": "slt r0, r1, r0",
+        "<=": "sle r0, r1, r0",
+        ">": "slt r0, r0, r1",
+        ">=": "sle r0, r0, r1",
+    }
+    _ARITH = {
+        "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+        "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "shr",
+    }
+
+    def _binary(self, expr: ast.Binary) -> None:
+        if expr.op == "&&":
+            l_false = self._label("andf")
+            l_end = self._label("ande")
+            self._expr(expr.left)
+            self._emit(f"bz r0, {l_false}")
+            self._expr(expr.right)
+            self._emit(f"bz r0, {l_false}")
+            self._emit("li r0, 1")
+            self._emit(f"br {l_end}")
+            self._emit_label(l_false)
+            self._emit("li r0, 0")
+            self._emit_label(l_end)
+            return
+        if expr.op == "||":
+            l_true = self._label("ort")
+            l_end = self._label("ore")
+            self._expr(expr.left)
+            self._emit(f"bnz r0, {l_true}")
+            self._expr(expr.right)
+            self._emit(f"bnz r0, {l_true}")
+            self._emit("li r0, 0")
+            self._emit(f"br {l_end}")
+            self._emit_label(l_true)
+            self._emit("li r0, 1")
+            self._emit_label(l_end)
+            return
+        self._expr(expr.left)
+        self._emit("push r0")
+        self._expr(expr.right)
+        self._emit("pop r1")  # r1 = left, r0 = right
+        if expr.op in self._CMP:
+            self._emit(self._CMP[expr.op])
+        else:
+            self._emit(f"{self._ARITH[expr.op]} r0, r1, r0")
+
+    def _call(self, expr: ast.Call) -> None:
+        name = expr.name
+        arity = len(expr.args)
+        if name == "peek":
+            # peek(addr): raw memory read — how RPC handlers reach their
+            # marshaled argument buffers.
+            if arity != 1:
+                raise CompileError(f"line {expr.line}: peek wants 1 arg")
+            self._expr(expr.args[0])
+            self._emit("ldw r0, r0, 0")
+            return
+        if name == "poke":
+            # poke(addr, value): raw memory write.
+            if arity != 2:
+                raise CompileError(f"line {expr.line}: poke wants 2 args")
+            self._expr(expr.args[0])
+            self._emit("push r0")
+            self._expr(expr.args[1])
+            self._emit("pop r1")
+            self._emit("stw r0, r1, 0")
+            return
+        if name in BUILTINS:
+            number, want = BUILTINS[name]
+            if arity != want:
+                raise CompileError(
+                    f"line {expr.line}: {name} wants {want} args, got {arity}"
+                )
+        elif name not in self._functions and name not in self._externs:
+            raise CompileError(f"line {expr.line}: unknown function {name!r}")
+        if arity > MAX_PARAMS:
+            raise CompileError(f"line {expr.line}: too many arguments")
+        for arg in expr.args:
+            self._expr(arg)
+            self._emit("push r0")
+        for i in reversed(range(arity)):
+            self._emit(f"pop r{i}")
+        if name in BUILTINS:
+            self._emit(f"sys {BUILTINS[name][0]}")
+        elif name in self._functions:
+            self._emit(f"call {name}")
+        else:
+            self._emit(f"callx {name}")
+
+    # ------------------------------------------------------------------
+    # Data sections
+    # ------------------------------------------------------------------
+    def _intern(self, text: str) -> str:
+        if text not in self._strings:
+            self._strings[text] = f"__str_{len(self._strings)}"
+        return self._strings[text]
+
+    def _data_sections(self) -> None:
+        data = [g for g in self.program.globals if not g.const]
+        rodata = [g for g in self.program.globals if g.const]
+        if data:
+            self.lines.append(".data")
+            for g in data:
+                self._global_words(g)
+        if rodata or self._strings:
+            self.lines.append(".rodata")
+            for g in rodata:
+                self._global_words(g)
+            for text, label in self._strings.items():
+                escaped = text.replace("\\", "\\\\").replace('"', '\\"')
+                escaped = escaped.replace("\n", "\\n").replace("\t", "\\t")
+                self.lines.append(f'{label}: .str "{escaped}"')
+
+    def _global_words(self, g: ast.GlobalVar) -> None:
+        size = g.size if g.size is not None else 1
+        values = list(g.init_values[:size])
+        values += [0] * (size - len(values))
+        words = " ".join(str(v) for v in values)
+        self.lines.append(f"{g.name}: .word {words}")
+
+
+def compile_source(
+    source: str,
+    module_name: str = "main",
+    file_name: str | None = None,
+    bounds_checks: bool = False,
+) -> Module:
+    """Compile MiniC source into an (uninstrumented) TBVM module."""
+    program = parse(source)
+    gen = CodeGen(
+        program,
+        module_name=module_name,
+        file_name=file_name or f"{module_name}.c",
+        bounds_checks=bounds_checks,
+    )
+    return gen.module()
+
+
+def compile_to_asm(
+    source: str,
+    module_name: str = "main",
+    file_name: str | None = None,
+    bounds_checks: bool = False,
+) -> str:
+    """Compile MiniC source to assembly text (debugging aid)."""
+    program = parse(source)
+    return CodeGen(
+        program,
+        module_name=module_name,
+        file_name=file_name or f"{module_name}.c",
+        bounds_checks=bounds_checks,
+    ).generate()

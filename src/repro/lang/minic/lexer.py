@@ -1,0 +1,140 @@
+"""MiniC lexer.
+
+MiniC is the C-like source language of the reproduction: the substrate
+"compiler producing binaries" whose output TraceBack instruments.  The
+lexer produces a flat token stream with line numbers — line numbers are
+load-bearing, since the whole point of reconstruction is a source-line
+trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = {
+    "int",
+    "void",
+    "const",
+    "extern",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "try",
+    "catch",
+    "throw",
+}
+
+#: Multi-character operators, longest first.
+OPERATORS = [
+    "<<", ">>", "<=", ">=", "==", "!=", "&&", "||",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^",
+    "(", ")", "{", "}", "[", "]", ",", ";",
+]
+
+
+class LexError(SyntaxError):
+    """Bad input character or malformed literal."""
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token: kind is 'ident', 'int', 'string', 'char', a keyword,
+    an operator, or 'eof'."""
+
+    kind: str
+    value: str | int
+    line: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind!r}, {self.value!r}, line={self.line})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Lex ``source`` into tokens (ending with one 'eof' token)."""
+    tokens: list[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "x"):
+                j += 1
+            text = source[i:j]
+            try:
+                value = int(text, 0)
+            except ValueError:
+                raise LexError(f"line {line}: bad number {text!r}") from None
+            tokens.append(Token("int", value, line))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = text if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            i = j
+            continue
+        if ch == '"':
+            j = i + 1
+            chars = []
+            while j < n and source[j] != '"':
+                if source[j] == "\\" and j + 1 < n:
+                    esc = source[j + 1]
+                    chars.append({"n": "\n", "t": "\t", "0": "\0",
+                                  "\\": "\\", '"': '"'}.get(esc, esc))
+                    j += 2
+                else:
+                    chars.append(source[j])
+                    j += 1
+            if j >= n:
+                raise LexError(f"line {line}: unterminated string")
+            tokens.append(Token("string", "".join(chars), line))
+            i = j + 1
+            continue
+        if ch == "'":
+            if i + 2 < n and source[i + 1] == "\\" and source[i + 3] == "'":
+                esc = source[i + 2]
+                value = ord({"n": "\n", "t": "\t", "0": "\0"}.get(esc, esc))
+                tokens.append(Token("char", value, line))
+                i += 4
+                continue
+            if i + 2 < n and source[i + 2] == "'":
+                tokens.append(Token("char", ord(source[i + 1]), line))
+                i += 3
+                continue
+            raise LexError(f"line {line}: bad character literal")
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(op, op, line))
+                i += len(op)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,335 @@
+"""MiniC recursive-descent parser."""
+
+from __future__ import annotations
+
+from repro.lang.minic import ast
+from repro.lang.minic.lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    """Syntax error with line information."""
+
+
+class Parser:
+    """One-token-lookahead recursive descent."""
+
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def _tok(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._tok
+        self._pos += 1
+        return tok
+
+    def _check(self, kind: str) -> bool:
+        return self._tok.kind == kind
+
+    def _accept(self, kind: str) -> Token | None:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str) -> Token:
+        if not self._check(kind):
+            raise ParseError(
+                f"line {self._tok.line}: expected {kind!r}, "
+                f"found {self._tok.kind!r} ({self._tok.value!r})"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program()
+        while not self._check("eof"):
+            if self._check("extern"):
+                program.externs.append(self._extern())
+                continue
+            const = self._accept("const") is not None
+            self._expect_type()
+            name = self._expect("ident")
+            if self._check("(") and not const:
+                program.functions.append(self._function(name))
+            else:
+                program.globals.append(self._global(name, const))
+        return program
+
+    def _expect_type(self) -> None:
+        if not (self._accept("int") or self._accept("void")):
+            raise ParseError(
+                f"line {self._tok.line}: expected a type, found "
+                f"{self._tok.value!r}"
+            )
+
+    def _extern(self) -> ast.ExternDecl:
+        tok = self._expect("extern")
+        self._expect_type()
+        name = self._expect("ident")
+        self._expect("(")
+        arity = 0
+        if not self._check(")"):
+            while True:
+                self._expect_type()
+                self._accept("ident")
+                arity += 1
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        self._expect(";")
+        return ast.ExternDecl(name=str(name.value), arity=arity, line=tok.line)
+
+    def _function(self, name: Token) -> ast.Function:
+        self._expect("(")
+        params: list[ast.Param] = []
+        if not self._check(")"):
+            while True:
+                self._expect_type()
+                pname = self._expect("ident")
+                params.append(ast.Param(name=str(pname.value), line=pname.line))
+                if not self._accept(","):
+                    break
+        self._expect(")")
+        body = self._block()
+        return ast.Function(
+            name=str(name.value), params=params, body=body, line=name.line
+        )
+
+    def _global(self, name: Token, const: bool) -> ast.GlobalVar:
+        size: int | None = None
+        if self._accept("["):
+            size = int(self._expect("int").value)
+            self._expect("]")
+        init_values: list[int] = []
+        if self._accept("="):
+            if self._accept("{"):
+                while not self._check("}"):
+                    sign = -1 if self._accept("-") else 1
+                    init_values.append(sign * int(self._expect("int").value))
+                    if not self._accept(","):
+                        break
+                self._expect("}")
+            elif self._check("string"):
+                text = str(self._advance().value)
+                init_values = [ord(c) for c in text] + [0]
+                if size is None:
+                    size = len(init_values)
+            else:
+                sign = -1 if self._accept("-") else 1
+                init_values.append(sign * int(self._expect("int").value))
+        self._expect(";")
+        return ast.GlobalVar(
+            name=str(name.value),
+            size=size,
+            init_values=init_values,
+            const=const,
+            line=name.line,
+        )
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _block(self) -> list[ast.Stmt]:
+        self._expect("{")
+        stmts: list[ast.Stmt] = []
+        while not self._check("}"):
+            stmts.append(self._statement())
+        self._expect("}")
+        return stmts
+
+    def _statement(self) -> ast.Stmt:
+        tok = self._tok
+        if tok.kind == "int":
+            return self._decl()
+        if tok.kind == "if":
+            return self._if()
+        if tok.kind == "while":
+            return self._while()
+        if tok.kind == "for":
+            return self._for()
+        if tok.kind == "return":
+            self._advance()
+            value = None if self._check(";") else self._expression()
+            self._expect(";")
+            return ast.Return(value=value, line=tok.line)
+        if tok.kind == "break":
+            self._advance()
+            self._expect(";")
+            return ast.Break(line=tok.line)
+        if tok.kind == "continue":
+            self._advance()
+            self._expect(";")
+            return ast.Continue(line=tok.line)
+        if tok.kind == "throw":
+            self._advance()
+            value = self._expression()
+            self._expect(";")
+            return ast.Throw(value=value, line=tok.line)
+        if tok.kind == "try":
+            return self._try()
+        if tok.kind == "{":
+            # Anonymous block: flatten into an If(1) for simplicity?  No
+            # — parse as statements inside an always-true If keeps
+            # scoping honest enough for MiniC (single function scope).
+            body = self._block()
+            return ast.If(
+                cond=ast.IntLit(1, tok.line), then_body=body, else_body=[],
+                line=tok.line,
+            )
+        return self._simple_statement(semicolon=True)
+
+    def _simple_statement(self, semicolon: bool) -> ast.Stmt:
+        """Assignment or expression statement (used by for-clauses)."""
+        tok = self._tok
+        expr = self._expression()
+        if self._accept("="):
+            if not isinstance(expr, (ast.Var, ast.Index)):
+                raise ParseError(f"line {tok.line}: bad assignment target")
+            value = self._expression()
+            if semicolon:
+                self._expect(";")
+            return ast.Assign(target=expr, value=value, line=tok.line)
+        if semicolon:
+            self._expect(";")
+        return ast.ExprStmt(expr=expr, line=tok.line)
+
+    def _decl(self) -> ast.Decl:
+        tok = self._expect("int")
+        name = self._expect("ident")
+        size: int | None = None
+        if self._accept("["):
+            size = int(self._expect("int").value)
+            self._expect("]")
+        init = None
+        if self._accept("="):
+            if size is not None:
+                raise ParseError(f"line {tok.line}: array initializers are "
+                                 "only supported at global scope")
+            init = self._expression()
+        self._expect(";")
+        return ast.Decl(name=str(name.value), size=size, init=init, line=tok.line)
+
+    def _if(self) -> ast.If:
+        tok = self._expect("if")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        then_body = self._block()
+        else_body: list[ast.Stmt] = []
+        if self._accept("else"):
+            if self._check("if"):
+                else_body = [self._if()]
+            else:
+                else_body = self._block()
+        return ast.If(cond=cond, then_body=then_body, else_body=else_body,
+                      line=tok.line)
+
+    def _while(self) -> ast.While:
+        tok = self._expect("while")
+        self._expect("(")
+        cond = self._expression()
+        self._expect(")")
+        return ast.While(cond=cond, body=self._block(), line=tok.line)
+
+    def _for(self) -> ast.For:
+        tok = self._expect("for")
+        self._expect("(")
+        init: ast.Stmt | None = None
+        if not self._check(";"):
+            if self._check("int"):
+                init = self._decl()  # consumes the ';'
+            else:
+                init = self._simple_statement(semicolon=True)
+        else:
+            self._expect(";")
+        cond = None if self._check(";") else self._expression()
+        self._expect(";")
+        step = None if self._check(")") else self._simple_statement(semicolon=False)
+        self._expect(")")
+        return ast.For(init=init, cond=cond, step=step, body=self._block(),
+                       line=tok.line)
+
+    def _try(self) -> ast.Try:
+        tok = self._expect("try")
+        body = self._block()
+        self._expect("catch")
+        self._expect("(")
+        var = self._expect("ident")
+        self._expect(")")
+        catch_body = self._block()
+        return ast.Try(body=body, catch_var=str(var.value),
+                       catch_body=catch_body, line=tok.line)
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    _PRECEDENCE = {
+        "||": 1,
+        "&&": 2,
+        "|": 3,
+        "^": 4,
+        "&": 5,
+        "==": 6, "!=": 6,
+        "<": 7, "<=": 7, ">": 7, ">=": 7,
+        "<<": 8, ">>": 8,
+        "+": 9, "-": 9,
+        "*": 10, "/": 10, "%": 10,
+    }
+
+    def _expression(self, min_prec: int = 1) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self._tok.kind
+            prec = self._PRECEDENCE.get(op)
+            if prec is None or prec < min_prec:
+                return left
+            tok = self._advance()
+            right = self._expression(prec + 1)
+            left = ast.Binary(op=op, left=left, right=right, line=tok.line)
+
+    def _unary(self) -> ast.Expr:
+        tok = self._tok
+        if self._accept("-"):
+            return ast.Unary(op="-", operand=self._unary(), line=tok.line)
+        if self._accept("!"):
+            return ast.Unary(op="!", operand=self._unary(), line=tok.line)
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        tok = self._advance()
+        if tok.kind in ("int", "char"):
+            return ast.IntLit(value=int(tok.value), line=tok.line)
+        if tok.kind == "string":
+            return ast.StrLit(value=str(tok.value), line=tok.line)
+        if tok.kind == "(":
+            expr = self._expression()
+            self._expect(")")
+            return expr
+        if tok.kind == "ident":
+            name = str(tok.value)
+            if self._accept("("):
+                args: list[ast.Expr] = []
+                if not self._check(")"):
+                    while True:
+                        args.append(self._expression())
+                        if not self._accept(","):
+                            break
+                self._expect(")")
+                return ast.Call(name=name, args=args, line=tok.line)
+            if self._accept("["):
+                index = self._expression()
+                self._expect("]")
+                return ast.Index(name=name, index=index, line=tok.line)
+            return ast.Var(name=name, line=tok.line)
+        raise ParseError(
+            f"line {tok.line}: unexpected {tok.kind!r} in expression"
+        )
+
+
+def parse(source: str) -> ast.Program:
+    """Parse MiniC ``source`` into a :class:`~repro.lang.minic.ast.Program`."""
+    return Parser(tokenize(source)).parse_program()

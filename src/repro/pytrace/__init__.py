@@ -1,0 +1,12 @@
+"""pytrace: a sys.settrace flight recorder using TraceBack's record
+format and display pipeline — first-fault diagnosis for real Python."""
+
+from repro.pytrace.tracer import (
+    PY_CALL,
+    PY_RETURN,
+    LineSite,
+    PyTracer,
+    flight_recorded,
+)
+
+__all__ = ["LineSite", "PY_CALL", "PY_RETURN", "PyTracer", "flight_recorded"]

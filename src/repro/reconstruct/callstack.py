@@ -1,0 +1,103 @@
+"""Call-hierarchy reconstruction (§4.3.1).
+
+"Blocks that contain procedure entry or exit points, or a call or a
+return point are annotated as such in the mapfile.  Reconstruction uses
+these annotations to recreate the stack of activation records."
+
+The pass assigns every step a nesting ``depth`` so views can render the
+trace as a collapsible call tree and implement step-over / step-out
+(forward and backward).  Truncated traces are handled tolerantly: a
+function exit with an empty stack clamps at depth 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.reconstruct.model import LineStep, Step, ThreadTrace
+
+
+@dataclass
+class Activation:
+    """One reconstructed activation record."""
+
+    func: str
+    first_seq: int
+
+
+def assign_depths(trace: ThreadTrace) -> list[Activation]:
+    """Assign call depths to every step of ``trace`` in place.
+
+    Returns the stack of activations still open at the end of the trace
+    — "the stack of activation records" at the snap point, which the
+    fault-directed view expands.
+    """
+    stack: list[Activation] = []
+    pending_call = False
+
+    for step in trace.steps:
+        if isinstance(step, LineStep):
+            if step.is_func_entry and pending_call:
+                stack.append(Activation(step.func, step.seq))
+            step.depth = len(stack)
+            # Annotations sit on the lines where they are true (entry on
+            # an entry block's first line, call/exit on a block's last),
+            # so plain per-line state suffices.
+            pending_call = step.call is not None
+            if step.is_func_exit and stack:
+                stack.pop()
+                pending_call = False
+        else:
+            step.depth = len(stack)
+    return stack
+
+
+def call_tree(trace: ThreadTrace) -> list[tuple[int, Step]]:
+    """(depth, step) pairs — the hierarchical display's flattened form."""
+    assign_depths(trace)
+    return [(step.depth, step) for step in trace.steps]
+
+
+def step_over(trace: ThreadTrace, position: int) -> int | None:
+    """Index of the next step at depth <= the current one ("step over").
+
+    Returns None when the trace ends first.
+    """
+    steps = trace.steps
+    if position >= len(steps):
+        return None
+    depth = steps[position].depth
+    for idx in range(position + 1, len(steps)):
+        if steps[idx].depth <= depth:
+            return idx
+    return None
+
+
+def step_back_over(trace: ThreadTrace, position: int) -> int | None:
+    """Backward twin of :func:`step_over` ("step back over")."""
+    steps = trace.steps
+    depth = steps[position].depth
+    for idx in range(position - 1, -1, -1):
+        if steps[idx].depth <= depth:
+            return idx
+    return None
+
+
+def step_out(trace: ThreadTrace, position: int) -> int | None:
+    """Index of the next step at a shallower depth ("step out")."""
+    steps = trace.steps
+    depth = steps[position].depth
+    for idx in range(position + 1, len(steps)):
+        if steps[idx].depth < depth:
+            return idx
+    return None
+
+
+def step_back_out(trace: ThreadTrace, position: int) -> int | None:
+    """Backward twin of :func:`step_out` ("step back out")."""
+    steps = trace.steps
+    depth = steps[position].depth
+    for idx in range(position - 1, -1, -1):
+        if steps[idx].depth < depth:
+            return idx
+    return None

@@ -1,0 +1,288 @@
+"""Execution path -> source lines (§4.2).
+
+"Each DAG record is expanded into a sequence of block records ... Then
+the algorithm uses the DAG to block mapping data found in the mapfile to
+get the block trace.  The reconstruction algorithm next expands each
+block into the source lines that the block covers."
+
+Covers the paper's three refinements:
+
+* **exception trimming**: an EXCEPTION record following a block trims
+  the block's lines at the faulting address — unless the address falls
+  outside the block (fault in an uninstrumented callee: the block ends
+  at its call line), or the module was instrumented in IL mode (blocks
+  are already line-granular, §2.4);
+* **redundancy elimination**: adjacent identical lines from *different*
+  blocks are collapsed (block splits at calls produce them); identical
+  lines from the *same* block are genuine re-executions and stay;
+* **bad-DAG handling**: records using the reserved bad DAG id (§2.3) or
+  an id no module claims become "untraced" annotations rather than
+  lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument.mapfile import BlockMap, DagMap, Mapfile
+from repro.reconstruct.model import LineStep, ThreadTrace, TraceEvent
+from repro.reconstruct.recovery import ThreadSpan
+from repro.runtime.clock import join64
+from repro.runtime.records import (
+    BAD_DAG_ID,
+    DagRecord,
+    ExtKind,
+    ExtRecord,
+)
+from repro.runtime.snap import ModuleDump, SnapFile
+
+
+@dataclass
+class ModuleIndex:
+    """Maps runtime DAG ids and code addresses back to mapfiles."""
+
+    entries: list[tuple[ModuleDump, Mapfile]]
+
+    @classmethod
+    def build(cls, snap: SnapFile, mapfiles: list[Mapfile]) -> "ModuleIndex":
+        """Match a snap's module dumps with mapfiles by checksum (§2.3:
+        the checksum keys mapfile/trace matching)."""
+        by_checksum = {m.checksum: m for m in mapfiles}
+        entries = []
+        for dump in snap.modules:
+            mapfile = by_checksum.get(dump.checksum)
+            if mapfile is not None:
+                entries.append((dump, mapfile))
+        return cls(entries)
+
+    def resolve_dag(self, dag_id: int) -> tuple[ModuleDump, Mapfile, DagMap] | None:
+        """DAG id -> (module, mapfile, dag), honouring actual (rebased)
+        ranges from the snap metadata."""
+        for dump, mapfile in self.entries:
+            if dump.dag_base_actual <= dag_id < dump.dag_base_actual + dump.dag_count:
+                dag = mapfile.dag_by_local_index(dag_id - dump.dag_base_actual)
+                if dag is not None:
+                    return dump, mapfile, dag
+        return None
+
+    def resolve_addr(self, addr: int) -> tuple[ModuleDump, Mapfile, int] | None:
+        """Absolute code address -> (module, mapfile, module offset)."""
+        for dump, mapfile in self.entries:
+            if not dump.loaded or dump.code_base < 0:
+                continue
+            offset = addr - dump.code_base
+            if 0 <= offset and any(s <= offset < e for _, s, e in mapfile.funcs):
+                return dump, mapfile, offset
+        return None
+
+
+def expand_span(
+    span: ThreadSpan,
+    index: ModuleIndex,
+    snap: SnapFile,
+) -> ThreadTrace:
+    """Expand one thread span's records into a line trace."""
+    trace = ThreadTrace(
+        tid=span.tid,
+        buffer_index=span.buffer_index,
+        process_name=snap.process_name,
+        machine_name=snap.machine_name,
+        truncated=span.truncated,
+    )
+    steps = trace.steps
+    anchor: int | None = None
+    seq = 0
+    #: Line steps emitted for the most recent DAG record, per block —
+    #: the exception-trimming window.
+    last_blocks: list[tuple[BlockMap, Mapfile, ModuleDump, int]] = []
+
+    def emit(step) -> None:
+        nonlocal seq
+        step.anchor_clock = anchor
+        step.seq = seq
+        seq += 1
+        steps.append(step)
+
+    def emit_block_lines(
+        block: BlockMap, mapfile: Mapfile, dump: ModuleDump, dag: DagMap
+    ) -> int:
+        func = mapfile.func_at(block.id) or dag.func
+        lines = []
+        collapsed_into: LineStep | None = None
+        for file, line in mapfile.lines_in_range(block.id, block.end):
+            if file == "<traceback>":
+                continue  # injected instrumentation code has no lines
+            previous = lines[-1] if lines else (steps[-1] if steps else None)
+            if (
+                not lines
+                and isinstance(previous, LineStep)
+                and previous.file == file
+                and previous.line == line
+                and previous.block_id != block.id
+                and previous.module == dump.name
+                and previous.call is not None
+                and not previous.is_func_exit
+                and not block.func_entry
+            ):
+                # Redundancy (§4.2): "an expression with multiple
+                # function calls — instrumentation will break this into
+                # several blocks, since callee lines may need to be
+                # interposed, but if the callee is not instrumented no
+                # interposition will take place, and the now-adjacent
+                # lines in the caller will be redundant."  The previous
+                # step ended in a call and this block resumes the same
+                # line with nothing interposed: collapse.  (Loop
+                # re-executions of a line do not match — their blocks
+                # end in branches, not calls — and stay visible as
+                # genuine repetitions.)
+                collapsed_into = previous
+                previous.block_id = block.id
+                continue
+            lines.append(
+                LineStep(
+                    module=dump.name,
+                    func=func,
+                    file=file,
+                    line=line,
+                    block_id=block.id,
+                )
+            )
+        # Block annotations attach where they're true: entry at the
+        # block's first line, call/exit at its last (§4.3.1).
+        first = lines[0] if lines else collapsed_into
+        last = lines[-1] if lines else collapsed_into
+        if first is not None:
+            first.is_func_entry = first.is_func_entry or block.func_entry is not None
+        if last is not None:
+            last.is_func_exit = last.is_func_exit or block.func_exit
+            if block.call:
+                last.call = block.call
+        for step in lines:
+            emit(step)
+        return len(lines)
+
+    for record in span.records:
+        if isinstance(record, DagRecord):
+            if record.dag_id == BAD_DAG_ID:
+                emit(TraceEvent(kind="untraced", detail={"why": "bad-dag"}))
+                last_blocks = []
+                continue
+            resolved = index.resolve_dag(record.dag_id)
+            if resolved is None:
+                emit(
+                    TraceEvent(
+                        kind="untraced",
+                        detail={"why": "unknown-dag", "dag_id": record.dag_id},
+                    )
+                )
+                last_blocks = []
+                continue
+            dump, mapfile, dag = resolved
+            last_blocks = []
+            for block in dag.decode(record.path_bits):
+                emitted = emit_block_lines(block, mapfile, dump, dag)
+                last_blocks.append((block, mapfile, dump, emitted))
+        elif isinstance(record, ExtRecord):
+            kind = record.kind
+            if kind == ExtKind.TIMESTAMP:
+                clock = join64(record.payload[0], record.payload[1])
+                anchor = clock
+                emit(
+                    TraceEvent(
+                        kind="timestamp",
+                        detail={"syscall": record.inline},
+                        clock=clock,
+                    )
+                )
+            elif kind == ExtKind.EXCEPTION:
+                code, pc = record.payload[0], record.payload[1]
+                clock = join64(record.payload[2], record.payload[3])
+                anchor = clock
+                _trim_at_exception(steps, last_blocks, pc)
+                loc = index.resolve_addr(pc)
+                detail = {"code": code, "pc": pc}
+                if loc is not None:
+                    _dump, mapfile, offset = loc
+                    source = mapfile.line_at(offset)
+                    if source is not None:
+                        detail["file"], detail["line"] = source
+                    detail["func"] = mapfile.func_at(offset)
+                    detail["module"] = _dump.name
+                else:
+                    detail["uninstrumented"] = True
+                emit(TraceEvent(kind="exception", detail=detail, clock=clock))
+            elif kind == ExtKind.EXCEPTION_END:
+                clock = join64(record.payload[1], record.payload[2])
+                anchor = clock
+                emit(
+                    TraceEvent(
+                        kind="exception_end",
+                        detail={"signum": record.inline},
+                        clock=clock,
+                    )
+                )
+            elif kind == ExtKind.SYNC:
+                clock = join64(record.payload[3], record.payload[4])
+                anchor = clock
+                emit(
+                    TraceEvent(
+                        kind="sync",
+                        detail={
+                            "sync_kind": record.inline,
+                            "runtime_id": record.payload[0],
+                            "logical_id": record.payload[1],
+                            "seq": record.payload[2],
+                        },
+                        clock=clock,
+                    )
+                )
+            elif kind == ExtKind.THREAD_START:
+                clock = join64(record.payload[1], record.payload[2])
+                anchor = clock
+                emit(TraceEvent(kind="thread_start",
+                                detail={"tid": record.payload[0]}, clock=clock))
+            elif kind == ExtKind.THREAD_END:
+                clock = join64(record.payload[1], record.payload[2])
+                emit(TraceEvent(kind="thread_end",
+                                detail={"tid": record.payload[0],
+                                        "exit_code": record.inline}, clock=clock))
+            elif kind == ExtKind.SNAP_MARK:
+                clock = join64(record.payload[1], record.payload[2])
+                emit(TraceEvent(kind="snapmark",
+                                detail={"reason": record.payload[0]}, clock=clock))
+            else:
+                emit(TraceEvent(kind="note", detail={"ext_kind": kind}))
+    return trace
+
+
+def _trim_at_exception(steps, last_blocks, pc: int) -> None:
+    """Trim the last block's lines at the faulting address (§4.2).
+
+    "If the block is followed by an exception record giving an address
+    within the block, the exception address is used to trim back the set
+    of lines.  The exception address may fall outside of the block if
+    the block ends in a call and the exception address is within an
+    uninstrumented callee."
+    """
+    if not last_blocks:
+        return
+    block, mapfile, dump, emitted = last_blocks[-1]
+    if mapfile.mode == "il":
+        return  # IL blocks are line-granular already (§2.4)
+    if dump.code_base < 0:
+        return
+    offset = pc - dump.code_base
+    if not block.id <= offset < block.end:
+        return  # fault in a callee: the block's call line stays last
+    faulting = mapfile.line_at(offset)
+    if faulting is None:
+        return
+    # Drop trailing lines of this block that come after the faulting one.
+    keep_cut = 0
+    block_lines = mapfile.lines_in_range(block.id, block.end)
+    if (faulting[0], faulting[1]) in block_lines:
+        fault_pos = block_lines.index((faulting[0], faulting[1]))
+        keep_cut = emitted - min(emitted, fault_pos + 1)
+    while keep_cut > 0 and steps and isinstance(steps[-1], LineStep):
+        steps.pop()
+        keep_cut -= 1

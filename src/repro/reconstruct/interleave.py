@@ -1,0 +1,91 @@
+"""Cross-thread ordering (§3.5, §4.3.2).
+
+"Trace reconstruction produces a plausible interleaving of trace records
+from different threads (recall that timestamp instrumentation provides
+partial ordering relationships)."
+
+Every step carries the clock of the last timestamp record at or before
+it (its *anchor*).  Two steps from different threads are ordered when
+their anchor windows don't overlap; otherwise there is "no apparent
+constraint" and they are reported concurrent.  The merged view sorts by
+(anchor, within-thread sequence) — a plausible, not unique, total order.
+"""
+
+from __future__ import annotations
+
+from repro.reconstruct.model import Step, ThreadTrace
+
+BEFORE = "before"
+AFTER = "after"
+CONCURRENT = "concurrent"
+
+
+def _window(trace: ThreadTrace, step: Step) -> tuple[int | None, int | None]:
+    """The (start, end) anchor-clock window containing ``step``.
+
+    ``start`` is the step's anchor; ``end`` is the thread's next anchor
+    after the step (None = unbounded).
+    """
+    start = step.anchor_clock
+    end: int | None = None
+    for other in trace.steps:
+        if other.seq > step.seq and other.anchor_clock is not None:
+            if other.anchor_clock != start:
+                end = other.anchor_clock
+                break
+    return start, end
+
+
+def ordering(
+    trace_a: ThreadTrace, step_a: Step, trace_b: ThreadTrace, step_b: Step
+) -> str:
+    """Relative order of two steps from different threads.
+
+    Returns BEFORE / AFTER (clear constraint) or CONCURRENT ("no
+    apparent constraint on the order of A and B").
+    """
+    a_start, a_end = _window(trace_a, step_a)
+    b_start, b_end = _window(trace_b, step_b)
+    if a_start is None or b_start is None:
+        return CONCURRENT
+    if a_end is not None and a_end <= b_start:
+        return BEFORE
+    if b_end is not None and b_end <= a_start:
+        return AFTER
+    if a_start == b_start:
+        return CONCURRENT
+    # Windows overlap but started apart: the starts give a weak hint,
+    # which is not a guarantee — report concurrency.
+    return CONCURRENT
+
+
+def merge(traces: list[ThreadTrace]) -> list[tuple[ThreadTrace, Step]]:
+    """A plausible global interleaving of several thread traces.
+
+    Steps are ordered by (anchor clock, thread id, per-thread sequence);
+    anchorless prefixes sort before everything from their thread, which
+    preserves per-thread order — the only hard constraint.
+    """
+    keyed: list[tuple[tuple, ThreadTrace, Step]] = []
+    for trace in traces:
+        tid = trace.tid if trace.tid is not None else -1
+        for step in trace.steps:
+            anchor = step.anchor_clock if step.anchor_clock is not None else -1
+            keyed.append(((anchor, tid, step.seq), trace, step))
+    keyed.sort(key=lambda item: item[0])
+    return [(trace, step) for _, trace, step in keyed]
+
+
+def concurrent_with(
+    traces: list[ThreadTrace], focus: ThreadTrace, step: Step
+) -> list[tuple[ThreadTrace, Step]]:
+    """Steps of other threads potentially concurrent with ``step`` —
+    what the multi-trace display highlights while stepping (§4.3.2)."""
+    out: list[tuple[ThreadTrace, Step]] = []
+    for trace in traces:
+        if trace is focus:
+            continue
+        for other in trace.steps:
+            if ordering(focus, step, trace, other) == CONCURRENT:
+                out.append((trace, other))
+    return out

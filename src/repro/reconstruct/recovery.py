@@ -1,0 +1,176 @@
+"""Trace record recovery (§4.1): raw buffer words -> per-thread records.
+
+"TraceBack examines the trace file to verify its integrity.  Sub-buffer
+boundaries are removed to produce a contiguous span of trace data.  Each
+buffer is then mined ... to recover the trace records it contains.
+These record sequences are then split up by thread."
+
+Sub-buffer ordering uses the commit bookkeeping of §3.2: the header
+names the last committed sub-buffer; the one after it (cyclically) is
+currently being filled, making the one after *that* the oldest surviving
+data.  Threads are split on THREAD_START / THREAD_END records; a leading
+anonymous span (its THREAD_START overwritten by wrap) is attributed to
+the closing THREAD_END's tid, or to the buffer's current owner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.runtime.buffers import BufferFlags, HEADER_WORDS, MAGIC
+from repro.runtime.records import ExtKind, ExtRecord, Record, read_forward
+from repro.runtime.snap import BufferDump
+
+
+class RecoveryError(ValueError):
+    """The trace data failed integrity checks."""
+
+
+@dataclass
+class ThreadSpan:
+    """One thread lifetime's records within one buffer."""
+
+    buffer_index: int
+    tid: int | None
+    records: list[Record] = field(default_factory=list)
+    has_start: bool = False
+    has_end: bool = False
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the front of the history was overwritten."""
+        return not self.has_start
+
+
+def verify_buffer(dump: BufferDump) -> None:
+    """Integrity checks on a dumped buffer ("verify its integrity")."""
+    words = dump.words
+    if len(words) < HEADER_WORDS:
+        raise RecoveryError(f"buffer {dump.index}: too short")
+    if words[0] != MAGIC:
+        raise RecoveryError(f"buffer {dump.index}: bad magic {words[0]:#x}")
+    expected = HEADER_WORDS + dump.sub_count * dump.sub_size
+    if len(words) != expected:
+        raise RecoveryError(
+            f"buffer {dump.index}: {len(words)} words, header implies {expected}"
+        )
+
+
+def sub_buffer_order(dump: BufferDump) -> list[int]:
+    """Sub-buffer indices oldest -> newest (the current one last)."""
+    committed = dump.words[4]
+    if committed == 0xFFFFFFFF:
+        current = 0
+    else:
+        current = (committed + 1) % dump.sub_count
+    return [(current + 1 + i) % dump.sub_count for i in range(dump.sub_count)]
+
+
+def mine_buffer(dump: BufferDump) -> list[Record]:
+    """All records in one buffer, oldest first (§4.1).
+
+    Each sub-buffer is scanned forward from its base to the last
+    non-zero, record-aligned entry; sub-buffers are concatenated in
+    commit order.
+    """
+    verify_buffer(dump)
+    records: list[Record] = []
+    for sub in sub_buffer_order(dump):
+        start = HEADER_WORDS + sub * dump.sub_size
+        end = start + dump.sub_size - 1  # exclusive of the sentinel
+        records.extend(read_forward(dump.words, start, end))
+    return records
+
+
+def mine_buffer_backward(dump: BufferDump) -> list[Record]:
+    """§4.1's literal strategy: mine each sub-buffer "back-to-front
+    (newest record to oldest)".
+
+    The record trailers exist precisely so this direction works; it must
+    agree with :func:`mine_buffer` on any runtime-produced buffer (see
+    ``tests/reconstruct/test_recovery.py``), and is the variant a
+    recovery tool would use when the forward scan is cut short by
+    corruption at the front of a sub-buffer.
+    """
+    from repro.runtime.records import INVALID, read_backward
+
+    verify_buffer(dump)
+    records: list[Record] = []
+    for sub in sub_buffer_order(dump):
+        start = HEADER_WORDS + sub * dump.sub_size
+        end = start + dump.sub_size - 1  # the sentinel position
+        # Find the last non-zero, record-aligned entry: walk back over
+        # zeroed tail space first.
+        last = end - 1
+        while last >= start and dump.words[last] == INVALID:
+            last -= 1
+        if last < start:
+            continue
+        records.extend(read_backward(dump.words, last, start))
+    return records
+
+
+def split_by_thread(dump: BufferDump, records: list[Record]) -> list[ThreadSpan]:
+    """Split a buffer's record stream into per-thread lifetimes.
+
+    Buffers are reused across threads (§3.1.2), so one buffer can hold
+    "several threads' entire lifetimes".
+    """
+    spans: list[ThreadSpan] = []
+    current = ThreadSpan(buffer_index=dump.index, tid=None)
+
+    def close(span: ThreadSpan) -> None:
+        if span.records or span.has_start or span.has_end:
+            spans.append(span)
+
+    for record in records:
+        if isinstance(record, ExtRecord) and record.kind == ExtKind.THREAD_START:
+            close(current)
+            current = ThreadSpan(
+                buffer_index=dump.index,
+                tid=record.payload[0] if record.payload else None,
+                has_start=True,
+            )
+            current.records.append(record)
+        elif isinstance(record, ExtRecord) and record.kind == ExtKind.THREAD_END:
+            current.records.append(record)
+            current.has_end = True
+            if current.tid is None and record.payload:
+                # Anonymous leading span: the END record names the owner.
+                current.tid = record.payload[0]
+            close(current)
+            current = ThreadSpan(buffer_index=dump.index, tid=None)
+        else:
+            current.records.append(record)
+    close(current)
+
+    # A trailing (or only) anonymous span belongs to the current owner:
+    # its THREAD_START was overwritten by buffer wrap.
+    for span in spans:
+        if span.tid is None and not span.has_end:
+            span.tid = dump.owner_tid
+    return spans
+
+
+def recover_spans(dumps: list[BufferDump]) -> tuple[list[ThreadSpan], list[str]]:
+    """Recover thread spans from every recoverable buffer in a snap.
+
+    Shared (desperation/static) and probation buffers are skipped — by
+    design their contents are not reconstructable (§3.1) — with a note.
+    """
+    spans: list[ThreadSpan] = []
+    notes: list[str] = []
+    for dump in dumps:
+        if dump.flags & BufferFlags.PROBATION:
+            continue
+        if dump.flags & BufferFlags.SHARED:
+            used = any(w not in (0, 0xFFFFFFFF) for w in dump.words[HEADER_WORDS:])
+            if used:
+                notes.append(
+                    f"buffer {dump.index}: shared (desperation) buffer "
+                    "contains unsynchronized records; not recovered"
+                )
+            continue
+        records = mine_buffer(dump)
+        spans.extend(split_by_thread(dump, records))
+    return spans, notes

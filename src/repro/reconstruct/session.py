@@ -1,0 +1,62 @@
+"""Top-level reconstruction API: snaps + mapfiles -> traces.
+
+This is the entry point a user of the library calls.  Reconstruction
+requires (1) a trace/snap file, (2) the mapfiles of the instrumented
+modules — matched by checksum — exactly the paper's input list (§4),
+with debug information embedded in the mapfiles.
+"""
+
+from __future__ import annotations
+
+from repro.instrument.mapfile import Mapfile
+from repro.reconstruct.callstack import assign_depths
+from repro.reconstruct.expand import ModuleIndex, expand_span
+from repro.reconstruct.model import DistributedTrace, ProcessTrace
+from repro.reconstruct.recovery import recover_spans
+from repro.reconstruct.stitch import estimate_skews, stitch_logical_threads
+from repro.runtime.snap import SnapFile
+
+
+class Reconstructor:
+    """Reconstructs traces from snaps, given the mapfiles."""
+
+    def __init__(self, mapfiles: list[Mapfile]):
+        self.mapfiles = list(mapfiles)
+
+    def add_mapfile(self, mapfile: Mapfile) -> None:
+        """Register another module's mapfile."""
+        self.mapfiles.append(mapfile)
+
+    # ------------------------------------------------------------------
+    def reconstruct(self, snap: SnapFile) -> ProcessTrace:
+        """One snap -> per-thread line traces with call depths."""
+        index = ModuleIndex.build(snap, self.mapfiles)
+        spans, notes = recover_spans(snap.buffers)
+        result = ProcessTrace(
+            process_name=snap.process_name,
+            machine_name=snap.machine_name,
+            reason=snap.reason,
+            detail=snap.detail,
+            clock=snap.clock,
+            notes=notes,
+        )
+        for span in spans:
+            trace = expand_span(span, index, snap)
+            assign_depths(trace)
+            result.threads.append(trace)
+        return result
+
+    # ------------------------------------------------------------------
+    def reconstruct_distributed(self, snaps: list[SnapFile]) -> DistributedTrace:
+        """Several snaps (processes/machines) -> one master trace (§5).
+
+        Fuses RPC caller/callee segments into logical threads and
+        estimates inter-runtime clock skew from the SYNC quadruples.
+        """
+        processes = [self.reconstruct(snap) for snap in snaps]
+        all_threads = [t for p in processes for t in p.threads]
+        return DistributedTrace(
+            processes=processes,
+            logical_threads=stitch_logical_threads(all_threads),
+            skew_estimates=estimate_skews(all_threads),
+        )

@@ -1,0 +1,106 @@
+"""Variable display from snap memory dumps (§3.6).
+
+"Snaps may also include a memory or object dump, so that TraceBack can
+display the values of variables or objects at the point of the snap."
+
+Mapfiles carry each module's global data symbols (name, section,
+offset, size); the snap carries section base addresses and the writable
+memory contents at snap time.  Joining the two yields named variable
+values — the pane the GUI shows beside the trace, and the evidence the
+Fidelity diagnosis needed (the corrupted neighbour structure's value).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument.mapfile import Mapfile
+from repro.runtime.snap import SnapFile
+
+
+@dataclass
+class VariableValue:
+    """One global variable's value at snap time."""
+
+    module: str
+    name: str
+    section: str
+    address: int
+    values: list[int] | None  # None when the memory was not dumped
+
+    @property
+    def scalar(self) -> int | None:
+        """The value, for one-word variables."""
+        if self.values and len(self.values) == 1:
+            return self.values[0]
+        return None
+
+    def render(self) -> str:
+        if self.values is None:
+            return f"{self.module}.{self.name} = <not dumped>"
+        if len(self.values) == 1:
+            return f"{self.module}.{self.name} = {self.values[0]}"
+        shown = ", ".join(str(v) for v in self.values[:8])
+        suffix = ", ..." if len(self.values) > 8 else ""
+        return f"{self.module}.{self.name}[{len(self.values)}] = {{{shown}{suffix}}}"
+
+
+def _read_dump(snap: SnapFile, address: int, count: int) -> list[int] | None:
+    for base, words in snap.memory.values():
+        if base <= address and address + count <= base + len(words):
+            return list(words[address - base : address - base + count])
+    return None
+
+
+def global_variables(
+    snap: SnapFile, mapfiles: list[Mapfile]
+) -> list[VariableValue]:
+    """All resolvable globals across the snap's instrumented modules."""
+    by_checksum = {m.checksum: m for m in mapfiles}
+    out: list[VariableValue] = []
+    for dump in snap.modules:
+        mapfile = by_checksum.get(dump.checksum)
+        if mapfile is None or not dump.loaded:
+            continue
+        for name, (section, offset, size) in sorted(
+            mapfile.data_symbols.items()
+        ):
+            if name.startswith("__str_"):
+                continue  # interned string literals are not variables
+            base = dump.data_base if section == "data" else dump.rodata_base
+            if base < 0:
+                continue
+            address = base + offset
+            values = _read_dump(snap, address, size)
+            out.append(
+                VariableValue(
+                    module=dump.name,
+                    name=name,
+                    section=section,
+                    address=address,
+                    values=values,
+                )
+            )
+    return out
+
+
+def variable(
+    snap: SnapFile, mapfiles: list[Mapfile], name: str
+) -> VariableValue | None:
+    """Look up one global by name (first match across modules)."""
+    for value in global_variables(snap, mapfiles):
+        if value.name == name:
+            return value
+    return None
+
+
+def render_variables(snap: SnapFile, mapfiles: list[Mapfile]) -> str:
+    """The variables pane: one line per resolvable global."""
+    rows = ["globals at snap time:"]
+    values = global_variables(snap, mapfiles)
+    if not values:
+        rows.append("  (no instrumented globals, or memory not dumped)")
+    for value in values:
+        if value.section == "data":  # rodata is immutable; skip by default
+            rows.append("  " + value.render())
+    return "\n".join(rows)

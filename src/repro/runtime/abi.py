@@ -1,0 +1,17 @@
+"""The instrumentation <-> runtime ABI: shared names, no dependencies.
+
+Instrumented modules and the runtime library meet at three named points:
+the helper subroutine injected into every module, and the two host
+functions the runtime exports into guest import tables.  This module is
+a dependency leaf so both `repro.instrument` and `repro.runtime` can
+import it without cycles.
+"""
+
+#: Name of the helper subroutine injected into each instrumented module.
+HELPER_NAME = "__tb_probe_helper"
+
+#: Import the probe helper calls when a buffer sentinel is hit (§3.1).
+BUFFER_WRAP_IMPORT = "__tb_buffer_wrap"
+
+#: Import the IL-mode injected catch-all stubs call (§3.7.2).
+CATCH_IMPORT = "__tb_catch"

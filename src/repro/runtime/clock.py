@@ -1,0 +1,68 @@
+"""Time sources for timestamp records (§3.5).
+
+"TraceBack makes use of the native high-performance real-time clock on
+platforms that support it; for example, the RDTSC instruction on x86 ...
+On other platforms TraceBack uses a simple logical clock, which
+increments on each important event."
+
+The hardware clock is the machine's cycle counter plus its skew — two
+machines in a distributed run genuinely disagree, which is what the SYNC
+records of §5.2 exist to compensate for.  The logical clock orders
+events within one runtime but cannot be compared across processes.
+"""
+
+from __future__ import annotations
+
+from repro.vm.machine import Machine
+
+
+class Clock:
+    """Abstract time source."""
+
+    #: True when values are comparable across runtimes (modulo skew).
+    is_real_time = False
+
+    def now(self) -> int:
+        """Current timestamp (64-bit domain)."""
+        raise NotImplementedError
+
+    def tick(self) -> None:
+        """Note an important event (meaningful for logical clocks)."""
+
+
+class HardwareClock(Clock):
+    """The machine cycle counter + skew: the RDTSC analog."""
+
+    is_real_time = True
+
+    def __init__(self, machine: Machine):
+        self._machine = machine
+
+    def now(self) -> int:
+        return self._machine.now()
+
+
+class LogicalClock(Clock):
+    """Event counter: thread starts/ends, wraps, exceptions bump it."""
+
+    is_real_time = False
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    def now(self) -> int:
+        return self._value
+
+    def tick(self) -> None:
+        self._value += 1
+
+
+def split64(value: int) -> tuple[int, int]:
+    """Split a timestamp into (lo, hi) record payload words."""
+    value &= (1 << 64) - 1
+    return value & 0xFFFFFFFF, (value >> 32) & 0xFFFFFFFF
+
+
+def join64(lo: int, hi: int) -> int:
+    """Inverse of :func:`split64`."""
+    return (hi << 32) | lo

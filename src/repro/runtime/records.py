@@ -1,0 +1,251 @@
+"""Trace record format — the paper's Figure 1.
+
+Every record is one or more 32-bit words in a trace buffer.
+
+**DAG records** (bit 31 set) are written by instrumentation probes::
+
+    bit  31      1
+    bits 30..11  DAG id        (20 bits; ids are pre-shifted by STDAG)
+    bits 10..0   path bits     (11 lightweight-probe bits)
+
+The original paper quotes a 21-bit DAG id field with ~10 path bits; TBVM's
+``STDAG`` instruction carries a 20-bit immediate, so this implementation
+uses 20 id bits and 11 path bits — same structure, one bit traded.
+
+Reserved values:
+
+* ``0xFFFFFFFF`` — **buffer-end sentinel**; DAG id ``0xFFFFF`` is never
+  allocated so the sentinel cannot collide with a real record.
+* DAG id ``0xFFFFE`` — the **bad DAG id** used when the runtime cannot
+  find a free id range for a module (§2.3); such records are discarded
+  at reconstruction.
+* ``0x00000000`` — **invalid**: the value sub-buffer zeroing writes, so
+  the thread's progress is "the last non-zero entry" (§3.2).
+
+**Extended records** (bits 31..30 = ``01``) carry runtime events: SYNC,
+timestamps, exceptions, thread lifecycle::
+
+    bits 31..30  01
+    bit  29      0 = header, 1 = trailer
+    bits 28..24  subtype
+    bits 23..16  payload length in words (0 for single-word records)
+    bits 15..0   16-bit inline payload
+
+Multi-word extended records are ``header, payload..., trailer`` where
+the trailer repeats subtype and length with bit 29 set.  The trailer is
+an implementation addition the paper doesn't spell out: it lets the
+back-to-front record mining of §4.1 skip payload words (which can hold
+arbitrary bit patterns) without mis-parsing them as records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD = 0xFFFFFFFF
+
+#: The buffer-end sentinel value probes compare against.
+SENTINEL = 0xFFFFFFFF
+
+#: The invalid (zeroed) record.
+INVALID = 0x00000000
+
+#: Number of path bits available to lightweight probes in one record.
+PATH_BITS = 11
+
+#: Width of the DAG id field.
+DAG_ID_BITS = 20
+
+#: Reserved id: never allocated (sentinel aliasing guard).
+RESERVED_DAG_ID = (1 << DAG_ID_BITS) - 1  # 0xFFFFF
+
+#: Reserved id: the "bad DAG" id for modules that lost the rebasing race.
+BAD_DAG_ID = RESERVED_DAG_ID - 1  # 0xFFFFE
+
+#: Highest id instrumentation may assign.
+MAX_DAG_ID = BAD_DAG_ID - 1
+
+_DAG_FLAG = 1 << 31
+_EXT_FLAG = 1 << 30
+_TRAILER_FLAG = 1 << 29
+_PATH_MASK = (1 << PATH_BITS) - 1
+
+
+class ExtKind:
+    """Extended-record subtypes."""
+
+    SYNC = 1  # RPC correlation (§5.1)
+    TIMESTAMP = 2  # real-time / logical clock sample (§3.5)
+    EXCEPTION = 3  # exception: code + faulting address (§2.4)
+    EXCEPTION_END = 4  # control resumed after a handled signal (§3.7.3)
+    THREAD_START = 5
+    THREAD_END = 6
+    SNAP_MARK = 7  # a snap was taken here
+    MODULE_EVENT = 8  # module load/unload marker
+
+    _NAMES = {
+        1: "SYNC", 2: "TIMESTAMP", 3: "EXCEPTION", 4: "EXCEPTION_END",
+        5: "THREAD_START", 6: "THREAD_END", 7: "SNAP_MARK", 8: "MODULE_EVENT",
+    }
+
+    @classmethod
+    def name(cls, kind: int) -> str:
+        """Human-readable subtype name."""
+        return cls._NAMES.get(kind, f"EXT_{kind}")
+
+
+class SyncKind:
+    """Inline payload of SYNC records: which leg of the RPC this is."""
+
+    CALL_OUT = 1  # caller, before sending
+    ENTER = 2  # callee, on entry
+    EXIT = 3  # callee, on return
+    RETURN = 4  # caller, after receiving the reply
+
+
+@dataclass(frozen=True)
+class DagRecord:
+    """A decoded DAG record."""
+
+    dag_id: int
+    path_bits: int
+
+    def encode(self) -> int:
+        """The 32-bit word form (what ``STDAG`` + ``ORM`` build up)."""
+        return _DAG_FLAG | (self.dag_id << PATH_BITS) | self.path_bits
+
+    @property
+    def is_bad(self) -> bool:
+        """Whether this record uses the reserved bad-DAG id."""
+        return self.dag_id == BAD_DAG_ID
+
+
+@dataclass(frozen=True)
+class ExtRecord:
+    """A decoded extended record."""
+
+    kind: int
+    inline: int
+    payload: tuple[int, ...] = ()
+
+    def encode(self) -> list[int]:
+        """Word sequence: header [+ payload + trailer]."""
+        length = len(self.payload)
+        header = _EXT_FLAG | (self.kind << 24) | (length << 16) | (self.inline & 0xFFFF)
+        if not length:
+            return [header]
+        trailer = _EXT_FLAG | _TRAILER_FLAG | (self.kind << 24) | (length << 16)
+        return [header, *[w & WORD for w in self.payload], trailer]
+
+    @property
+    def size(self) -> int:
+        """Total words this record occupies in a buffer."""
+        return 1 if not self.payload else len(self.payload) + 2
+
+
+Record = DagRecord | ExtRecord
+
+
+def dag_header_word(dag_id: int) -> int:
+    """The word a heavyweight probe writes (no path bits set yet)."""
+    if not 0 <= dag_id <= RESERVED_DAG_ID:
+        raise ValueError(f"DAG id {dag_id} out of range")
+    return _DAG_FLAG | (dag_id << PATH_BITS)
+
+
+def is_dag_word(word: int) -> bool:
+    """Whether ``word`` is a DAG record (and not the sentinel)."""
+    return bool(word & _DAG_FLAG) and word != SENTINEL
+
+
+def is_ext_header(word: int) -> bool:
+    """Whether ``word`` is an extended-record header."""
+    return (word >> 29) == 0b010
+
+
+def is_ext_trailer(word: int) -> bool:
+    """Whether ``word`` is an extended-record trailer."""
+    return (word >> 29) == 0b011
+
+
+def decode_dag(word: int) -> DagRecord:
+    """Decode a DAG record word."""
+    return DagRecord(dag_id=(word >> PATH_BITS) & RESERVED_DAG_ID,
+                     path_bits=word & _PATH_MASK)
+
+
+def read_forward(words: list[int], start: int, end: int) -> list[Record]:
+    """Record-aligned forward scan of ``words[start:end]``.
+
+    Stops at the first INVALID word in header position (zeroed space) or
+    at the sentinel.  This is how sub-buffers are mined: forward from
+    the sub-buffer base to "the last non-zero entry".
+    """
+    records: list[Record] = []
+    idx = start
+    while idx < end:
+        word = words[idx]
+        if word == INVALID or word == SENTINEL:
+            break
+        if is_dag_word(word):
+            records.append(decode_dag(word))
+            idx += 1
+        elif is_ext_header(word):
+            kind = (word >> 24) & 0x1F
+            length = (word >> 16) & 0xFF
+            inline = word & 0xFFFF
+            if length == 0:
+                records.append(ExtRecord(kind, inline))
+                idx += 1
+            else:
+                if idx + length + 2 > end:
+                    break  # truncated record (abrupt kill mid-write)
+                payload = tuple(words[idx + 1 : idx + 1 + length])
+                records.append(ExtRecord(kind, inline, payload))
+                idx += length + 2
+        else:
+            break  # unrecognized garbage: stop mining this span
+    return records
+
+
+def read_backward(words: list[int], last: int, first: int) -> list[Record]:
+    """Back-to-front mining (§4.1): from index ``last`` (inclusive) down
+    to ``first``; returns records oldest-first.
+
+    Trailer words let multi-word records be skipped from behind.  The
+    scan stops when it hits space that does not parse — exactly the
+    "newest record to oldest" recovery the paper performs on a wrapped
+    buffer where the oldest data may be half-overwritten.
+    """
+    records: list[Record] = []
+    idx = last
+    while idx >= first:
+        word = words[idx]
+        if word == INVALID or word == SENTINEL:
+            break
+        if is_dag_word(word):
+            records.append(decode_dag(word))
+            idx -= 1
+        elif is_ext_trailer(word):
+            kind = (word >> 24) & 0x1F
+            length = (word >> 16) & 0xFF
+            head_idx = idx - length - 1
+            if head_idx < first:
+                break  # the header was overwritten: stop
+            header = words[head_idx]
+            if not is_ext_header(header):
+                break
+            payload = tuple(words[head_idx + 1 : idx])
+            records.append(ExtRecord(kind, header & 0xFFFF, payload))
+            idx = head_idx - 1
+        elif is_ext_header(word):
+            kind = (word >> 24) & 0x1F
+            length = (word >> 16) & 0xFF
+            if length:
+                break  # mid-payload landing: unrecoverable from behind
+            records.append(ExtRecord(kind, word & 0xFFFF))
+            idx -= 1
+        else:
+            break
+    records.reverse()
+    return records

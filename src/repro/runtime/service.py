@@ -1,0 +1,137 @@
+"""The per-machine TraceBack service process (§3.6.1, §3.7.5).
+
+"Each machine hosting TraceBack-instrumented processes also runs a
+separate service process.  The TraceBack runtime in each instrumented
+process communicates with the service process using a local protocol,
+notifying it of snaps, and potentially getting snap requests from the
+service process."
+
+The service implements:
+
+* **group snaps**: processes configured into a group are all snapped
+  when any one of them snaps — "sometimes a fault in one of these
+  processes is actually the result of a failure in another";
+* **hang detection**: the STATUS heartbeat; runtimes that stop
+  responding (no runnable thread and no timed wake) are snapped (and
+  optionally killed).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import TraceBackRuntime
+    from repro.runtime.snap import SnapFile
+
+
+class ServiceProcess:
+    """One service process per machine."""
+
+    def __init__(self, name: str = "tb-service"):
+        self.name = name
+        self.runtimes: list["TraceBackRuntime"] = []
+        #: group name -> set of process names snapped together.
+        self.groups: dict[str, set[str]] = {}
+        #: Service processes on other machines ("a group of related
+        #: processes running on a machine, or across several machines").
+        self.peers: list["ServiceProcess"] = []
+        self._in_group_snap = False
+        self.hang_snaps = 0
+        self.status_polls = 0
+
+    # ------------------------------------------------------------------
+    def register(self, runtime: "TraceBackRuntime") -> None:
+        """A runtime announced itself over the local protocol."""
+        if runtime not in self.runtimes:
+            self.runtimes.append(runtime)
+
+    def configure_group(self, group: str, process_names: list[str]) -> None:
+        """Declare a process group (users configure these, §3.6.1)."""
+        self.groups[group] = set(process_names)
+
+    def link(self, peer: "ServiceProcess") -> None:
+        """Connect two machines' service processes (bidirectional), so
+        group snaps propagate across the wire."""
+        if peer not in self.peers:
+            self.peers.append(peer)
+        if self not in peer.peers:
+            peer.peers.append(self)
+
+    # ------------------------------------------------------------------
+    def notify_snap(self, source: "TraceBackRuntime", snap: "SnapFile") -> None:
+        """A runtime snapped: trigger group snaps in its partners.
+
+        Group snaps are "not perfectly synchronized, but useful in
+        practice" — here they run at the next hook boundary, which in
+        the single-stepped VM means immediately and consistently.
+        """
+        if self._in_group_snap:
+            return  # group snaps do not cascade
+        member_groups = [
+            g for g, names in self.groups.items() if source.process.name in names
+        ]
+        if not member_groups:
+            return
+        self._in_group_snap = True
+        try:
+            for group in member_groups:
+                self._snap_group(group, source.process.name, snap.reason)
+                for peer in self.peers:
+                    peer.group_snap_request(group, source.process.name,
+                                            snap.reason)
+        finally:
+            self._in_group_snap = False
+
+    def group_snap_request(
+        self, group: str, initiator: str, reason: str
+    ) -> None:
+        """A peer service asks us to snap our members of ``group``."""
+        if self._in_group_snap or group not in self.groups:
+            return
+        self._in_group_snap = True
+        try:
+            self._snap_group(group, initiator, reason)
+        finally:
+            self._in_group_snap = False
+
+    def _snap_group(self, group: str, initiator: str, reason: str) -> None:
+        for runtime in self.runtimes:
+            if not runtime.process.alive:
+                continue
+            if runtime.process.name == initiator:
+                continue
+            if runtime.process.name in self.groups.get(group, ()):
+                runtime.snap_external(
+                    reason="group",
+                    detail={
+                        "group": group,
+                        "initiator": initiator,
+                        "initiator_reason": reason,
+                    },
+                )
+
+    # ------------------------------------------------------------------
+    def poll_status(self) -> list["TraceBackRuntime"]:
+        """Send STATUS to every runtime; returns those that look hung."""
+        self.status_polls += 1
+        return [
+            runtime
+            for runtime in self.runtimes
+            if runtime.process.alive and not runtime.heartbeat()
+        ]
+
+    def check_hangs(self, terminate: bool = False) -> list["SnapFile"]:
+        """Snap (and optionally terminate) hung processes (§3.7.5)."""
+        snaps = []
+        for runtime in self.poll_status():
+            if runtime.config.policy.hang:
+                snap = runtime.snap_external(
+                    reason="hang", detail={"process": runtime.process.name}
+                )
+                if snap is not None:
+                    snaps.append(snap)
+                    self.hang_snaps += 1
+            if terminate:
+                runtime.process.kill()
+        return snaps

@@ -1,0 +1,251 @@
+"""Snapshots: triggers, policy files, suppression, snap artifacts (§3.6).
+
+"A TraceBack snapshot (or snap) is a collection of execution histories
+and metadata from which TraceBack reconstructs program state. ...
+Triggers are controlled by entries in a textual policy file that the
+runtime reads as it starts up."
+
+Policy file grammar (one directive per line, ``#`` comments)::
+
+    snap on exception [CODE...]    # first-chance; no codes = all
+    snap on unhandled              # unhandled exceptions
+    snap on signal [SIGNUM...]     # no numbers = all fatal signals
+    snap on api                    # the guest SNAP syscall
+    snap on hang                   # service-process heartbeat timeout
+    suppress duplicates on|off     # §3.6.2 snap suppression
+    max snaps N
+    include memory on|off
+
+Suppression dedupes on "the same exception coming from the same program
+location" — keyed by (trigger kind, detail code, module checksum, code
+offset) — and is "a key factor in producing a usable system": useless
+snaps cost runtime, disk, and attention.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+
+class PolicyError(ValueError):
+    """Malformed policy file."""
+
+
+@dataclass
+class SnapPolicy:
+    """Parsed snap policy."""
+
+    #: None = never; empty set = every exception; else specific codes.
+    exception_codes: set[int] | None = None
+    unhandled: bool = True
+    #: None = never; empty set = every fatal signal; else specific ones.
+    signals: set[int] | None = field(default_factory=set)
+    api: bool = True
+    hang: bool = True
+    suppress_duplicates: bool = True
+    max_snaps: int = 100
+    include_memory: bool = False
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, text: str) -> "SnapPolicy":
+        """Parse the textual policy format."""
+        policy = cls(
+            exception_codes=None,
+            unhandled=False,
+            signals=None,
+            api=False,
+            hang=False,
+        )
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = raw.split("#", 1)[0].strip().lower()
+            if not line:
+                continue
+            words = line.split()
+            if words[:2] == ["snap", "on"] and len(words) >= 3:
+                kind = words[2]
+                args = words[3:]
+                if kind == "exception":
+                    policy.exception_codes = {int(a, 0) for a in args}
+                elif kind == "unhandled":
+                    policy.unhandled = True
+                elif kind == "signal":
+                    policy.signals = {int(a, 0) for a in args}
+                elif kind == "api":
+                    policy.api = True
+                elif kind == "hang":
+                    policy.hang = True
+                else:
+                    raise PolicyError(f"line {lineno}: unknown trigger {kind!r}")
+            elif words[0] == "suppress" and len(words) == 3:
+                policy.suppress_duplicates = words[2] == "on"
+            elif words[0] == "max" and words[1] == "snaps":
+                policy.max_snaps = int(words[2])
+            elif words[0] == "include" and words[1] == "memory":
+                policy.include_memory = words[2] == "on"
+            else:
+                raise PolicyError(f"line {lineno}: unparseable {raw!r}")
+        return policy
+
+    @classmethod
+    def load(cls, path: str) -> "SnapPolicy":
+        """Read and parse a policy file."""
+        with open(path) as fh:
+            return cls.parse(fh.read())
+
+    # ------------------------------------------------------------------
+    def wants_exception(self, code: int) -> bool:
+        """First-chance exception trigger check."""
+        if self.exception_codes is None:
+            return False
+        return not self.exception_codes or code in self.exception_codes
+
+    def wants_signal(self, signum: int) -> bool:
+        """Signal trigger check."""
+        if self.signals is None:
+            return False
+        return not self.signals or signum in self.signals
+
+
+class Suppressor:
+    """Duplicate-snap suppression (§3.6.2)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._seen: set[tuple] = set()
+        self.suppressed_count = 0
+
+    def should_snap(self, key: tuple) -> bool:
+        """True if a snap with this key should proceed."""
+        if not self.enabled:
+            return True
+        if key in self._seen:
+            self.suppressed_count += 1
+            return False
+        self._seen.add(key)
+        return True
+
+
+@dataclass
+class BufferDump:
+    """One trace buffer's raw contents inside a snap."""
+
+    index: int
+    flags: int
+    base: int
+    sub_count: int
+    sub_size: int
+    owner_tid: int | None
+    words: list[int]
+
+
+@dataclass
+class ThreadDump:
+    """One thread's state at snap time."""
+
+    tid: int
+    name: str
+    state: str
+    pc: int
+    trace_ptr: int
+    block_reason: str | None
+
+
+@dataclass
+class ModuleDump:
+    """Per-module metadata a snap carries (drives mapfile matching)."""
+
+    name: str
+    checksum: str
+    dag_base_default: int
+    dag_base_actual: int
+    dag_count: int
+    code_base: int
+    loaded: bool
+    #: Section bases, for resolving data symbols against memory dumps.
+    data_base: int = -1
+    rodata_base: int = -1
+
+
+@dataclass
+class SnapFile:
+    """A complete snap: the unit handed to reconstruction."""
+
+    reason: str
+    detail: dict
+    process_name: str
+    pid: int
+    machine_name: str
+    clock: int
+    modules: list[ModuleDump]
+    buffers: list[BufferDump]
+    threads: list[ThreadDump]
+    #: Optional memory dump: segment name -> (base, words).
+    memory: dict[str, tuple[int, list[int]]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "reason": self.reason,
+            "detail": self.detail,
+            "process_name": self.process_name,
+            "pid": self.pid,
+            "machine_name": self.machine_name,
+            "clock": self.clock,
+            "modules": [dict(vars(m)) for m in self.modules],
+            "buffers": [
+                {**vars(b), "words": list(b.words)} for b in self.buffers
+            ],
+            "threads": [dict(vars(t)) for t in self.threads],
+            "memory": {k: [v[0], list(v[1])] for k, v in self.memory.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "SnapFile":
+        return cls(
+            reason=d["reason"],
+            detail=d["detail"],
+            process_name=d["process_name"],
+            pid=d["pid"],
+            machine_name=d["machine_name"],
+            clock=d["clock"],
+            modules=[ModuleDump(**m) for m in d["modules"]],
+            buffers=[BufferDump(**b) for b in d["buffers"]],
+            threads=[ThreadDump(**t) for t in d["threads"]],
+            memory={k: (v[0], v[1]) for k, v in d["memory"].items()},
+        )
+
+    def save(self, path: str) -> None:
+        """Persist as JSON (the on-disk snap artifact)."""
+        with open(path, "w") as fh:
+            json.dump(self.to_dict(), fh)
+
+    @classmethod
+    def load(cls, path: str) -> "SnapFile":
+        """Read a snap written by :meth:`save`."""
+        with open(path) as fh:
+            return cls.from_dict(json.load(fh))
+
+
+class SnapStore:
+    """Where snaps land: an in-memory list plus an optional directory."""
+
+    def __init__(self, directory: str | None = None):
+        self.snaps: list[SnapFile] = []
+        self.directory = directory
+
+    def add(self, snap: SnapFile) -> None:
+        """Record (and optionally persist) a snap."""
+        self.snaps.append(snap)
+        if self.directory is not None:
+            name = f"snap-{len(self.snaps):04d}-{snap.process_name}.json"
+            snap.save(os.path.join(self.directory, name))
+
+    def latest(self) -> SnapFile | None:
+        """The most recent snap, or None."""
+        return self.snaps[-1] if self.snaps else None
+
+    def __len__(self) -> int:
+        return len(self.snaps)

@@ -1,0 +1,115 @@
+"""Logical threads and SYNC records for distributed tracing (§5.1).
+
+"Two physical threads that participate in an RPC call-enter-exit-return
+sequence are fused into a single logical thread for tracing purposes."
+
+Each runtime holds a unique runtime id.  When a thread makes an RPC, the
+runtime allocates (or reuses) a logical thread id, bumps a sequence
+number at each of the four legs (caller send, callee enter, callee exit,
+caller return), writes a SYNC record on the local side of each leg, and
+carries the (runtime id, logical thread id, sequence) triple in the RPC
+payload's out-of-band extension.  The net effect of one RPC is four SYNC
+records with the same logical thread id and successive sequence numbers
+spread across two buffers in two runtimes — exactly what reconstruction
+stitches on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro.runtime.clock import split64
+from repro.runtime.records import ExtKind, ExtRecord, SyncKind
+
+#: Global runtime-id allocator ("a standard generation technique"); the
+#: sequence is deterministic for reproducible tests.
+_runtime_ids = itertools.count(0x52540000)
+
+
+def next_runtime_id() -> int:
+    """Allocate a process-unique runtime id."""
+    return next(_runtime_ids)
+
+
+#: Payload key used for the TraceBack triple on RPC extras.
+PAYLOAD_KEY = "traceback"
+
+
+@dataclass
+class LogicalBinding:
+    """A physical thread's current logical-thread binding."""
+
+    logical_id: int
+    seq: int
+
+
+class LogicalThreadManager:
+    """Per-runtime logical-thread state (§5.1)."""
+
+    def __init__(self, runtime_id: int):
+        self.runtime_id = runtime_id
+        self._next_logical = itertools.count(1)
+        #: physical tid -> binding
+        self.bindings: dict[int, LogicalBinding] = {}
+        #: runtime ids this runtime has exchanged SYNCs with.
+        self.partners: set[int] = set()
+
+    # ------------------------------------------------------------------
+    def _sync_record(self, binding: LogicalBinding, kind: int, clock: int) -> ExtRecord:
+        lo, hi = split64(clock)
+        return ExtRecord(
+            kind=ExtKind.SYNC,
+            inline=kind,
+            payload=(self.runtime_id, binding.logical_id, binding.seq, lo, hi),
+        )
+
+    def caller_send(self, tid: int, clock: int) -> tuple[ExtRecord, dict]:
+        """Caller leg 1: allocate/bump, SYNC CALL_OUT, build the payload
+        triple to attach to the outgoing RPC."""
+        binding = self.bindings.get(tid)
+        if binding is None:
+            logical = (self.runtime_id << 8) | (next(self._next_logical) & 0xFF)
+            binding = LogicalBinding(logical_id=logical & 0xFFFFFFFF, seq=0)
+            self.bindings[tid] = binding
+        binding.seq += 1
+        record = self._sync_record(binding, SyncKind.CALL_OUT, clock)
+        triple = {
+            "runtime_id": self.runtime_id,
+            "logical_id": binding.logical_id,
+            "seq": binding.seq,
+        }
+        return record, triple
+
+    def callee_enter(self, tid: int, triple: dict, clock: int) -> ExtRecord:
+        """Callee leg 2: bind the receiving thread to the logical thread,
+        note the partner runtime, bump, SYNC ENTER."""
+        self.partners.add(triple["runtime_id"])
+        binding = LogicalBinding(
+            logical_id=triple["logical_id"], seq=triple["seq"] + 1
+        )
+        self.bindings[tid] = binding
+        return self._sync_record(binding, SyncKind.ENTER, clock)
+
+    def callee_exit(self, tid: int, clock: int) -> tuple[ExtRecord, dict]:
+        """Callee leg 3: bump, SYNC EXIT, build the reply triple."""
+        binding = self.bindings[tid]
+        binding.seq += 1
+        record = self._sync_record(binding, SyncKind.EXIT, clock)
+        triple = {
+            "runtime_id": self.runtime_id,
+            "logical_id": binding.logical_id,
+            "seq": binding.seq,
+        }
+        return record, triple
+
+    def caller_return(self, tid: int, reply: dict | None, clock: int) -> ExtRecord:
+        """Caller leg 4: adopt the callee's sequence, note the partner,
+        SYNC RETURN."""
+        binding = self.bindings[tid]
+        if reply is not None:
+            self.partners.add(reply["runtime_id"])
+            binding.seq = reply["seq"] + 1
+        else:
+            binding.seq += 1  # callee had no runtime (uninstrumented)
+        return self._sync_record(binding, SyncKind.RETURN, clock)

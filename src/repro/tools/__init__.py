@@ -1,0 +1,1 @@
+"""Command-line tools (``python -m repro.tools.tb``)."""

@@ -1,0 +1,201 @@
+"""``tbtrace`` — the TraceBack command line.
+
+Usage::
+
+    python -m repro.tools.tb run app.c              # trace a MiniC program
+    python -m repro.tools.tb run app.c --mode il --tree
+    python -m repro.tools.tb run app.c --save-snap crash.json \\
+                                       --save-mapfile app.map.json
+    python -m repro.tools.tb view crash.json app.map.json
+    python -m repro.tools.tb tile app.c             # show CFGs + DAG tiling
+    python -m repro.tools.tb disasm app.c --instrument
+
+The ``run``/``view`` split mirrors production use: instrumented programs
+run and snap in one place; mapfiles + snap files travel to wherever the
+engineer reconstructs them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis import build_all_cfgs
+from repro.api import TraceSession
+from repro.instrument import (
+    InstrumentConfig,
+    Mapfile,
+    instrument_module,
+    tile,
+)
+from repro.isa import disassemble
+from repro.lang.minic import compile_source, compile_to_asm
+from repro.reconstruct import Reconstructor, render_flat, render_tree, select_view
+from repro.runtime import RuntimeConfig, SnapFile, SnapPolicy
+
+
+def _read(path: str) -> str:
+    with open(path) as fh:
+        return fh.read()
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    source = _read(args.source)
+    policy = (
+        SnapPolicy.load(args.policy) if args.policy else SnapPolicy()
+    )
+    session = TraceSession(
+        process_name=args.name,
+        runtime_config=RuntimeConfig(policy=policy),
+        instrument_config=InstrumentConfig(mode=args.mode),
+    )
+    session.add_minic(source, name=args.name, file_name=args.source)
+    run = session.run(max_cycles=args.max_cycles)
+
+    print(f"status: {run.status}; process {run.process.exit_state}")
+    if run.output:
+        print("output:", " ".join(run.output))
+    if run.snap is not None:
+        print(f"snap: {run.snap.reason} {run.snap.detail}")
+        print()
+        trace = run.trace()
+        if args.tree and trace.threads:
+            print(render_tree(trace.threads[-1]))
+        else:
+            print(select_view(trace))
+        if args.save_snap:
+            run.snap.save(args.save_snap)
+            print(f"\nsnap written to {args.save_snap}")
+    else:
+        print("no snap was taken (clean run; use --policy to snap more)")
+    if args.save_mapfile:
+        run.mapfiles[0].save(args.save_mapfile)
+        print(f"mapfile written to {args.save_mapfile}")
+    return 0 if run.process.exit_state == "exited" else 1
+
+
+def cmd_view(args: argparse.Namespace) -> int:
+    snap = SnapFile.load(args.snap)
+    mapfiles = [Mapfile.load(path) for path in args.mapfiles]
+    trace = Reconstructor(mapfiles).reconstruct(snap)
+    print(f"snap: {snap.reason} in {snap.process_name} on {snap.machine_name}")
+    for note in trace.notes:
+        print(f"note: {note}")
+    if args.flat:
+        for thread in trace.threads:
+            print()
+            print(render_flat(thread))
+    else:
+        print()
+        print(select_view(trace))
+    return 0
+
+
+def cmd_tile(args: argparse.Namespace) -> int:
+    module = compile_source(_read(args.source), "app", file_name=args.source,
+                            bounds_checks=(args.mode == "il"))
+    for name, cfg in build_all_cfgs(module).items():
+        plan = tile(cfg)
+        print(f"function {name}: {len(cfg.blocks)} blocks, "
+              f"{len(plan.dags)} DAGs")
+        for dag in plan.dags:
+            members = ", ".join(
+                f"{block}"
+                + (f"[bit {bit}]" if bit is not None else
+                   "[hdr]" if block == dag.entry else "[implied]")
+                for block, bit in dag.members.items()
+            )
+            print(f"  DAG {dag.index}: {members}")
+    return 0
+
+
+def cmd_dagbase(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.instrument import DagBaseFile
+
+    sizes: dict[str, int] = {}
+    for path in args.sources:
+        name = os.path.splitext(os.path.basename(path))[0]
+        result = instrument_module(
+            compile_source(_read(path), name, file_name=path)
+        )
+        sizes[name] = result.module.dag_count
+    dagbase = DagBaseFile()
+    dagbase.allocate(sizes)
+    text = dagbase.render()
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    module = compile_source(_read(args.source), "app", file_name=args.source)
+    if args.asm:
+        print(compile_to_asm(_read(args.source), "app", file_name=args.source))
+        return 0
+    if args.instrument:
+        result = instrument_module(module, InstrumentConfig(mode=args.mode))
+        module = result.module
+        print(f"; instrumented: {result.stats}")
+    print("\n".join(disassemble(module)))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tbtrace", description="TraceBack first-fault diagnosis tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="compile, instrument, run, snap")
+    run.add_argument("source", help="MiniC source file")
+    run.add_argument("--name", default="app")
+    run.add_argument("--mode", choices=["native", "il"], default="native")
+    run.add_argument("--max-cycles", type=int, default=50_000_000)
+    run.add_argument("--policy", help="snap policy file (§3.6 format)")
+    run.add_argument("--tree", action="store_true", help="call-tree view")
+    run.add_argument("--save-snap", help="write the snap file here")
+    run.add_argument("--save-mapfile", help="write the mapfile here")
+    run.set_defaults(fn=cmd_run)
+
+    view = sub.add_parser("view", help="reconstruct a snap from files")
+    view.add_argument("snap", help="snap JSON file")
+    view.add_argument("mapfiles", nargs="+", help="mapfile JSON files")
+    view.add_argument("--flat", action="store_true")
+    view.set_defaults(fn=cmd_view)
+
+    tile_cmd = sub.add_parser("tile", help="show CFGs and DAG tiling")
+    tile_cmd.add_argument("source")
+    tile_cmd.add_argument("--mode", choices=["native", "il"], default="native")
+    tile_cmd.set_defaults(fn=cmd_tile)
+
+    dagbase_cmd = sub.add_parser(
+        "dagbase", help="emit a DAG base file for a set of sources (§2.3)"
+    )
+    dagbase_cmd.add_argument("sources", nargs="+", help="MiniC source files")
+    dagbase_cmd.add_argument("--out", help="write the base file here")
+    dagbase_cmd.set_defaults(fn=cmd_dagbase)
+
+    disasm_cmd = sub.add_parser("disasm", help="disassemble compiled code")
+    disasm_cmd.add_argument("source")
+    disasm_cmd.add_argument("--instrument", action="store_true")
+    disasm_cmd.add_argument("--asm", action="store_true",
+                            help="show compiler assembly output instead")
+    disasm_cmd.add_argument("--mode", choices=["native", "il"], default="native")
+    disasm_cmd.set_defaults(fn=cmd_disasm)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,57 @@
+"""TBVM: the process virtual machine TraceBack instruments and runs on.
+
+Public surface: :class:`Machine`, :class:`Process`, :class:`Thread`,
+the memory model, hook interfaces, and the syscall numbers.
+"""
+
+from repro.vm.errors import ExcCode, Signal, VMError, VMFault
+from repro.vm.hooks import HookList, ProcessHooks
+from repro.vm.loader import LoadedModule, Loader
+from repro.vm.machine import (
+    ExitState,
+    Machine,
+    Process,
+    RpcRequest,
+    spawn_service_thread,
+)
+from repro.vm.memory import MappedFile, Memory, Segment
+from repro.vm.syscalls import COSTS, Sys
+from repro.vm.thread import (
+    SIGRET_RA,
+    TLS_PROBE_SPILL,
+    TLS_SLOTS,
+    TLS_TRACE_PTR,
+    TRAMPOLINE_RA,
+    Frame,
+    Thread,
+    ThreadState,
+)
+
+__all__ = [
+    "COSTS",
+    "ExcCode",
+    "ExitState",
+    "Frame",
+    "HookList",
+    "LoadedModule",
+    "Loader",
+    "Machine",
+    "MappedFile",
+    "Memory",
+    "Process",
+    "ProcessHooks",
+    "RpcRequest",
+    "SIGRET_RA",
+    "Segment",
+    "Signal",
+    "Sys",
+    "TLS_PROBE_SPILL",
+    "TLS_SLOTS",
+    "TLS_TRACE_PTR",
+    "TRAMPOLINE_RA",
+    "Thread",
+    "ThreadState",
+    "VMError",
+    "VMFault",
+    "spawn_service_thread",
+]

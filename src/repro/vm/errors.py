@@ -1,0 +1,93 @@
+"""Fault and exception model of the TBVM process virtual machine.
+
+TBVM distinguishes, exactly as the paper does:
+
+* **Hardware faults** — access violations, divide-by-zero, illegal
+  instructions: raised synchronously by an instruction, analogous to the
+  machine checks / SEH exceptions / UNIX signals TraceBack intercepts
+  first-chance.
+* **Software exceptions** — raised by the ``THROW`` instruction or a
+  syscall (e.g. ``SLEEP`` with a negative argument, the Oracle bug from
+  the paper's §6.1), analogous to language-level exceptions.
+* **Signals** — asynchronous, delivered from outside the thread
+  (Control-C, kill).  A ``KILL`` signal is special: the process is torn
+  down with *no* hooks run, the ``kill -9`` case whose trace must still
+  reconstruct from the surviving mapped buffers.
+
+All exception codes share one numeric space so handler tables can filter
+on them; codes below 100 are reserved for faults the VM itself raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class ExcCode:
+    """Well-known exception codes (the VM-reserved space is < 100)."""
+
+    ACCESS_VIOLATION = 1
+    DIVIDE_BY_ZERO = 2
+    ILLEGAL_INSTRUCTION = 3
+    STACK_OVERFLOW = 4
+    ILLEGAL_ARGUMENT = 5  # e.g. SLEEP with a negative duration
+    RPC_SERVER_FAULT = 6  # the RPC_E_SERVERFAULT analog (paper Figure 6)
+    ARRAY_BOUNDS = 7  # IL-mode bounds check failure (Java analog)
+
+    #: First code available to user programs' THROW.
+    FIRST_USER = 100
+
+    _NAMES = {
+        1: "ACCESS_VIOLATION",
+        2: "DIVIDE_BY_ZERO",
+        3: "ILLEGAL_INSTRUCTION",
+        4: "STACK_OVERFLOW",
+        5: "ILLEGAL_ARGUMENT",
+        6: "RPC_SERVER_FAULT",
+        7: "ARRAY_BOUNDS",
+    }
+
+    @classmethod
+    def name(cls, code: int) -> str:
+        """Human-readable name for ``code``."""
+        return cls._NAMES.get(code, f"USER_{code}")
+
+
+class Signal:
+    """Asynchronous signal numbers (the UNIX-signal analog)."""
+
+    INT = 2  # Control-C: fatal unless handled
+    KILL = 9  # abrupt termination, nothing runs, no hooks
+    SEGV = 11  # raised by the VM for access violations when unhandled
+    TERM = 15  # polite termination request
+
+    _NAMES = {2: "SIGINT", 9: "SIGKILL", 11: "SIGSEGV", 15: "SIGTERM"}
+
+    @classmethod
+    def name(cls, signum: int) -> str:
+        """Human-readable name for ``signum``."""
+        return cls._NAMES.get(signum, f"SIG{signum}")
+
+
+@dataclass
+class VMFault(Exception):
+    """Internal control-flow exception the interpreter raises when an
+    instruction faults.
+
+    The execution engine catches it and runs the first-chance /
+    unwinding machinery; it never escapes to callers of
+    :meth:`Machine.run` unless the VM itself is broken.
+    """
+
+    code: int
+    pc: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"{ExcCode.name(self.code)} at pc={self.pc}"
+        return f"{text}: {self.detail}" if self.detail else text
+
+
+class VMError(Exception):
+    """A bug in the embedding program (not in guest code): bad module,
+    unresolved import, misconfigured machine, and so on."""

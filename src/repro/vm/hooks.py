@@ -1,0 +1,121 @@
+"""Hook points where a host-side runtime gains control of a process.
+
+The original TraceBack runtime hooks the OS at specific, platform-
+painful places: module load notification, thread discovery, first-chance
+exception dispatch, signal interposition, process exit, and RPC
+marshaling (paper §3.7, §5).  In TBVM these are explicit callbacks, which
+is the honest Python analog — the *information* available at each hook
+matches what the paper's runtime gets, and everything TraceBack does
+with it is implemented against these interfaces.
+
+A process carries a :class:`HookList`; the TraceBack runtime installs a
+:class:`ProcessHooks` subclass, and tests install lightweight observers
+alongside it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vm.errors import VMFault
+    from repro.vm.loader import LoadedModule
+    from repro.vm.machine import Process, RpcRequest
+    from repro.vm.thread import Thread
+
+
+class ProcessHooks:
+    """Base class: every hook is a no-op.  Override what you need."""
+
+    def module_loaded(self, loaded: "LoadedModule") -> None:
+        """A module was placed and relocated; code may still be rewritten."""
+
+    def module_unloaded(self, loaded: "LoadedModule") -> None:
+        """A module is about to be unmapped."""
+
+    def thread_started(self, thread: "Thread") -> None:
+        """A thread is about to execute its first instruction."""
+
+    def thread_exited(self, thread: "Thread") -> None:
+        """A thread terminated normally (not by SIGKILL)."""
+
+    def first_chance(self, thread: "Thread", fault: "VMFault") -> None:
+        """An exception was raised, before any handler search."""
+
+    def unhandled(self, thread: "Thread", fault: "VMFault") -> None:
+        """No handler was found; the process is about to die."""
+
+    def process_exit(self, process: "Process", code: int) -> None:
+        """Normal process termination (HALT / EXIT_PROCESS)."""
+
+    def syscall(self, thread: "Thread", number: int) -> None:
+        """A syscall is about to execute (timestamp-probe heuristic)."""
+
+    def signal(self, thread: "Thread", signum: int) -> None:
+        """A signal is about to be delivered to ``thread``."""
+
+    def signal_return(self, thread: "Thread", signum: int) -> None:
+        """A guest signal handler returned normally."""
+
+    def snap_request(self, thread: "Thread", reason: int) -> None:
+        """The guest invoked the snap API (SYS SNAP)."""
+
+    def rpc_caller_send(self, thread: "Thread", request: "RpcRequest") -> None:
+        """An outgoing RPC is being marshaled; may add payload extras."""
+
+    def rpc_callee_enter(self, thread: "Thread", request: "RpcRequest") -> None:
+        """A service thread is about to run an incoming RPC."""
+
+    def rpc_callee_exit(self, thread: "Thread", request: "RpcRequest") -> None:
+        """The service thread finished (normally or by fault)."""
+
+    def rpc_caller_return(self, thread: "Thread", request: "RpcRequest") -> None:
+        """The blocked caller is resuming with the RPC result."""
+
+
+class HookList(ProcessHooks):
+    """Fan-out container: dispatches each hook to every registered set."""
+
+    def __init__(self) -> None:
+        self._hooks: list[ProcessHooks] = []
+
+    def add(self, hooks: ProcessHooks) -> None:
+        """Register a hook set (order of registration = call order)."""
+        self._hooks.append(hooks)
+
+    def remove(self, hooks: ProcessHooks) -> None:
+        """Unregister a previously added hook set."""
+        self._hooks.remove(hooks)
+
+    def __iter__(self):
+        return iter(self._hooks)
+
+
+def _fanout(name: str):
+    def method(self: HookList, *args, **kwargs) -> None:
+        for hooks in self._hooks:
+            getattr(hooks, name)(*args, **kwargs)
+
+    method.__name__ = name
+    method.__doc__ = f"Dispatch ``{name}`` to every registered hook set."
+    return method
+
+
+for _name in (
+    "module_loaded",
+    "module_unloaded",
+    "thread_started",
+    "thread_exited",
+    "first_chance",
+    "unhandled",
+    "process_exit",
+    "syscall",
+    "signal",
+    "signal_return",
+    "snap_request",
+    "rpc_caller_send",
+    "rpc_callee_enter",
+    "rpc_callee_exit",
+    "rpc_caller_return",
+):
+    setattr(HookList, _name, _fanout(_name))

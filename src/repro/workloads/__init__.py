@@ -1,0 +1,26 @@
+"""Evaluation workloads: the SPEC-analog suites of the paper's §6."""
+
+from repro.workloads.harness import (
+    MeasurementError,
+    OverheadResult,
+    RunOutcome,
+    format_table,
+    geo_mean,
+    measure_overhead,
+    run_once,
+)
+from repro.workloads.specint import PAPER_RATIOS, SpecBenchmark, benchmark_named, suite
+
+__all__ = [
+    "MeasurementError",
+    "OverheadResult",
+    "PAPER_RATIOS",
+    "RunOutcome",
+    "SpecBenchmark",
+    "benchmark_named",
+    "format_table",
+    "geo_mean",
+    "measure_overhead",
+    "run_once",
+    "suite",
+]

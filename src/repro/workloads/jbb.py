@@ -1,0 +1,207 @@
+"""SPECJbb-analog warehouse workload (paper Table 3).
+
+SPECJbb is a server-side Java benchmark: warehouses (one thread each)
+process a fixed transaction mix (new-order, payment, order-status,
+delivery, stock-level) against in-memory B-tree-ish structures.  The
+paper instruments the Java side (intermediate-code instrumentation with
+line probes, §2.4/§3.3) and sees throughput drop 16-25% across 1 and 5
+warehouses on Windows, Linux, and Solaris boxes.
+
+The analog: MiniC transaction code compiled with IL-mode bounds checks,
+instrumented in IL mode (line-split blocks, catch-all stubs), threads as
+warehouses, throughput = completed transactions per million cycles.
+The three "systems" of Table 3 become three machine configurations that
+differ the way the paper's boxes did (clock-for-clock scheduling
+quantum and syscall-latency profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.instrument import InstrumentConfig, instrument_module
+from repro.lang.minic import compile_source
+from repro.runtime import RuntimeConfig, TraceBackRuntime
+from repro.vm import Machine
+
+#: The per-warehouse transaction program.  ``warehouses`` and the
+#: transaction count are patched in via format().
+JBB_TEMPLATE = """
+int stock[256];
+int orders[128];
+int done_count[8];
+
+int new_order(int w, int seq) {{
+    int lines;
+    int i;
+    int total;
+    lines = 4 + seq % 4;
+    total = 0;
+    for (i = 0; i < lines; i = i + 1) {{
+        int item;
+        item = (seq * 17 + i * 31 + w) % 256;
+        stock[item] = stock[item] - 1;
+        if (stock[item] < 0) {{ stock[item] = 91; }}
+        total = total + stock[item];
+    }}
+    orders[(w * 16 + seq) % 128] = total;
+    return total;
+}}
+
+int payment(int w, int seq) {{
+    int amount;
+    amount = (seq * 7 + w * 3) % 5000;
+    orders[(w * 16 + seq) % 128] = orders[(w * 16 + seq) % 128] + amount % 97;
+    return amount;
+}}
+
+int order_status(int w, int seq) {{
+    return orders[(w * 16 + seq) % 128];
+}}
+
+int delivery(int w, int seq) {{
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 10; i = i + 1) {{
+        acc = acc + orders[(w * 16 + i) % 128] % 13;
+    }}
+    return acc;
+}}
+
+int stock_level(int w, int seq) {{
+    int i;
+    int low;
+    low = 0;
+    for (i = 0; i < 32; i = i + 1) {{
+        if (stock[(seq + i) % 256] < 10) {{ low = low + 1; }}
+    }}
+    return low;
+}}
+
+int warehouse(int w) {{
+    int seq;
+    int acc;
+    acc = 0;
+    for (seq = 0; seq < {txns}; seq = seq + 1) {{
+        int kind;
+        kind = seq % 10;
+        if (kind < 4) {{ acc = acc + new_order(w, seq); }}
+        else {{ if (kind < 7) {{ acc = acc + payment(w, seq); }}
+        else {{ if (kind < 8) {{ acc = acc + order_status(w, seq); }}
+        else {{ if (kind < 9) {{ acc = acc + delivery(w, seq); }}
+        else {{ acc = acc + stock_level(w, seq); }} }} }} }}
+        if (seq % 4 == 0) {{ io_write(1); }}   // transaction journal
+        done_count[w] = done_count[w] + 1;
+    }}
+    exit_thread(acc);
+    return acc;
+}}
+
+int main() {{
+    int i;
+    for (i = 0; i < 256; i = i + 1) {{ stock[i] = 50 + i % 40; }}
+    int w;
+    for (w = 1; w < {warehouses}; w = w + 1) {{
+        thread_create(warehouse, w);
+    }}
+    warehouse_main();
+    int waited;
+    waited = 0;
+    while (waited < {warehouses} * 400000) {{
+        int total;
+        total = 0;
+        for (w = 0; w < {warehouses}; w = w + 1) {{
+            total = total + done_count[w];
+        }}
+        if (total >= {warehouses} * {txns}) {{
+            print_int(total);
+            return 0;
+        }}
+        sleep(2000);
+        waited = waited + 2000;
+    }}
+    print_int(-1);
+    return 0;
+}}
+
+int warehouse_main() {{
+    int seq;
+    int acc;
+    acc = 0;
+    for (seq = 0; seq < {txns}; seq = seq + 1) {{
+        int kind;
+        kind = seq % 10;
+        if (kind < 4) {{ acc = acc + new_order(0, seq); }}
+        else {{ if (kind < 7) {{ acc = acc + payment(0, seq); }}
+        else {{ if (kind < 8) {{ acc = acc + order_status(0, seq); }}
+        else {{ if (kind < 9) {{ acc = acc + delivery(0, seq); }}
+        else {{ acc = acc + stock_level(0, seq); }} }} }} }}
+        if (seq % 4 == 0) {{ io_write(1); }}   // transaction journal
+        done_count[0] = done_count[0] + 1;
+    }}
+    return acc;
+}}
+"""
+
+#: Table 3's systems; the knobs stand in for the hardware differences.
+SYSTEMS = {
+    "Win": {"io_latency": 1500, "quantum": 40},
+    "Lin": {"io_latency": 2000, "quantum": 50},
+    "Sun": {"io_latency": 2500, "quantum": 30},
+}
+
+TXNS_PER_WAREHOUSE = 60
+
+
+@dataclass
+class JbbResult:
+    """One Table 3 row."""
+
+    system: str
+    warehouses: int
+    base_throughput: float  # transactions per million cycles
+    traced_throughput: float
+
+    @property
+    def ratio(self) -> float:
+        return self.base_throughput / self.traced_throughput
+
+
+def _run(source: str, system: str, instrumented: bool, warehouses: int) -> float:
+    knobs = SYSTEMS[system]
+    machine = Machine(name=system, io_latency=knobs["io_latency"])
+    process = machine.create_process("jbb")
+    module = compile_source(source, "jbb", bounds_checks=True)
+    if instrumented:
+        TraceBackRuntime(process, RuntimeConfig(sub_buffer_words=512,
+                                                sub_buffers=4,
+                                                main_buffers=warehouses + 1,
+                                                max_buffers=warehouses + 2))
+        module = instrument_module(module, InstrumentConfig(mode="il")).module
+    process.load_module(module)
+    process.start()
+    status = machine.run(max_cycles=500_000_000, quantum=knobs["quantum"])
+    if status != "done" or process.output[-1] == "-1":
+        raise RuntimeError(f"jbb did not complete: {status} {process.output}")
+    transactions = int(process.output[-1])
+    return transactions * 1_000_000 / machine.cycles
+
+
+def measure(system: str, warehouses: int) -> JbbResult:
+    """One Table 3 cell pair (Normal vs TraceBack)."""
+    source = JBB_TEMPLATE.format(warehouses=warehouses, txns=TXNS_PER_WAREHOUSE)
+    return JbbResult(
+        system=system,
+        warehouses=warehouses,
+        base_throughput=_run(source, system, False, warehouses),
+        traced_throughput=_run(source, system, True, warehouses),
+    )
+
+
+#: Paper Table 3 ratios for comparison output.
+PAPER_RATIOS = {
+    ("Win", 1): 1.164, ("Win", 5): 1.207,
+    ("Lin", 1): 1.223, ("Lin", 5): 1.229,
+    ("Sun", 1): 1.240, ("Sun", 5): 1.249,
+}

@@ -1,0 +1,277 @@
+"""The paper's worked examples as reusable scenarios.
+
+* :func:`figure2_module` — the §2.1 illustration: a six-line function
+  whose RPC call forces the tiler to split the graph into two DAGs
+  (paper Figure 2), later reconstructed line by line (Figure 4).
+* :func:`figure5_session` — the cross-language JNI bug: managed code
+  passes a long string to a native routine that allocated four
+  characters ("we only get short strings"), corrupting memory.
+* :func:`figure6_session` — the cross-machine DCOM bug: SetPetName on
+  the server writes through a const string pointer and faults; the
+  client sees RPC_E_SERVERFAULT, ignores it, and GetPetName returns the
+  wrong name.
+* :func:`fidelity_session` — §6.1's production story: repeated buffer
+  overruns corrupting neighbouring structures.
+* :func:`oracle_session` — §6.1's Java sleep(random) exception storm.
+"""
+
+from __future__ import annotations
+
+from repro.distributed import DistributedSession
+from repro.instrument import InstrumentConfig
+from repro.isa import Module, assemble
+from repro.runtime import RuntimeConfig, SnapPolicy
+
+# ----------------------------------------------------------------------
+# Figure 2 / Figure 4
+# ----------------------------------------------------------------------
+#: Assembly for the Figure 2 control-flow graph: entry block with a
+#: conditional (lines 1-2/3), an RPC call that ends DAG 1, and a tail
+#: (lines 4-6) that forms DAG 2.
+FIGURE2_ASM = """
+.module fig2
+.entry main
+.func main
+.line fig2.c 1
+  li r0, 0            ; "Line 1": choose the Line-3 side (as in Fig. 4)
+  bz r0, Lelse
+.line fig2.c 2
+  li r5, 20           ; "Line 2": not taken in this run
+  br Lcall
+Lelse:
+.line fig2.c 3
+  li r5, 30           ; "Line 3"
+Lcall:
+.line fig2.c 3
+  li r0, 7            ; RPC service id
+  la r1, argbuf
+  li r2, 1
+  la r3, retbuf
+  li r4, 1
+  sys 14              ; the RPC call that splits the DAGs
+.line fig2.c 4
+  li r6, 40           ; "Line 4"
+.line fig2.c 5
+  addi r6, r6, 1      ; "Line 5"
+.line fig2.c 6
+  halt                ; "Line 6"
+.endfunc
+.data
+argbuf: .word 11
+retbuf: .word 0
+"""
+
+
+def figure2_module() -> Module:
+    """Assemble the Figure 2 program (uninstrumented)."""
+    return assemble(FIGURE2_ASM)
+
+
+# ----------------------------------------------------------------------
+# Figure 5 — cross-language (managed -> native) buffer overrun
+# ----------------------------------------------------------------------
+#: The native side: NativeString.c.  `result` has room for 4 characters;
+#: "we only get short strings."  Copying an 11-character string tramples
+#: the neighbouring `canary`, and the corrupted value then drives a wild
+#: indexed read — the stack-corruption / wild-transfer analog.
+NATIVE_STRING_C = """
+int result[4];      // we only get short strings
+int canary[1];
+int table[8];
+
+int set_string(int src) {
+    int i;
+    i = 0;
+    canary[0] = 2;
+    while (peek(src + i) != 0) {
+        result[i] = peek(src + i);   // no bounds check: overruns into canary
+        i = i + 1;
+    }
+    // The corrupted canary now scales a table index far out of range:
+    // the wild access that "would prevent an accurate stack backtrace".
+    return table[canary[0] * 1000];
+}
+"""
+
+#: The managed side: NativeString.java.  Passes a long string through
+#: the cross-module boundary.
+NATIVE_STRING_JAVA = """
+extern int set_string(int src);
+
+int message[16] = "hello world";
+
+int main() {
+    print_str(message);
+    int r;
+    r = set_string(message);
+    print_int(r);
+    return 0;
+}
+"""
+
+
+def figure5_session():
+    """Build the Figure 5 session: IL-mode caller + native callee in one
+    process (the paper's seamless MSIL/native integration path)."""
+    from repro.api import TraceSession
+
+    session = TraceSession(
+        process_name="petstore",
+        runtime_config=RuntimeConfig(policy=SnapPolicy()),
+    )
+    # Native module: native-mode instrumentation (exception addresses).
+    session.instrument_config = InstrumentConfig(mode="native")
+    session.add_minic(
+        NATIVE_STRING_C, name="NativeString_c", file_name="NativeString.c"
+    )
+    # Managed module: IL-mode instrumentation (line probes).
+    session.instrument_config = InstrumentConfig(mode="il")
+    session.add_minic(
+        NATIVE_STRING_JAVA, name="NativeString_java",
+        file_name="NativeString.java",
+    )
+    return session
+
+
+# ----------------------------------------------------------------------
+# Figure 6 — cross-machine DCOM pet-name bug
+# ----------------------------------------------------------------------
+#: Server: m_szPetName is (the analog of) a const WCHAR* — the copy in
+#: SetPetName faults with an access violation.  GetPetName still works,
+#: returning the (never-updated) default name.
+PET_SERVER_C = """
+const int m_szPetName[8] = "Rex";
+
+int SetPetName(int argaddr, int arglen, int retaddr, int retcap) {
+    int i;
+    for (i = 0; i < arglen; i = i + 1) {
+        // wcscpy() into a const string: access violation, caught by the
+        // RPC layer and surfaced to the client as RPC_E_SERVERFAULT.
+        poke(m_szPetName + i, peek(argaddr + i));
+    }
+    return 0;
+}
+
+int GetPetName(int argaddr, int arglen, int retaddr, int retcap) {
+    int i;
+    for (i = 0; i < retcap && i < 8; i = i + 1) {
+        poke(retaddr + i, m_szPetName[i]);
+    }
+    return 0;
+}
+"""
+
+#: Client: sets the name, fails to check the status, reads it back.
+PET_CLIENT_C = """
+int newname[8] = "Fido";
+int readback[8];
+
+int main() {
+    int status;
+    status = rpc_call(1, newname, 5, readback, 0);   // SetPetName
+    // BUG: status (RPC_E_SERVERFAULT) is not checked.
+    status = rpc_call(2, newname, 0, readback, 8);   // GetPetName
+    print_int(status);
+    print_str(readback);   // prints the wrong name: "Rex"
+    return 0;
+}
+"""
+
+
+def figure6_session() -> DistributedSession:
+    """Two machines, DCOM-style client/server, the Figure 6 bug."""
+    session = DistributedSession(
+        runtime_config=RuntimeConfig(policy=SnapPolicy.parse(
+            "snap on unhandled\nsnap on exception\nsuppress duplicates on"
+        )),
+    )
+    client_box = session.add_machine("client-box")
+    server_box = session.add_machine("server-box", clock_skew=3_000_000)
+    session.add_process(
+        client_box, "labrador-client", PET_CLIENT_C,
+        module_name="client", start=True,
+    )
+    session.add_process(
+        server_box, "labrador-server", PET_SERVER_C,
+        module_name="server",
+        services={1: "SetPetName", 2: "GetPetName"},
+    )
+    return session
+
+
+# ----------------------------------------------------------------------
+# §6.1 production stories
+# ----------------------------------------------------------------------
+#: Fidelity: memcpy overruns corrupt neighbouring structures; the app
+#: limps along and dies later, far from the corruption site.
+FIDELITY_C = """
+int packet[8];
+int neighbor[4] = {1000, 2000, 3000, 4000};
+
+int copy_packet(int n) {
+    int i;
+    for (i = 0; i < n; i = i + 1) {
+        packet[i] = i + 1;           // n > 8 overruns into neighbor
+    }
+    return n;
+}
+
+int main() {
+    copy_packet(6);
+    copy_packet(10);                 // the corrupting call
+    int d;
+    d = 100 / (neighbor[0] / 1000);  // later: corrupted divisor -> crash
+    print_int(d);
+    return 0;
+}
+"""
+
+#: Oracle: sleep() fed from a random number generator throws when the
+#: draw is negative; the try/catch hides it but performance craters.
+ORACLE_C = """
+int draw(int i) {
+    // A "random" delay that can be negative (the RNG bug).
+    return (i * 37 % 11) - 5;
+}
+int main() {
+    int i;
+    int exceptions;
+    int e;
+    exceptions = 0;
+    for (i = 0; i < 30; i = i + 1) {
+        try {
+            sleep(draw(i));
+        } catch (e) {
+            exceptions = exceptions + 1;
+        }
+    }
+    print_int(exceptions);
+    return 0;
+}
+"""
+
+
+def fidelity_session():
+    """§6.1 Fidelity story: delayed-crash memory corruption."""
+    from repro.api import TraceSession
+
+    session = TraceSession(process_name="fidelity-app")
+    session.add_minic(FIDELITY_C, name="fidelity", file_name="feed.c")
+    return session
+
+
+def oracle_session():
+    """§6.1 Oracle story: exception storm from sleep(random)."""
+    from repro.api import TraceSession
+
+    session = TraceSession(
+        process_name="oracle-app",
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse(
+                "snap on exception 5\nsuppress duplicates on"
+            )
+        ),
+        instrument_config=InstrumentConfig(mode="il"),
+    )
+    session.add_minic(ORACLE_C, name="oracle", file_name="Poller.java")
+    return session

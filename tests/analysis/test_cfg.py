@@ -1,0 +1,159 @@
+"""CFG recovery: leaders, edges, call/syscall/multiway classification."""
+
+from repro.analysis import build_all_cfgs, build_cfg, indirect_targets
+from repro.isa import assemble
+
+
+def cfg_for(src: str, func: str = "main"):
+    module = assemble(src)
+    return build_cfg(module, module.func_named(func))
+
+
+def test_straight_line_is_one_block():
+    cfg = cfg_for(".func main\n movi r0, 1\n movi r1, 2\n halt\n.endfunc")
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].succs == []
+
+
+def test_conditional_creates_diamond():
+    cfg = cfg_for(
+        """
+        .func main
+          bz r0, else
+          movi r1, 1
+          br end
+        else:
+          movi r1, 2
+        end:
+          halt
+        .endfunc
+        """
+    )
+    entry = cfg.blocks[0]
+    assert sorted(entry.succs) == [1, 3]
+    assert cfg.blocks[1].succs == [4]
+    assert cfg.blocks[3].succs == [4]
+
+
+def test_call_ends_block_and_marks_it():
+    cfg = cfg_for(
+        """
+        .func main
+          movi r0, 1
+          call f
+          halt
+        .endfunc
+        .func f
+          ret
+        .endfunc
+        """
+    )
+    assert cfg.blocks[0].ends_with_call
+    assert cfg.blocks[0].succs == [2]  # the return point
+
+
+def test_syscall_ends_block():
+    cfg = cfg_for(".func main\n sys 1\n movi r0, 1\n halt\n.endfunc")
+    assert cfg.blocks[0].ends_with_syscall
+    assert cfg.blocks[0].succs == [1]
+
+
+def test_jump_table_targets_become_entries():
+    module = assemble(
+        """
+        .func main
+          la r1, tab
+          jtab r0, r1
+        a: halt
+        b: halt
+        .endfunc
+        .rodata
+        tab: .addr a b
+        """
+    )
+    assert indirect_targets(module) == {3, 4}  # la expands to 2 words
+    cfg = build_cfg(module, module.func_named("main"))
+    multiway = cfg.blocks[0]
+    assert multiway.ends_with_multiway
+    assert sorted(multiway.succs) == [3, 4]
+    assert set(cfg.entries) >= {0, 3, 4}
+
+
+def test_handler_entry_is_cfg_entry():
+    cfg = cfg_for(
+        """
+        .func main
+        t0:
+          movi r0, 1
+        t1:
+          halt
+        h:
+          halt
+        .handler t0 t1 h
+        .endfunc
+        """
+    )
+    assert 2 in cfg.entries
+
+
+def test_line_splitting_makes_line_leaders():
+    module = assemble(
+        """
+        .func main
+        .line a.c 1
+          movi r0, 1
+          movi r1, 2
+        .line a.c 2
+          movi r2, 3
+          halt
+        .endfunc
+        """
+    )
+    plain = build_cfg(module, module.func_named("main"))
+    split = build_cfg(module, module.func_named("main"), split_at_lines=True)
+    assert len(plain.blocks) == 1
+    assert len(split.blocks) == 2
+    assert 2 in split.blocks
+
+
+def test_reverse_postorder_visits_preds_first():
+    cfg = cfg_for(
+        """
+        .func main
+          bz r0, right
+          movi r1, 1
+          br join
+        right:
+          movi r1, 2
+        join:
+          halt
+        .endfunc
+        """
+    )
+    order = cfg.reverse_postorder()
+    join = 4
+    assert order.index(join) > order.index(1)
+    assert order.index(join) > order.index(3)
+
+
+def test_build_all_cfgs_keys_by_name():
+    module = assemble(
+        ".func a\n halt\n.endfunc\n.func b\n halt\n.endfunc"
+    )
+    cfgs = build_all_cfgs(module)
+    assert set(cfgs) == {"a", "b"}
+
+
+def test_preds_filled():
+    cfg = cfg_for(
+        """
+        .func main
+        top:
+          addi r0, r0, -1
+          bnz r0, top
+          halt
+        .endfunc
+        """
+    )
+    assert 0 in cfg.blocks[0].preds  # the loop back edge
+    assert 0 in cfg.blocks[2].preds

@@ -1,0 +1,164 @@
+"""Dominators, loop detection, and register liveness."""
+
+from repro.analysis import (
+    Liveness,
+    back_edges,
+    build_cfg,
+    compute_dominators,
+    instr_defs,
+    instr_uses,
+    loop_headers,
+    natural_loop,
+    retreating_edges,
+)
+from repro.isa import Instr, Op, PROBE_REG, assemble
+
+LOOP_SRC = """
+.func main
+  movi r0, 10
+top:
+  addi r0, r0, -1
+  bnz r0, top
+  halt
+.endfunc
+"""
+
+DIAMOND_SRC = """
+.func main
+  bz r0, right
+  movi r1, 1
+  br join
+right:
+  movi r1, 2
+join:
+  halt
+.endfunc
+"""
+
+
+def cfg_for(src: str):
+    module = assemble(src)
+    return build_cfg(module, module.funcs[0])
+
+
+def test_entry_dominates_everything():
+    cfg = cfg_for(DIAMOND_SRC)
+    dom = compute_dominators(cfg)
+    for block in cfg.blocks:
+        assert 0 in dom[block]
+
+
+def test_join_not_dominated_by_either_branch():
+    cfg = cfg_for(DIAMOND_SRC)
+    dom = compute_dominators(cfg)
+    join = 4
+    assert 1 not in dom[join]
+    assert 3 not in dom[join]
+
+
+def test_back_edge_found_in_loop():
+    cfg = cfg_for(LOOP_SRC)
+    assert back_edges(cfg) == {(1, 1)}
+    assert loop_headers(cfg) == {1}
+
+
+def test_retreating_superset_of_back_edges():
+    cfg = cfg_for(LOOP_SRC)
+    assert back_edges(cfg) <= retreating_edges(cfg)
+
+
+def test_natural_loop_members():
+    cfg = cfg_for(LOOP_SRC)
+    assert natural_loop(cfg, (1, 1)) == {1}
+
+
+def test_nested_loop_headers():
+    cfg = cfg_for(
+        """
+        .func main
+          movi r0, 3
+outer:
+          movi r1, 3
+inner:
+          addi r1, r1, -1
+          bnz r1, inner
+          addi r0, r0, -1
+          bnz r0, outer
+          halt
+        .endfunc
+        """
+    )
+    assert loop_headers(cfg) == {1, 2}
+
+
+def test_acyclic_graph_has_no_headers():
+    cfg = cfg_for(DIAMOND_SRC)
+    assert loop_headers(cfg) == set()
+
+
+# ----------------------------------------------------------------------
+# Liveness
+# ----------------------------------------------------------------------
+def test_instr_uses_and_defs_alu():
+    instr = Instr(Op.ADD, rd=1, rs=2, rt=3)
+    assert instr_uses(instr) == {2, 3}
+    assert instr_defs(instr) == {1}
+
+
+def test_store_uses_both_registers():
+    instr = Instr(Op.STW, rd=4, rs=5, imm=0)
+    assert instr_uses(instr) == {4, 5}
+    assert instr_defs(instr) == frozenset()
+
+
+def test_call_clobbers_caller_saved():
+    assert PROBE_REG in instr_defs(Instr(Op.CALL, imm=0))
+
+
+def test_live_across_loop():
+    cfg = cfg_for(LOOP_SRC)
+    live = Liveness(cfg)
+    # r0 is the loop counter: live into the loop block.
+    assert 0 in live.live_in[1]
+    # Nothing is live into the exit block.
+    assert live.live_in[3] == frozenset()
+
+
+def test_probe_register_free_when_unused():
+    cfg = cfg_for(LOOP_SRC)
+    live = Liveness(cfg)
+    for block in cfg.blocks:
+        assert live.reg_free_at_block_start(block, PROBE_REG)
+
+
+def test_probe_register_live_when_program_uses_it():
+    cfg = cfg_for(
+        """
+        .func main
+          movi r11, 7
+        top:
+          addi r11, r11, -1
+          bnz r11, top
+          halt
+        .endfunc
+        """
+    )
+    live = Liveness(cfg)
+    assert not live.reg_free_at_block_start(1, PROBE_REG)
+
+
+def test_live_at_instruction_granularity():
+    cfg = cfg_for(
+        """
+        .func main
+          movi r1, 1
+          movi r2, 2
+          add r3, r1, r2
+          halt
+        .endfunc
+        """
+    )
+    live = Liveness(cfg)
+    # Before the add, r1 and r2 are live; after (before halt), nothing.
+    assert {1, 2} <= live.live_at(0, 2)
+    assert live.live_at(0, 3) == frozenset()

@@ -1,0 +1,90 @@
+"""Cross-machine group snaps (§3.6.1) over linked service processes."""
+
+from repro.distributed import DistributedSession
+from repro.runtime import RuntimeConfig, SnapPolicy
+
+CRASHER = """
+int main() {
+    sleep(20000);
+    int x;
+    x = 1 / 0;
+    return 0;
+}
+"""
+
+BYSTANDER = """
+int main() {
+    int i;
+    for (i = 0; i < 50; i = i + 1) {
+        sleep(2000);
+    }
+    return 0;
+}
+"""
+
+
+def test_group_snap_crosses_machines():
+    session = DistributedSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        )
+    )
+    m1 = session.add_machine("front-box")
+    m2 = session.add_machine("back-box", clock_skew=1_000_000)
+    session.services[m1].link(session.services[m2])
+    for service in session.services.values():
+        service.configure_group("petstore", ["web", "db"])
+
+    session.add_process(m1, "web", CRASHER, start=True)
+    session.add_process(m2, "db", BYSTANDER, start=True)
+    session.run()
+
+    web_snaps = session.nodes["web"].runtime.snap_store.snaps
+    db_snaps = session.nodes["db"].runtime.snap_store.snaps
+    assert any(s.reason == "unhandled" for s in web_snaps)
+    group = [s for s in db_snaps if s.reason == "group"]
+    assert len(group) == 1
+    assert group[0].detail["initiator"] == "web"
+    assert group[0].detail["initiator_reason"] == "unhandled"
+    assert group[0].machine_name == "back-box"
+
+
+def test_group_snap_ignores_non_members():
+    session = DistributedSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        )
+    )
+    m1 = session.add_machine("a")
+    m2 = session.add_machine("b")
+    session.services[m1].link(session.services[m2])
+    for service in session.services.values():
+        service.configure_group("g", ["web"])  # db is not a member
+
+    session.add_process(m1, "web", CRASHER, start=True)
+    session.add_process(m2, "db", BYSTANDER, start=True)
+    session.run()
+    db_snaps = session.nodes["db"].runtime.snap_store.snaps
+    assert not [s for s in db_snaps if s.reason == "group"]
+
+
+def test_group_snaps_do_not_cascade():
+    """A group snap on the partner must not re-trigger the group."""
+    session = DistributedSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        )
+    )
+    m1 = session.add_machine("a")
+    m2 = session.add_machine("b")
+    session.services[m1].link(session.services[m2])
+    for service in session.services.values():
+        service.configure_group("g", ["web", "db"])
+    session.add_process(m1, "web", CRASHER, start=True)
+    session.add_process(m2, "db", BYSTANDER, start=True)
+    session.run()
+    web_group = [
+        s for s in session.nodes["web"].runtime.snap_store.snaps
+        if s.reason == "group"
+    ]
+    assert not web_group  # the initiator is never group-snapped back

@@ -1,0 +1,190 @@
+"""Distributed substrate: cross-machine RPC, skewed clocks, stitching."""
+
+from repro.distributed import DistributedSession, Network
+from repro.reconstruct import render_logical
+from repro.runtime.records import SyncKind
+from repro.vm import ExcCode
+
+CLIENT_SRC = """
+int argbuf[1];
+int retbuf[1];
+int main() {
+    argbuf[0] = 21;
+    int status;
+    status = rpc_call(7, argbuf, 1, retbuf, 1);
+    print_int(status);
+    print_int(retbuf[0]);
+    return 0;
+}
+"""
+
+SERVER_SRC = """
+int handle(int argaddr, int arglen, int retaddr, int retcap) {
+    int value;
+    value = peek(argaddr);
+    poke(retaddr, value * 2);
+    return 0;
+}
+"""
+
+
+def build_pair(skew: int = 0, client_src: str = CLIENT_SRC,
+               server_src: str = SERVER_SRC):
+    session = DistributedSession()
+    m1 = session.add_machine("client-box")
+    m2 = session.add_machine("server-box", clock_skew=skew)
+    session.add_process(m1, "client", client_src, start=True)
+    session.add_process(m2, "server", server_src, services={7: "handle"})
+    return session
+
+
+def test_cross_machine_rpc_round_trip():
+    session = build_pair()
+    result = session.run()
+    assert result.status == "done"
+    client = session.nodes["client"].process
+    assert client.output == ["0", "42"]
+    assert session.network.rpc_count == 1
+
+
+def test_rpc_to_missing_service_fails():
+    session = DistributedSession()
+    m1 = session.add_machine("solo")
+    session.add_process(m1, "client", CLIENT_SRC, start=True)
+    result = session.run()
+    client = session.nodes["client"].process
+    assert client.output[0] == str(ExcCode.RPC_SERVER_FAULT)
+
+
+def test_four_sync_records_per_rpc():
+    """§5.1: one RPC leaves four SYNC records with the same logical id
+    and successive sequence numbers, split across two buffers."""
+    session = build_pair()
+    result = session.run()
+    trace = result.reconstruct()
+    syncs = [
+        e
+        for p in trace.processes
+        for t in p.threads
+        for e in t.sync_events()
+    ]
+    assert len(syncs) == 4
+    logical_ids = {e.detail["logical_id"] for e in syncs}
+    assert len(logical_ids) == 1
+    seqs = sorted(e.detail["seq"] for e in syncs)
+    assert seqs == [seqs[0], seqs[0] + 1, seqs[0] + 2, seqs[0] + 3]
+    kinds = {e.detail["seq"]: e.detail["sync_kind"] for e in syncs}
+    assert kinds[seqs[0]] == SyncKind.CALL_OUT
+    assert kinds[seqs[1]] == SyncKind.ENTER
+    assert kinds[seqs[2]] == SyncKind.EXIT
+    assert kinds[seqs[3]] == SyncKind.RETURN
+
+
+def test_logical_thread_fuses_caller_and_callee():
+    session = build_pair()
+    trace = session.run().reconstruct()
+    assert len(trace.logical_threads) == 1
+    logical = trace.logical_threads[0]
+    legs = [seg.leg for seg in logical.segments]
+    assert legs[0] == "caller"
+    assert "callee" in legs
+    assert legs[-1] == "caller"
+    owners = {seg.trace.process_name for seg in logical.segments}
+    assert owners == {"client", "server"}
+    text = render_logical(logical)
+    assert "client" in text and "server" in text
+
+
+def test_callee_lines_between_caller_segments():
+    """The fused trace shows server source lines causally between the
+    client's call and its resumption."""
+    session = build_pair()
+    trace = session.run().reconstruct()
+    logical = trace.logical_threads[0]
+    sequence = []
+    for owner, step in logical.steps():
+        from repro.reconstruct import LineStep
+
+        if isinstance(step, LineStep):
+            sequence.append((owner.process_name, step.line))
+    processes = [name for name, _ in sequence]
+    first_server = processes.index("server")
+    assert "client" in processes[:first_server]
+    assert "client" in processes[first_server:]
+
+
+def test_clock_skew_estimated_from_syncs():
+    """§5.2: SYNC quadruples estimate the inter-runtime clock offset."""
+    skew = 1_000_000
+    session = build_pair(skew=skew)
+    result = session.run()
+    assert session.nodes["client"].process.output == ["0", "42"]
+    trace = result.reconstruct()
+    assert trace.skew_estimates
+    ((pair, estimate),) = trace.skew_estimates.items()
+    # The estimate reflects the configured skew to within RPC latency.
+    assert abs(estimate - skew) < 100_000
+
+
+def test_skew_estimate_near_zero_without_skew():
+    session = build_pair(skew=0)
+    trace = session.run().reconstruct()
+    ((_, estimate),) = trace.skew_estimates.items()
+    assert abs(estimate) < 100_000
+
+
+def test_nested_rpc_chains_causality():
+    """A -> B -> C: the logical thread passes through all three (§5.1's
+    causality chain)."""
+    front = """
+int argbuf[1];
+int retbuf[1];
+int main() {
+    argbuf[0] = 5;
+    int status;
+    status = rpc_call(1, argbuf, 1, retbuf, 1);
+    print_int(retbuf[0]);
+    return 0;
+}
+"""
+    middle = """
+int mbuf[1];
+int mret[1];
+int handle(int argaddr, int arglen, int retaddr, int retcap) {
+    mbuf[0] = peek(argaddr) + 1;
+    int status;
+    status = rpc_call(2, mbuf, 1, mret, 1);
+    poke(retaddr, mret[0]);
+    return 0;
+}
+"""
+    back = """
+int handle(int argaddr, int arglen, int retaddr, int retcap) {
+    poke(retaddr, peek(argaddr) * 10);
+    return 0;
+}
+"""
+    session = DistributedSession()
+    m1 = session.add_machine("m1")
+    m2 = session.add_machine("m2", clock_skew=500_000)
+    m3 = session.add_machine("m3", clock_skew=-400_000)
+    session.add_process(m1, "front", front, start=True)
+    session.add_process(m2, "middle", middle, services={1: "handle"})
+    session.add_process(m3, "back", back, services={2: "handle"})
+    result = session.run()
+    assert result.status == "done"
+    assert session.nodes["front"].process.output == ["60"]
+    trace = result.reconstruct()
+    assert len(trace.logical_threads) == 1  # one causal chain
+    owners = [seg.trace.process_name for seg in trace.logical_threads[0].segments]
+    assert owners[0] == "front"
+    assert "middle" in owners and "back" in owners
+    # The chain's segments nest: back's work sits between middle's legs.
+    assert owners.index("back") > owners.index("middle")
+
+
+def test_network_detects_distributed_completion():
+    network = Network()
+    network.add_machine("a")
+    network.add_machine("b")
+    assert network.run(max_total_cycles=10_000) == "done"

@@ -1,0 +1,90 @@
+"""DAG base files and mapfile persistence."""
+
+import pytest
+
+from repro.instrument import DagBaseError, DagBaseFile, instrument_module
+from repro.lang.minic import compile_source
+
+
+def test_parse_and_lookup():
+    dagbase = DagBaseFile.parse(
+        """
+        # build-tree assignments
+        apache   0x100
+        mod_ssl  0x400
+        """
+    )
+    assert dagbase.base_for("apache") == 0x100
+    assert dagbase.base_for("mod_ssl") == 0x400
+    assert dagbase.base_for("unknown") is None
+
+
+def test_render_round_trip():
+    dagbase = DagBaseFile({"a": 5, "b": 100})
+    clone = DagBaseFile.parse(dagbase.render())
+    assert clone.bases == dagbase.bases
+
+
+def test_parse_rejects_bad_lines():
+    with pytest.raises(DagBaseError):
+        DagBaseFile.parse("too many words here")
+    with pytest.raises(DagBaseError):
+        DagBaseFile.parse("mod notanumber")
+    with pytest.raises(DagBaseError):
+        DagBaseFile.parse("mod 5\nmod 6")
+
+
+def test_check_disjoint():
+    dagbase = DagBaseFile({"a": 0, "b": 5})
+    dagbase.check_disjoint({"a": 5, "b": 3})  # [0,5) and [5,8): fine
+    with pytest.raises(DagBaseError, match="overlap"):
+        dagbase.check_disjoint({"a": 6, "b": 3})
+
+
+def test_save_load_file(tmp_path):
+    dagbase = DagBaseFile({"core": 16})
+    path = tmp_path / "dag.base"
+    path.write_text(dagbase.render())
+    assert DagBaseFile.load(str(path)).base_for("core") == 16
+
+
+SRC = """
+int helper(int x) { return x + 1; }
+int main() { print_int(helper(41)); return 0; }
+"""
+
+
+def test_mapfile_save_load_round_trip(tmp_path):
+    result = instrument_module(compile_source(SRC, "m"))
+    path = tmp_path / "m.mapfile"
+    result.mapfile.save(str(path))
+    from repro.instrument import Mapfile
+
+    clone = Mapfile.load(str(path))
+    assert clone.checksum == result.mapfile.checksum
+    assert clone.dag_count == result.mapfile.dag_count
+    assert len(clone.dags) == len(result.mapfile.dags)
+    for a, b in zip(clone.dags, result.mapfile.dags):
+        assert a.entry == b.entry
+        assert [blk.to_dict() for blk in a.blocks] == [
+            blk.to_dict() for blk in b.blocks
+        ]
+    assert clone.lines == result.mapfile.lines
+
+
+def test_mapfile_queries():
+    result = instrument_module(compile_source(SRC, "m", file_name="m.c"))
+    mapfile = result.mapfile
+    dag0 = mapfile.dag_by_local_index(0)
+    assert dag0 is not None
+    assert mapfile.dag_by_local_index(10_000) is None
+    assert mapfile.func_at(dag0.entry) is not None
+    loc = mapfile.line_at(dag0.blocks[0].body_start)
+    assert loc is not None and loc[0] == "m.c"
+
+
+def test_mapfile_decode_rejects_nothing_silently():
+    result = instrument_module(compile_source(SRC, "m"))
+    dag = result.mapfile.dags[0]
+    blocks = dag.decode(0)
+    assert blocks[0].id == dag.entry

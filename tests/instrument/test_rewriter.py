@@ -1,0 +1,224 @@
+"""Binary rewriter: semantics preservation, metadata remapping, probes."""
+
+import pytest
+
+from repro.instrument import (
+    HELPER_NAME,
+    InstrumentConfig,
+    InstrumentError,
+    instrument_module,
+)
+from repro.isa import Op, assemble, decode
+from repro.lang.minic import compile_source
+from repro.runtime import TraceBackRuntime
+from repro.vm import Machine
+
+FIB_SRC = """int fib(int n) {
+    if (n < 2) { return n; }
+    return fib(n - 1) + fib(n - 2);
+}
+int main() {
+    print_int(fib(12));
+    return 0;
+}
+"""
+
+
+def run_module(module, with_runtime: bool = False):
+    machine = Machine()
+    process = machine.create_process("t")
+    if with_runtime:
+        TraceBackRuntime(process)
+    process.load_module(module)
+    process.start()
+    status = machine.run(max_cycles=20_000_000)
+    return machine, process, status
+
+
+def test_instrumented_module_computes_same_result():
+    module = compile_source(FIB_SRC, "fib")
+    _, base_proc, _ = run_module(module)
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    _, inst_proc, _ = run_module(result.module, with_runtime=True)
+    assert inst_proc.output == base_proc.output == ["144"]
+
+
+def test_instrumented_module_executes_more_instructions():
+    module = compile_source(FIB_SRC, "fib")
+    _, base_proc, _ = run_module(module)
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    _, inst_proc, _ = run_module(result.module, with_runtime=True)
+    base = base_proc.threads[0].instructions
+    inst = inst_proc.threads[0].instructions
+    assert inst > base
+    # The paper's text-growth ballpark: noticeable but bounded.
+    assert inst < base * 3
+
+
+def test_text_section_growth_reported():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    assert 1.1 < result.stats.size_growth < 3.0
+
+
+def test_double_instrumentation_rejected():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    with pytest.raises(InstrumentError):
+        instrument_module(result.module)
+
+
+def test_helper_injected_and_recorded():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    module = result.module
+    helper = module.func_named(HELPER_NAME)
+    assert helper is not None
+    assert decode(module.code[helper.start]).op is Op.TLSLD
+    assert "__tb_buffer_wrap" in module.imports
+
+
+def test_dag_fixups_point_at_stdag_words():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    module = result.module
+    assert module.dag_fixups
+    for offset in module.dag_fixups:
+        assert decode(module.code[offset]).op is Op.STDAG
+
+
+def test_tls_fixups_point_at_tls_words():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    module = result.module
+    assert module.tls_fixups
+    for offset in module.tls_fixups:
+        assert decode(module.code[offset]).op in (Op.TLSLD, Op.TLSST)
+
+
+def test_dag_ids_are_contiguous_from_base():
+    config = InstrumentConfig(dag_base=100)
+    result = instrument_module(compile_source(FIB_SRC, "fib"), config)
+    ids = sorted(
+        decode(result.module.code[o]).imm for o in result.module.dag_fixups
+    )
+    assert ids[0] == 100
+    assert ids[-1] < 100 + result.module.dag_count
+
+
+def test_exports_and_entry_remapped():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    module = result.module
+    entry = module.entry_offset()
+    # The entry points at main's header probe (a CALL to the helper).
+    assert decode(module.code[entry]).op is Op.CALL
+
+
+def test_line_table_remapped_monotonically():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    starts = [e.start for e in result.module.lines]
+    assert starts == sorted(starts)
+
+
+def test_handler_ranges_remapped():
+    src = """
+int main() {
+    int e;
+    try {
+        throw 42;
+    } catch (e) {
+        print_int(e);
+    }
+    return 0;
+}
+"""
+    module = compile_source(src, "t")
+    result = instrument_module(module)
+    _, process, _ = run_module(result.module, with_runtime=True)
+    assert process.output == ["42"]
+
+
+def test_spill_inserted_when_probe_register_live():
+    src = """
+    .entry main
+    .func main
+      movi r11, 1000
+    top:
+      addi r11, r11, -1
+      bnz r11, top
+      halt
+    .endfunc
+    """
+    result = instrument_module(assemble(src))
+    assert result.stats.spills >= 1
+    _, process, status = run_module(result.module, with_runtime=True)
+    assert status == "done"
+
+
+def test_spilled_probe_preserves_program_value():
+    src = """
+    .entry main
+    .func main
+      movi r11, 5
+      movi r0, 0
+    top:
+      add r0, r0, r11
+      addi r11, r11, -1
+      bnz r11, top
+      sys 1
+      halt
+    .endfunc
+    """
+    result = instrument_module(assemble(src))
+    _, process, _ = run_module(result.module, with_runtime=True)
+    assert process.output == ["15"]
+
+
+def test_il_mode_adds_more_probes():
+    native = instrument_module(compile_source(FIB_SRC, "fib"))
+    il = instrument_module(
+        compile_source(FIB_SRC, "fib"), InstrumentConfig(mode="il")
+    )
+    native_probes = native.stats.header_probes + native.stats.light_probes
+    il_probes = il.stats.header_probes + il.stats.light_probes
+    assert il_probes > native_probes
+    assert il.stats.catch_stubs == 2  # one per function (fib, main)
+
+
+def test_il_mode_still_computes_same_result():
+    il = instrument_module(
+        compile_source(FIB_SRC, "fib"), InstrumentConfig(mode="il")
+    )
+    _, process, _ = run_module(il.module, with_runtime=True)
+    assert process.output == ["144"]
+
+
+def test_jump_table_through_instrumented_code():
+    src = """
+    .entry main
+    .func main
+      la r1, tab
+      li r0, 1
+      jtab r0, r1
+    a:
+      li r0, 100
+      br out
+    b:
+      li r0, 200
+      br out
+    c:
+      li r0, 300
+    out:
+      sys 1
+      halt
+    .endfunc
+    .rodata
+    tab: .addr a b c
+    """
+    result = instrument_module(assemble(src))
+    _, process, _ = run_module(result.module, with_runtime=True)
+    assert process.output == ["200"]
+
+
+def test_mapfile_blocks_reference_valid_lines():
+    result = instrument_module(compile_source(FIB_SRC, "fib"))
+    mapfile = result.mapfile
+    for dag in mapfile.dags:
+        for block in dag.blocks:
+            assert block.id <= block.body_start < block.end
+            assert mapfile.func_at(block.id) is not None

@@ -1,0 +1,204 @@
+"""DAG tiling: header placement rules and bit budgets (§2.1-2.2)."""
+
+from repro.analysis import build_cfg
+from repro.instrument import required_headers, tile
+from repro.isa import assemble
+
+
+def plan_for(src: str, func: str = "main", path_bits: int = 11):
+    module = assemble(src)
+    cfg = build_cfg(module, module.func_named(func))
+    return cfg, tile(cfg, path_bits=path_bits)
+
+
+def test_function_entry_is_header():
+    _, plan = plan_for(".func main\n halt\n.endfunc")
+    assert plan.block_probe[0][0] == "header"
+
+
+def test_loop_contains_a_header():
+    cfg, plan = plan_for(
+        """
+        .func main
+          movi r0, 9
+        top:
+          addi r0, r0, -1
+          bnz r0, top
+          halt
+        .endfunc
+        """
+    )
+    assert plan.block_probe[1][0] == "header"
+
+
+def test_call_return_point_is_header():
+    cfg, plan = plan_for(
+        """
+        .func main
+          call f
+          halt
+        .endfunc
+        .func f
+          ret
+        .endfunc
+        """
+    )
+    headers = required_headers(cfg)
+    assert 1 in headers  # the block after the call
+    assert plan.block_probe[1][0] == "header"
+
+
+def test_multiway_targets_are_headers():
+    cfg, plan = plan_for(
+        """
+        .func main
+          la r1, tab
+          jtab r0, r1
+        a: halt
+        b: halt
+        .endfunc
+        .rodata
+        tab: .addr a b
+        """
+    )
+    assert plan.block_probe[3][0] == "header"
+    assert plan.block_probe[4][0] == "header"
+
+
+def test_handler_entry_is_header():
+    _, plan = plan_for(
+        """
+        .func main
+        t0:
+          movi r0, 1
+        t1:
+          halt
+        h:
+          halt
+        .handler t0 t1 h
+        .endfunc
+        """
+    )
+    assert plan.block_probe[2][0] == "header"
+
+
+def test_diamond_shares_one_dag():
+    cfg, plan = plan_for(
+        """
+        .func main
+          bz r0, right
+          movi r1, 1
+          br join
+        right:
+          movi r1, 2
+        join:
+          halt
+        .endfunc
+        """
+    )
+    dags = {plan.dag_of[b] for b in cfg.blocks}
+    assert len(dags) == 1
+    # Branch sides get bits; the join has two preds so it needs one too.
+    kinds = {b: plan.block_probe[b][0] for b in cfg.blocks}
+    assert kinds[0] == "header"
+    assert kinds[1] == "light"
+    assert kinds[3] == "light"
+    assert kinds[4] == "light"
+
+
+def test_unconditional_chain_is_implied():
+    cfg, plan = plan_for(
+        """
+        .func main
+          bz r0, side       ; makes a second block genuine
+          br next
+        side:
+          br next2
+        next:
+          br next2
+        next2:
+          halt
+        .endfunc
+        """
+    )
+    # 'next' is the unique successor of unconditional block 1: implied.
+    # 'next2' has two predecessors: it needs a bit.
+    assert plan.block_probe[3][0] == "none"
+    assert plan.block_probe[4][0] == "light"
+
+
+def test_implied_block_after_unconditional():
+    cfg, plan = plan_for(
+        """
+        .func main
+          movi r0, 1
+          br only
+        only:
+          halt
+        .endfunc
+        """
+    )
+    # 'only' is the unique successor of an unconditional block: implied.
+    assert plan.block_probe[2][0] == "none"
+
+
+def test_bit_budget_forces_new_dag():
+    # A long if-chain consumes one bit per join/side; with a tiny budget
+    # the tiler must promote blocks to headers instead of overflowing.
+    lines = [".func main"]
+    for i in range(8):
+        lines += [f"  bz r0, L{i}", f"L{i}:"]
+    lines += ["  halt", ".endfunc"]
+    cfg, plan = plan_for("\n".join(lines), path_bits=3)
+    for dag in plan.dags:
+        assert dag.bits_used <= 3
+    assert len(plan.dags) > 1
+
+
+def test_every_block_is_assigned():
+    cfg, plan = plan_for(
+        """
+        .func main
+          bz r0, a
+          call f
+          br b
+        a:
+          movi r1, 2
+        b:
+          halt
+        .endfunc
+        .func f
+          ret
+        .endfunc
+        """
+    )
+    for block in cfg.blocks:
+        assert block in plan.dag_of
+        assert block in plan.block_probe
+
+
+def test_dag_members_acyclic():
+    cfg, plan = plan_for(
+        """
+        .func main
+          movi r0, 5
+        outer:
+          movi r1, 5
+        inner:
+          addi r1, r1, -1
+          bnz r1, inner
+          addi r0, r0, -1
+          bnz r0, outer
+          halt
+        .endfunc
+        """
+    )
+    # No DAG may contain a retreating edge: entries of loops are headers.
+    for dag in plan.dags:
+        for member in dag.members:
+            for succ in cfg.blocks[member].succs:
+                if succ in dag.members and succ != dag.entry:
+                    # Forward edge within the DAG: fine.  An edge to the
+                    # entry would be a cycle.
+                    assert cfg.reverse_postorder().index(succ) > \
+                        cfg.reverse_postorder().index(member)

@@ -1,0 +1,145 @@
+"""Property tests: path encode -> decode round trip over random CFGs.
+
+The central correctness claim of DAG tiling (§2.1): for any control-flow
+graph and any complete path through any of its DAGs, the path bits
+written by the probes decode back to exactly that path.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cfg import CFG, BasicBlock
+from repro.instrument import decode_path, encode_path, feasible_paths, tile
+from repro.isa.module import FuncInfo, Module
+
+
+def synthetic_cfg(
+    n_blocks: int,
+    forward_edges: list[tuple[int, int]],
+    back_edges: list[tuple[int, int]],
+    call_blocks: set[int],
+) -> CFG:
+    """Build a CFG object directly (tiling never looks at instructions)."""
+    blocks = {
+        i: BasicBlock(start=i, end=i + 1, instrs=[]) for i in range(n_blocks)
+    }
+    for src, dst in forward_edges + back_edges:
+        if dst not in blocks[src].succs:
+            blocks[src].succs.append(dst)
+    for i in call_blocks:
+        blocks[i].ends_with_call = True
+        # A call block's only successor is its return point.
+        blocks[i].succs = [s for s in blocks[i].succs][:1]
+    for block in blocks.values():
+        for succ in block.succs:
+            blocks[succ].preds.append(block.start)
+    module = Module(name="synthetic")
+    func = FuncInfo(name="f", start=0, end=n_blocks)
+    return CFG(module=module, func=func, blocks=blocks, entries=[0])
+
+
+@st.composite
+def cfg_strategy(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    forward = []
+    for src in range(n - 1):
+        # Every block (except maybe the last) gets 0-2 forward successors.
+        available = n - 1 - src
+        count = draw(st.integers(min_value=0, max_value=min(2, available)))
+        targets = draw(
+            st.lists(
+                st.integers(min_value=src + 1, max_value=n - 1),
+                min_size=count,
+                max_size=count,
+                unique=True,
+            )
+        )
+        forward.extend((src, t) for t in targets)
+        # Keep the graph connected-ish: always link to the next block
+        # with probability via a drawn boolean.
+        if draw(st.booleans()):
+            forward.append((src, src + 1))
+    n_back = draw(st.integers(min_value=0, max_value=2))
+    back = []
+    for _ in range(n_back):
+        if n >= 2:
+            src = draw(st.integers(min_value=1, max_value=n - 1))
+            dst = draw(st.integers(min_value=0, max_value=src))
+            back.append((src, dst))
+    calls = draw(st.sets(st.integers(min_value=0, max_value=n - 1), max_size=2))
+    return synthetic_cfg(n, list(dict.fromkeys(forward)), back, calls)
+
+
+def _dag_succs(cfg: CFG, dag) -> dict:
+    return {
+        member: [
+            s
+            for s in cfg.blocks[member].succs
+            if s in dag.members and s != dag.entry
+        ]
+        for member in dag.members
+    }
+
+
+@settings(max_examples=200, deadline=None)
+@given(cfg_strategy())
+def test_encode_decode_round_trip(cfg):
+    """Every maximal path through every DAG survives encode -> decode."""
+    plan = tile(cfg)
+    for dag in plan.dags:
+        succs = _dag_succs(cfg, dag)
+        for path in feasible_paths(dag, succs, limit=200):
+            bits = encode_path(dag, path)
+            assert decode_path(dag, bits, succs) == path
+
+
+@settings(max_examples=200, deadline=None)
+@given(cfg_strategy())
+def test_bit_budget_respected(cfg):
+    plan = tile(cfg)
+    for dag in plan.dags:
+        assert dag.bits_used <= 11
+
+
+@settings(max_examples=200, deadline=None)
+@given(cfg_strategy())
+def test_tiles_partition_blocks(cfg):
+    """Every block lands in exactly one DAG."""
+    plan = tile(cfg)
+    seen: set[int] = set()
+    for dag in plan.dags:
+        for member in dag.members:
+            assert member not in seen
+            seen.add(member)
+    assert seen == set(cfg.blocks)
+
+
+@settings(max_examples=200, deadline=None)
+@given(cfg_strategy())
+def test_dags_are_acyclic(cfg):
+    """No DAG contains a cycle (retreating edges always leave the DAG
+    or target its entry, which is excluded from in-DAG edges)."""
+    plan = tile(cfg)
+    for dag in plan.dags:
+        succs = _dag_succs(cfg, dag)
+        order = {member: i for i, member in enumerate(dag.members)}
+        for member, targets in succs.items():
+            for target in targets:
+                assert order[target] > order[member], (
+                    f"edge {member}->{target} violates topological order"
+                )
+
+
+@settings(max_examples=200, deadline=None)
+@given(cfg_strategy())
+def test_members_preds_inside_dag(cfg):
+    """Non-entry members only have predecessors inside their own DAG —
+    the invariant that makes lightweight probes attribute bits to the
+    correct record."""
+    plan = tile(cfg)
+    for dag in plan.dags:
+        for member in dag.members:
+            if member == dag.entry:
+                continue
+            for pred in cfg.blocks[member].preds:
+                assert plan.dag_of[pred] == dag.index

@@ -1,0 +1,169 @@
+"""High-level API and the paper's worked scenarios, end to end."""
+
+from repro import TraceSession, trace_program
+from repro.instrument import InstrumentConfig
+from repro.reconstruct import LineStep
+from repro.vm import ExcCode
+from repro.workloads.scenarios import (
+    fidelity_session,
+    figure5_session,
+    figure6_session,
+    oracle_session,
+)
+
+
+def test_trace_program_clean_run_has_no_policy_snap():
+    run = trace_program("int main() { print_int(7); return 0; }")
+    assert run.output == ["7"]
+    assert run.status == "done"
+    # Only policy-triggered snaps exist; a clean run takes none.
+    assert run.runtime.stats.snaps == 0
+
+
+def test_trace_program_crash_produces_view():
+    run = trace_program("int main() { int x; x = 1 / 0; return 0; }")
+    assert run.process.exit_state == "faulted"
+    assert "DIVIDE_BY_ZERO" in run.view()
+
+
+def test_trace_program_il_mode():
+    run = trace_program(
+        "int a[2];\nint main() { a[9] = 1; return 0; }", mode="il"
+    )
+    assert run.process.fault.code == ExcCode.ARRAY_BOUNDS
+
+
+def test_session_multiple_modules():
+    session = TraceSession()
+    session.add_minic("int twice(int x) { return x * 2; }", name="libtwice")
+    session.add_minic(
+        """
+extern int twice(int x);
+int main() { print_int(twice(21)); return 0; }
+""",
+        name="app",
+    )
+    run = session.run()
+    assert run.output == ["42"]
+    assert len(run.mapfiles) == 2
+    # Both modules were rebased into disjoint ranges.
+    assert run.runtime.allocator.rebase_count == 1
+
+
+def test_session_uninstrumented_module_coexists():
+    """§1: "robustly allowing parts of a program to be not traced"."""
+    session = TraceSession()
+    session.add_minic("int secret(int x) { return x ^ 255; }",
+                      name="blackbox", instrument=False)
+    session.add_minic(
+        """
+extern int secret(int x);
+int main() {
+    print_int(secret(0));
+    int y;
+    y = 1 / 0;
+    return 0;
+}
+""",
+        name="app",
+    )
+    run = session.run()
+    assert run.output == ["255"]
+    trace = run.trace()
+    thread = trace.threads[-1]
+    # The instrumented module's lines are present; the black box is not.
+    modules = {s.module for s in thread.line_steps()}
+    assert modules == {"app"}
+    assert thread.events("exception")
+
+
+def test_figure5_scenario_invariants():
+    run = figure5_session().run(max_cycles=5_000_000)
+    assert run.process.exit_state == "faulted"
+    thread = run.trace().threads[-1]
+    files = {s.file for s in thread.line_steps()}
+    assert files == {"NativeString.java", "NativeString.c"}
+
+
+def test_figure6_scenario_invariants():
+    session = figure6_session()
+    result = session.run()
+    client = session.nodes["labrador-client"].process
+    assert client.output == ["0", "Rex"]
+    trace = result.reconstruct()
+    assert len(trace.logical_threads) >= 1
+
+
+def test_fidelity_and_oracle_round():
+    fid = fidelity_session().run()
+    assert fid.process.exit_state == "faulted"
+    ora = oracle_session().run()
+    assert ora.output == ["14"]
+    assert ora.runtime.stats.snaps == 1
+
+
+def test_snap_and_mapfile_survive_disk_round_trip(tmp_path):
+    """The full offline workflow: snap + mapfiles to disk, reconstruct
+    in a 'different process' from files alone."""
+    from repro.instrument import Mapfile
+    from repro.reconstruct import Reconstructor
+    from repro.runtime import SnapFile
+
+    run = trace_program(
+        """
+int main() {
+    int i;
+    for (i = 0; i < 3; i = i + 1) { print_int(i); }
+    int z;
+    z = i / (i - 3);
+    return 0;
+}
+"""
+    )
+    snap_path = tmp_path / "crash.snap.json"
+    run.snap.save(str(snap_path))
+    map_path = tmp_path / "app.mapfile.json"
+    run.mapfiles[0].save(str(map_path))
+
+    snap = SnapFile.load(str(snap_path))
+    mapfile = Mapfile.load(str(map_path))
+    trace = Reconstructor([mapfile]).reconstruct(snap)
+    thread = trace.threads[-1]
+    assert isinstance(thread.line_steps()[-1], LineStep)
+    assert thread.events("exception")[-1].detail["code"] == ExcCode.DIVIDE_BY_ZERO
+
+
+def test_il_and_native_modes_trace_identically_for_output():
+    src = """
+int f(int n) {
+    int acc;
+    int i;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) { acc = acc + i * i; }
+    return acc;
+}
+int main() { print_int(f(10)); return 0; }
+"""
+    native = trace_program(src, mode="native")
+    il = trace_program(src, mode="il")
+    assert native.output == il.output == ["285"]
+
+
+def test_default_config_snapshots_unhandled_only():
+    session = TraceSession()
+    session.add_minic(
+        """
+int main() {
+    int e;
+    try { throw 5; } catch (e) { }
+    throw 9;
+    return 0;
+}
+""",
+        name="app",
+    )
+    run = session.run()
+    # The handled throw does not snap; the unhandled one does.
+    assert run.runtime.stats.snaps == 1
+    assert run.snap.reason == "unhandled"
+    assert run.snap.detail["code"] == 9

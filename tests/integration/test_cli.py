@@ -1,0 +1,119 @@
+"""The tbtrace command line."""
+
+import pytest
+
+from repro.tools.tb import main
+
+CRASHY = """
+int div_by(int d) {
+    return 100 / d;
+}
+int main() {
+    print_int(div_by(4));
+    print_int(div_by(0));
+    return 0;
+}
+"""
+
+CLEAN = "int main() { print_int(1); return 0; }"
+
+
+@pytest.fixture()
+def crashy(tmp_path):
+    path = tmp_path / "crashy.c"
+    path.write_text(CRASHY)
+    return str(path)
+
+
+def test_run_crashing_program(crashy, capsys):
+    rc = main(["run", crashy])
+    out = capsys.readouterr().out
+    assert rc == 1  # non-zero on faulted process
+    assert "DIVIDE_BY_ZERO" in out
+    assert "fault here" in out
+    # The highlight marks only the fatal execution of the line.
+    assert out.count("<=== fault here") == 1
+
+
+def test_run_clean_program(tmp_path, capsys):
+    path = tmp_path / "ok.c"
+    path.write_text(CLEAN)
+    rc = main(["run", str(path)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no snap was taken" in out
+
+
+def test_run_view_round_trip(crashy, tmp_path, capsys):
+    snap = tmp_path / "crash.json"
+    mapfile = tmp_path / "app.map.json"
+    main(["run", crashy, "--save-snap", str(snap),
+          "--save-mapfile", str(mapfile)])
+    capsys.readouterr()
+    rc = main(["view", str(snap), str(mapfile)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "DIVIDE_BY_ZERO" in out
+
+
+def test_view_flat(crashy, tmp_path, capsys):
+    snap = tmp_path / "crash.json"
+    mapfile = tmp_path / "app.map.json"
+    main(["run", crashy, "--save-snap", str(snap),
+          "--save-mapfile", str(mapfile)])
+    capsys.readouterr()
+    main(["view", str(snap), str(mapfile), "--flat"])
+    out = capsys.readouterr().out
+    assert "crashy.c:2" in out
+
+
+def test_tile_output(crashy, capsys):
+    rc = main(["tile", crashy])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "function div_by" in out and "DAG 0" in out
+
+
+def test_disasm_instrumented(crashy, capsys):
+    rc = main(["disasm", crashy, "--instrument"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "stdag" in out
+    assert "instrumented:" in out
+
+
+def test_disasm_asm_output(crashy, capsys):
+    rc = main(["disasm", crashy, "--asm"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert ".func div_by" in out
+
+
+def test_run_with_policy_file(crashy, tmp_path, capsys):
+    policy = tmp_path / "policy.txt"
+    policy.write_text("snap on exception\nsuppress duplicates on\n")
+    rc = main(["run", crashy, "--policy", str(policy)])
+    out = capsys.readouterr().out
+    assert "snap: exception" in out
+
+
+def test_run_il_mode_tree_view(crashy, capsys):
+    rc = main(["run", crashy, "--mode", "il", "--tree"])
+    out = capsys.readouterr().out
+    assert "call tree" in out
+
+
+def test_dagbase_command(tmp_path, capsys):
+    a = tmp_path / "liba.c"
+    a.write_text("int a_fn(int x) { if (x > 0) { return x; } return -x; }")
+    b = tmp_path / "libb.c"
+    b.write_text("int b_fn(int x) { return x * 2; }")
+    out_path = tmp_path / "dag.base"
+    rc = main(["dagbase", str(a), str(b), "--out", str(out_path)])
+    assert rc == 0
+    from repro.instrument import DagBaseFile
+
+    dagbase = DagBaseFile.load(str(out_path))
+    assert dagbase.base_for("liba") is not None
+    assert dagbase.base_for("libb") is not None
+    assert dagbase.base_for("liba") != dagbase.base_for("libb")

@@ -1,0 +1,197 @@
+"""Assembler behaviour: labels, directives, relocations, diagnostics."""
+
+import pytest
+
+from repro.isa import AsmError, Op, assemble, decode
+
+
+def test_forward_and_backward_branches():
+    module = assemble(
+        """
+        .module t
+        .func main
+          br fwd
+        back:
+          halt
+        fwd:
+          br back
+        .endfunc
+        """
+    )
+    first = decode(module.code[0])
+    assert first.op is Op.BR and first.imm == 1  # to offset 2
+    last = decode(module.code[2])
+    assert last.op is Op.BR and last.imm == -2  # back to offset 1
+
+
+def test_label_sharing_line_with_instruction():
+    module = assemble("top: halt")
+    assert module.symbols["top"] == ("code", 0)
+    assert len(module.code) == 1
+
+
+def test_data_and_rodata_sections():
+    module = assemble(
+        """
+        .data
+        counter: .word 7
+        buf:     .space 3
+        .rodata
+        msg:     .str "hi"
+        """
+    )
+    assert module.data == [7, 0, 0, 0]
+    assert module.rodata == [ord("h"), ord("i"), 0]
+    assert module.symbols["msg"] == ("rodata", 0)
+
+
+def test_la_emits_hi_lo_relocations():
+    module = assemble(
+        """
+        .func main
+          la r1, counter
+          halt
+        .endfunc
+        .data
+        counter: .word 0
+        """
+    )
+    kinds = {(r.kind, r.offset) for r in module.relocs}
+    assert ("hi16", 0) in kinds and ("lo16", 1) in kinds
+
+
+def test_addr_directive_creates_word_relocs():
+    module = assemble(
+        """
+        .func main
+        t1: halt
+        t2: halt
+        .endfunc
+        .rodata
+        table: .addr t1 t2
+        """
+    )
+    word_relocs = [r for r in module.relocs if r.kind == "word"]
+    assert [r.symbol for r in word_relocs] == ["t1", "t2"]
+
+
+def test_li_wide_value_expands():
+    module = assemble(".func m\n li r0, 100000\n halt\n.endfunc")
+    assert len(module.code) == 3  # movhi + ori + halt
+
+
+def test_li_narrow_value_single_instruction():
+    module = assemble(".func m\n li r0, -5\n halt\n.endfunc")
+    assert len(module.code) == 2
+
+
+def test_callx_requires_declared_import():
+    with pytest.raises(AsmError, match="undeclared import"):
+        assemble(".func m\n callx missing\n.endfunc")
+
+
+def test_callx_resolves_import_index():
+    module = assemble(
+        """
+        .import alpha
+        .import beta
+        .func m
+          callx beta
+          halt
+        .endfunc
+        """
+    )
+    assert decode(module.code[0]).imm == 1
+
+
+def test_func_table_and_frame():
+    module = assemble(
+        """
+        .func f
+        .frame 4
+          halt
+        .endfunc
+        .func g
+          halt
+        .endfunc
+        """
+    )
+    f = module.func_named("f")
+    g = module.func_named("g")
+    assert (f.start, f.end, f.frame_size) == (0, 1, 4)
+    assert (g.start, g.end, g.frame_size) == (1, 2, 0)
+
+
+def test_handler_ranges_attach_to_function():
+    module = assemble(
+        """
+        .func f
+        try0:
+          movi r0, 1
+        try1:
+          halt
+        catch:
+          halt
+        .handler try0 try1 catch 2
+        .endfunc
+        """
+    )
+    handler = module.func_named("f").handlers[0]
+    assert (handler.start, handler.end, handler.handler, handler.code) == (0, 1, 2, 2)
+
+
+def test_line_directive_builds_line_table():
+    module = assemble(
+        """
+        .func f
+        .line a.c 10
+          movi r0, 1
+          movi r1, 2
+        .line a.c 11
+          halt
+        .endfunc
+        """
+    )
+    assert module.line_at(0).line == 10
+    assert module.line_at(1).line == 10
+    assert module.line_at(2).line == 11
+
+
+def test_undefined_label_reports_line():
+    with pytest.raises(AsmError, match="nowhere"):
+        assemble(".func m\n br nowhere\n.endfunc")
+
+
+def test_duplicate_label_rejected():
+    with pytest.raises(AsmError, match="duplicate"):
+        assemble("x: halt\nx: halt")
+
+
+def test_exports_only_visible_when_marked():
+    module = assemble(
+        """
+        .export pub
+        .func pub
+          halt
+        .endfunc
+        .func priv
+          halt
+        .endfunc
+        """
+    )
+    assert "pub" in module.exports and "priv" not in module.exports
+
+
+def test_entry_auto_exported():
+    module = assemble(".entry main\n.func main\n halt\n.endfunc")
+    assert module.entry_offset() == 0
+
+
+def test_operand_count_checked():
+    with pytest.raises(AsmError, match="wants 3 operands"):
+        assemble(".func m\n add r1, r2\n.endfunc")
+
+
+def test_comments_ignored():
+    module = assemble("halt ; trailing\n# full line\nhalt")
+    assert len(module.code) == 2

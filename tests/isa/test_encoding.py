@@ -1,0 +1,102 @@
+"""Encoder/decoder round-trip and range checking."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.isa import EncodingError, Fmt, Instr, Op, decode, encode
+from repro.isa.encoding import UNSIGNED_IMM_OPS
+from repro.isa.instructions import FORMATS, IMM16_MAX, IMM16_MIN, IMM20_MAX
+
+
+def test_simple_round_trip():
+    instr = Instr(Op.ADD, rd=1, rs=2, rt=3)
+    assert decode(encode(instr)) == instr
+
+
+def test_immediate_sign_extension():
+    instr = Instr(Op.ADDI, rd=4, rs=4, imm=-1)
+    assert decode(encode(instr)).imm == -1
+
+
+def test_unsigned_immediate_round_trip():
+    instr = Instr(Op.ORI, rd=0, rs=0, imm=0xBEEF)
+    assert decode(encode(instr)).imm == 0xBEEF
+
+
+def test_stdag_uses_wide_immediate():
+    instr = Instr(Op.STDAG, rd=11, imm=0xABCDE)
+    assert decode(encode(instr)).imm == 0xABCDE
+
+
+def test_register_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instr(Op.ADD, rd=16, rs=0, rt=0))
+
+
+def test_signed_immediate_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instr(Op.ADDI, rd=0, rs=0, imm=40000))
+
+
+def test_unsigned_immediate_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instr(Op.ORI, rd=0, rs=0, imm=-1))
+
+
+def test_stdag_immediate_out_of_range_rejected():
+    with pytest.raises(EncodingError):
+        encode(Instr(Op.STDAG, rd=0, imm=IMM20_MAX + 1))
+
+
+def test_unknown_opcode_rejected():
+    with pytest.raises(EncodingError):
+        decode(0xFF000000)
+
+
+def _instr_strategy():
+    """Generate arbitrary legal instructions across all formats."""
+
+    def build(op: Op, rd: int, rs: int, rt: int, simm: int, uimm: int, w: int):
+        fmt = FORMATS[op]
+        imm = 0
+        if fmt in (Fmt.RI, Fmt.RRI, Fmt.I16, Fmt.RB, Fmt.RRB):
+            imm = uimm if op in UNSIGNED_IMM_OPS else simm
+        elif fmt is Fmt.RI20:
+            imm = w
+        if fmt is Fmt.NONE:
+            return Instr(op)
+        if fmt is Fmt.I16:
+            return Instr(op, imm=imm)
+        if fmt is Fmt.R1:
+            return Instr(op, rd=rd)
+        if fmt in (Fmt.RI, Fmt.RI20, Fmt.RB):
+            return Instr(op, rd=rd, imm=imm)
+        if fmt is Fmt.R2:
+            return Instr(op, rd=rd, rs=rs)
+        if fmt in (Fmt.RRI, Fmt.RRB):
+            return Instr(op, rd=rd, rs=rs, imm=imm)
+        return Instr(op, rd=rd, rs=rs, rt=rt)
+
+    return st.builds(
+        build,
+        st.sampled_from(list(Op)),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(0, 15),
+        st.integers(IMM16_MIN, IMM16_MAX),
+        st.integers(0, 0xFFFF),
+        st.integers(0, IMM20_MAX),
+    )
+
+
+@given(_instr_strategy())
+def test_encode_decode_is_identity(instr):
+    """Property: decode(encode(x)) == x for every legal instruction."""
+    assert decode(encode(instr)) == instr
+
+
+@given(_instr_strategy())
+def test_encoding_fits_one_word(instr):
+    word = encode(instr)
+    assert 0 <= word <= 0xFFFFFFFF

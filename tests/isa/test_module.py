@@ -1,0 +1,71 @@
+"""Module metadata: checksums, debug queries, serialization."""
+
+from repro.isa import assemble
+from repro.isa.module import Module
+
+SRC = """
+.module demo
+.entry main
+.func main
+.line demo.c 1
+  li r0, 3
+.line demo.c 2
+  halt
+.endfunc
+.data
+g: .word 42
+"""
+
+
+def test_checksum_stable_across_assemblies():
+    assert assemble(SRC).checksum() == assemble(SRC).checksum()
+
+
+def test_checksum_ignores_timestamp():
+    a = assemble(SRC)
+    b = assemble(SRC)
+    b.timestamp = 999
+    assert a.checksum() == b.checksum()
+
+
+def test_checksum_changes_with_code():
+    changed = SRC.replace("li r0, 3", "li r0, 4")
+    assert assemble(SRC).checksum() != assemble(changed).checksum()
+
+
+def test_checksum_changes_with_data():
+    changed = SRC.replace(".word 42", ".word 43")
+    assert assemble(SRC).checksum() != assemble(changed).checksum()
+
+
+def test_func_at_boundaries():
+    module = assemble(SRC)
+    func = module.func_named("main")
+    assert module.func_at(func.start) is func
+    assert module.func_at(func.end) is None
+
+
+def test_line_at_before_first_entry_is_none():
+    module = Module(name="m", lines=[])
+    assert module.line_at(0) is None
+
+
+def test_serialization_round_trip():
+    module = assemble(SRC)
+    module.dag_base = 100
+    module.dag_count = 7
+    module.dag_fixups = [1, 5]
+    module.instrumented = True
+    clone = Module.from_dict(module.to_dict())
+    assert clone.checksum() == module.checksum()
+    assert clone.dag_base == 100
+    assert clone.dag_count == 7
+    assert clone.dag_fixups == [1, 5]
+    assert clone.instrumented
+    assert clone.entry_offset() == module.entry_offset()
+    assert clone.symbols == module.symbols
+
+
+def test_entry_offset_falls_back_to_main():
+    module = assemble(".export main\n.func main\n halt\n.endfunc")
+    assert module.entry_offset() == 0

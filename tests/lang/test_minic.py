@@ -1,0 +1,389 @@
+"""MiniC: lexer, parser, and compiled-program semantics."""
+
+import pytest
+
+from repro.lang.minic import (
+    CompileError,
+    LexError,
+    ParseError,
+    compile_source,
+    compile_to_asm,
+    parse,
+    tokenize,
+)
+from repro.vm import ExcCode, ExitState, Machine
+
+
+def run(src: str, max_cycles: int = 20_000_000):
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(compile_source(src, "t"))
+    process.start()
+    status = machine.run(max_cycles=max_cycles)
+    return process, status
+
+
+def outputs(src: str) -> list[str]:
+    process, status = run(src)
+    assert status == "done", f"status={status}, state={process.exit_state}"
+    assert process.exit_state == ExitState.EXITED
+    return process.output
+
+
+# ----------------------------------------------------------------------
+# Lexer / parser
+# ----------------------------------------------------------------------
+def test_tokenize_basics():
+    tokens = tokenize("int x = 0x10; // comment\n")
+    kinds = [t.kind for t in tokens]
+    assert kinds == ["int", "ident", "=", "int", ";", "eof"]
+    assert tokens[3].value == 16
+
+
+def test_tokenize_string_and_char():
+    tokens = tokenize('"a\\nb" \'x\'')
+    assert tokens[0].value == "a\nb"
+    assert tokens[1].value == ord("x")
+
+
+def test_tokenize_rejects_garbage():
+    with pytest.raises(LexError):
+        tokenize("int @ x;")
+
+
+def test_parse_error_reports_line():
+    with pytest.raises(ParseError, match="line 2"):
+        parse("int main() {\n    int 5;\n}")
+
+
+def test_parse_program_shape():
+    program = parse(
+        """
+        extern int remote(int a, int b);
+        const int table[2] = {1, 2};
+        int g = 5;
+        int main() { return 0; }
+        """
+    )
+    assert program.externs[0].name == "remote"
+    assert program.externs[0].arity == 2
+    assert program.globals[0].const
+    assert program.globals[1].init_values == [5]
+    assert program.functions[0].name == "main"
+
+
+def test_compile_to_asm_contains_line_markers():
+    asm = compile_to_asm("int main() {\n    return 1;\n}\n", "m", "m.c")
+    assert ".line m.c 2" in asm
+
+
+# ----------------------------------------------------------------------
+# Semantics
+# ----------------------------------------------------------------------
+def test_arithmetic_precedence():
+    assert outputs("int main() { print_int(2 + 3 * 4); return 0; }") == ["14"]
+
+
+def test_parentheses_override():
+    assert outputs("int main() { print_int((2 + 3) * 4); return 0; }") == ["20"]
+
+
+def test_unary_minus_and_not():
+    assert outputs(
+        "int main() { print_int(-5); print_int(!0); print_int(!7); return 0; }"
+    ) == ["-5", "1", "0"]
+
+
+def test_division_and_modulo():
+    assert outputs(
+        "int main() { print_int(-7 / 2); print_int(7 % 3); return 0; }"
+    ) == ["-3", "1"]
+
+
+def test_comparisons():
+    assert outputs(
+        """int main() {
+            print_int(1 < 2); print_int(2 <= 1);
+            print_int(3 > 2); print_int(2 >= 3);
+            print_int(4 == 4); print_int(4 != 4);
+            return 0; }"""
+    ) == ["1", "0", "1", "0", "1", "0"]
+
+
+def test_bitwise_and_shifts():
+    assert outputs(
+        """int main() {
+            print_int(6 & 3); print_int(6 | 1); print_int(6 ^ 3);
+            print_int(1 << 4); print_int(32 >> 2);
+            return 0; }"""
+    ) == ["2", "7", "5", "16", "8"]
+
+
+def test_short_circuit_and():
+    src = """
+int touched = 0;
+int side() { touched = 1; return 1; }
+int main() {
+    int r;
+    r = 0 && side();
+    print_int(r);
+    print_int(touched);
+    return 0;
+}
+"""
+    assert outputs(src) == ["0", "0"]
+
+
+def test_short_circuit_or():
+    src = """
+int touched = 0;
+int side() { touched = 1; return 0; }
+int main() {
+    print_int(1 || side());
+    print_int(touched);
+    return 0;
+}
+"""
+    assert outputs(src) == ["1", "0"]
+
+
+def test_while_and_break_continue():
+    src = """int main() {
+    int i;
+    int total;
+    i = 0;
+    total = 0;
+    while (1) {
+        i = i + 1;
+        if (i % 2 == 0) { continue; }
+        if (i > 9) { break; }
+        total = total + i;
+    }
+    print_int(total);
+    return 0;
+}
+"""
+    assert outputs(src) == ["25"]  # 1+3+5+7+9
+
+
+def test_for_with_declaration_init():
+    src = """int main() {
+    int total;
+    total = 0;
+    for (int i = 1; i <= 4; i = i + 1) {
+        total = total + i;
+    }
+    print_int(total);
+    return 0;
+}
+"""
+    assert outputs(src) == ["10"]
+
+
+def test_nested_function_calls():
+    src = """
+int square(int x) { return x * x; }
+int add(int a, int b) { return a + b; }
+int main() {
+    print_int(add(square(3), square(4)));
+    return 0;
+}
+"""
+    assert outputs(src) == ["25"]
+
+
+def test_recursion_ackermann_small():
+    src = """
+int ack(int m, int n) {
+    if (m == 0) { return n + 1; }
+    if (n == 0) { return ack(m - 1, 1); }
+    return ack(m - 1, ack(m, n - 1));
+}
+int main() { print_int(ack(2, 3)); return 0; }
+"""
+    assert outputs(src) == ["9"]
+
+
+def test_local_arrays():
+    src = """int main() {
+    int a[5];
+    int i;
+    for (i = 0; i < 5; i = i + 1) { a[i] = i * 10; }
+    print_int(a[3]);
+    return 0;
+}
+"""
+    assert outputs(src) == ["30"]
+
+
+def test_global_arrays_and_init():
+    src = """
+int table[4] = {10, 20, 30, 40};
+int main() { print_int(table[2]); return 0; }
+"""
+    assert outputs(src) == ["30"]
+
+
+def test_global_string_and_print_str():
+    src = """
+int main() { print_str("hello world"); return 0; }
+"""
+    assert outputs(src) == ["hello world"]
+
+
+def test_const_global_write_faults():
+    """The Figure 6 shape: writing through a const is an access violation."""
+    src = """
+const int name[4] = {82, 101, 120, 0};
+int main() {
+    name[0] = 77;
+    return 0;
+}
+"""
+    process, _ = run(src)
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == ExcCode.ACCESS_VIOLATION
+
+
+def test_try_catch_throw():
+    src = """int main() {
+    int e;
+    try {
+        throw 123;
+    } catch (e) {
+        print_int(e);
+    }
+    return 0;
+}
+"""
+    assert outputs(src) == ["123"]
+
+
+def test_try_catch_across_call():
+    src = """
+int danger() { throw 55; return 0; }
+int main() {
+    int e;
+    try { danger(); } catch (e) { print_int(e); }
+    return 0;
+}
+"""
+    assert outputs(src) == ["55"]
+
+
+def test_catch_then_continue_loop():
+    src = """int main() {
+    int i;
+    int e;
+    int count;
+    count = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        try { throw i + 1; } catch (e) { count = count + e; }
+    }
+    print_int(count);
+    return 0;
+}
+"""
+    assert outputs(src) == ["10"]
+
+
+def test_peek_poke_round_trip():
+    src = """
+int cell[2];
+int main() {
+    poke(cell, 41);
+    print_int(peek(cell) + 1);
+    return 0;
+}
+"""
+    assert outputs(src) == ["42"]
+
+
+def test_builtin_rand_deterministic():
+    src = "int main() { print_int(rand() == rand()); return 0; }"
+    assert outputs(src) == ["0"]
+
+
+def test_function_value_for_thread_create():
+    src = """
+int done[1];
+int worker(int arg) {
+    done[0] = arg + 1;
+    exit_thread(0);
+    return 0;
+}
+int main() {
+    thread_create(worker, 41);
+    sleep(100000);
+    print_int(done[0]);
+    return 0;
+}
+"""
+    assert outputs(src) == ["42"]
+
+
+def test_bounds_checks_off_by_default():
+    src = """
+int a[2];
+int pad[8];
+int main() { a[3] = 9; print_int(pad[1]); return 0; }
+"""
+    process, _ = run(src)
+    # Without checks, the write lands in a neighbouring global (the
+    # memcpy-overrun corruption shape from §6.1's Fidelity story).
+    assert process.exit_state == ExitState.EXITED
+
+
+def test_bounds_checks_in_il_mode():
+    module = compile_source(
+        "int a[2];\nint main() { a[5] = 1; return 0; }", "t",
+        bounds_checks=True,
+    )
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(module)
+    process.start()
+    machine.run(max_cycles=1_000_000)
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == ExcCode.ARRAY_BOUNDS
+
+
+# ----------------------------------------------------------------------
+# Compile errors
+# ----------------------------------------------------------------------
+def test_unknown_variable_rejected():
+    with pytest.raises(CompileError, match="unknown"):
+        compile_source("int main() { print_int(nope); return 0; }")
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(CompileError, match="unknown function"):
+        compile_source("int main() { missing(); return 0; }")
+
+
+def test_builtin_arity_checked():
+    with pytest.raises(CompileError, match="wants"):
+        compile_source("int main() { sleep(); return 0; }")
+
+
+def test_break_outside_loop_rejected():
+    with pytest.raises(CompileError, match="break"):
+        compile_source("int main() { break; return 0; }")
+
+
+def test_assign_to_array_rejected():
+    with pytest.raises(CompileError):
+        compile_source("int main() { int a[2]; a = 5; return 0; }")
+
+
+def test_too_many_params_rejected():
+    with pytest.raises(CompileError, match="parameters"):
+        compile_source(
+            "int f(int a, int b, int c, int d, int e, int f, int g) "
+            "{ return 0; }"
+        )
+
+
+def test_redefining_builtin_rejected():
+    with pytest.raises(CompileError, match="builtin"):
+        compile_source("int sleep(int x) { return 0; }")

@@ -1,0 +1,245 @@
+"""MiniC corners: nesting, scoping, operators, code-shape invariants."""
+
+import pytest
+
+from repro.lang.minic import CompileError, compile_source
+from repro.instrument import DagBaseError, DagBaseFile
+from repro.vm import ExitState, Machine
+
+
+def outputs(src: str) -> list[str]:
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(compile_source(src, "t"))
+    process.start()
+    status = machine.run(max_cycles=30_000_000)
+    assert status == "done" and process.exit_state == ExitState.EXITED, (
+        status, process.exit_state, process.fault
+    )
+    return process.output
+
+
+def test_nested_try_catch():
+    src = """int main() {
+    int a;
+    int b;
+    try {
+        try {
+            throw 111;
+        } catch (a) {
+            print_int(a);
+            throw 222;
+        }
+    } catch (b) {
+        print_int(b);
+    }
+    return 0;
+}
+"""
+    assert outputs(src) == ["111", "222"]
+
+
+def test_try_inside_loop_with_break():
+    src = """int main() {
+    int i;
+    int e;
+    for (i = 0; i < 10; i = i + 1) {
+        try {
+            if (i == 3) { throw 99; }
+        } catch (e) {
+            print_int(e);
+            break;
+        }
+    }
+    print_int(i);
+    return 0;
+}
+"""
+    assert outputs(src) == ["99", "3"]
+
+
+def test_throw_from_deep_nesting():
+    src = """
+int level3() { throw 7; return 0; }
+int level2() { return level3(); }
+int level1() { return level2(); }
+int main() {
+    int e;
+    try { level1(); } catch (e) { print_int(e); }
+    return 0;
+}
+"""
+    assert outputs(src) == ["7"]
+
+
+def test_deeply_nested_expressions():
+    src = """int main() {
+    print_int(((((1 + 2) * (3 + 4)) - ((5 - 6) * (7 + 8))) << 1) % 1000);
+    return 0;
+}
+"""
+    assert outputs(src) == [str((((3 * 7) - ((5 - 6) * 15)) << 1) % 1000)]
+
+
+def test_chained_else_if():
+    src = """
+int classify(int x) {
+    if (x < 0) { return -1; }
+    else if (x == 0) { return 0; }
+    else if (x < 10) { return 1; }
+    else { return 2; }
+}
+int main() {
+    print_int(classify(-5));
+    print_int(classify(0));
+    print_int(classify(5));
+    print_int(classify(50));
+    return 0;
+}
+"""
+    assert outputs(src) == ["-1", "0", "1", "2"]
+
+
+def test_anonymous_block_statement():
+    src = """int main() {
+    int x;
+    x = 1;
+    {
+        x = x + 1;
+    }
+    print_int(x);
+    return 0;
+}
+"""
+    assert outputs(src) == ["2"]
+
+
+def test_for_with_empty_clauses():
+    src = """int main() {
+    int i;
+    i = 0;
+    for (;;) {
+        i = i + 1;
+        if (i >= 4) { break; }
+    }
+    print_int(i);
+    return 0;
+}
+"""
+    assert outputs(src) == ["4"]
+
+
+def test_char_literals_and_putc():
+    src = """int main() {
+    putc('H');
+    putc('i');
+    print_int('A');
+    return 0;
+}
+"""
+    assert outputs(src) == ["H", "i", "65"]
+
+
+def test_global_string_indexing():
+    src = """
+int word[8] = "cab";
+int main() {
+    print_int(word[0]);
+    print_int(word[2]);
+    return 0;
+}
+"""
+    assert outputs(src) == [str(ord("c")), str(ord("b"))]
+
+
+def test_negative_global_initializers():
+    src = """
+int vals[3] = {-1, -2, 3};
+int main() { print_int(vals[0] + vals[1] + vals[2]); return 0; }
+"""
+    assert outputs(src) == ["0"]
+
+
+def test_recursion_with_local_arrays():
+    """Each activation gets its own frame-allocated array."""
+    src = """
+int sum_digits(int n) {
+    int d[1];
+    if (n == 0) { return 0; }
+    d[0] = n % 10;
+    return d[0] + sum_digits(n / 10);
+}
+int main() { print_int(sum_digits(1234)); return 0; }
+"""
+    assert outputs(src) == ["10"]
+
+
+def test_same_name_in_sibling_scopes_shares_slot():
+    # MiniC has function-level scoping (like pre-C99 C): redeclaration
+    # in sibling blocks reuses the slot.
+    src = """int main() {
+    if (1) {
+        int t;
+        t = 5;
+        print_int(t);
+    }
+    if (1) {
+        int t;
+        t = 6;
+        print_int(t);
+    }
+    return 0;
+}
+"""
+    assert outputs(src) == ["5", "6"]
+
+
+def test_index_on_scalar_rejected():
+    with pytest.raises(CompileError, match="not an array"):
+        compile_source("int main() { int x; x = 0; print_int(x[0]); return 0; }")
+
+
+def test_continue_in_for_hits_step():
+    src = """int main() {
+    int i;
+    int n;
+    n = 0;
+    for (i = 0; i < 6; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        n = n + i;
+    }
+    print_int(n);
+    return 0;
+}
+"""
+    assert outputs(src) == ["9"]
+
+
+# ----------------------------------------------------------------------
+# Dagbase allocation tool
+# ----------------------------------------------------------------------
+def test_dagbase_allocate_disjoint():
+    dagbase = DagBaseFile()
+    dagbase.allocate({"a": 10, "b": 5, "c": 20}, start=100)
+    spans = sorted(
+        (dagbase.bases[n], dagbase.bases[n] + size)
+        for n, size in {"a": 10, "b": 5, "c": 20}.items()
+    )
+    for (s1, e1), (s2, _) in zip(spans, spans[1:]):
+        assert s2 >= e1
+    assert min(s for s, _ in spans) >= 100
+
+
+def test_dagbase_allocate_keeps_existing():
+    dagbase = DagBaseFile({"a": 500})
+    dagbase.allocate({"a": 10, "b": 10})
+    assert dagbase.bases["a"] == 500
+    assert dagbase.bases["b"] != 500
+
+
+def test_dagbase_allocate_exhaustion():
+    from repro.runtime.records import MAX_DAG_ID
+
+    dagbase = DagBaseFile()
+    with pytest.raises(DagBaseError, match="exhausted"):
+        dagbase.allocate({"huge": MAX_DAG_ID + 10})

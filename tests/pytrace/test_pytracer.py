@@ -1,0 +1,149 @@
+"""The Python flight recorder: real sys.settrace, same record format."""
+
+import threading
+
+from repro.pytrace import PyTracer
+from repro.reconstruct.model import LineStep
+
+
+def _double(x):
+    return x * 2
+
+
+def _work(n):
+    total = 0
+    for i in range(n):
+        total += _double(i)
+    return total
+
+
+def _faulty(n):
+    if n == 2:
+        raise KeyError("two")
+    return n
+
+
+def test_records_executed_lines():
+    tracer = PyTracer()
+    with tracer:
+        assert _work(3) == 6
+    (trace,) = tracer.reconstruct()
+    lines = [s for s in trace.steps if isinstance(s, LineStep)]
+    funcs = {s.func for s in lines}
+    assert any("_work" in f for f in funcs)
+    assert any("_double" in f for f in funcs)
+
+
+def test_call_depth_nesting():
+    tracer = PyTracer()
+    with tracer:
+        _work(2)
+    (trace,) = tracer.reconstruct()
+    work_depths = {s.depth for s in trace.line_steps() if "_work" in s.func}
+    double_depths = {s.depth for s in trace.line_steps() if "_double" in s.func}
+    assert max(double_depths) > max(work_depths)
+
+
+def test_exception_recorded_with_location():
+    tracer = PyTracer()
+    try:
+        with tracer:
+            for i in range(5):
+                _faulty(i)
+    except KeyError:
+        pass
+    (trace,) = tracer.reconstruct()
+    exceptions = trace.events("exception")
+    assert exceptions
+    assert exceptions[0].detail["exception"] == "KeyError"
+    assert "_faulty" in exceptions[0].detail["func"]
+
+
+def test_loop_iterations_visible():
+    tracer = PyTracer()
+    with tracer:
+        _work(4)
+    (trace,) = tracer.reconstruct()
+    body_lines = [
+        s for s in trace.line_steps() if "_double" in s.func
+    ]
+    assert len(body_lines) >= 4  # one per iteration
+
+
+def test_ring_wraps_keep_recent_history():
+    tracer = PyTracer(sub_buffers=2, sub_buffer_words=64)
+    with tracer:
+        _work(200)
+    (trace,) = tracer.reconstruct()
+    assert trace.truncated
+    # The most recent steps survive: the trace ends with _work's return
+    # path, not its beginning.
+    lines = trace.line_steps()
+    assert lines, "wrapped ring must still contain records"
+    assert len(lines) < 200 * 3  # history bounded by the ring
+
+
+def test_threads_get_separate_rings():
+    tracer = PyTracer()
+    with tracer:
+        t = threading.Thread(target=_work, args=(3,))
+        t.start()
+        t.join()
+        _work(2)
+    traces = tracer.reconstruct()
+    assert len(traces) >= 2
+    for trace in traces:
+        assert trace.line_steps()
+
+
+def test_render_produces_readable_text():
+    tracer = PyTracer()
+    try:
+        with tracer:
+            _faulty(2)
+    except KeyError:
+        pass
+    text = tracer.render()
+    assert "_faulty" in text
+    assert "KeyError" in text
+
+
+def test_tracer_restores_previous_hook():
+    import sys
+
+    before = sys.gettrace()
+    tracer = PyTracer()
+    with tracer:
+        pass
+    assert sys.gettrace() is before
+
+
+def test_flight_recorded_decorator_prints_on_crash(capsys):
+    import io
+
+    from repro.pytrace import flight_recorded
+
+    sink = io.StringIO()
+
+    @flight_recorded(stream=sink)
+    def crashes():
+        x = [1, 2]
+        return x[9]
+
+    import pytest
+
+    with pytest.raises(IndexError):
+        crashes()
+    text = sink.getvalue()
+    assert "flight recording of crashes" in text
+    assert "IndexError" in text
+
+
+def test_flight_recorded_passthrough_on_success():
+    from repro.pytrace import flight_recorded
+
+    @flight_recorded
+    def fine(a, b):
+        return a + b
+
+    assert fine(2, 3) == 5

@@ -1,0 +1,257 @@
+"""End-to-end reconstruction: crash, hang, kill -9, multi-thread (§4)."""
+
+from repro import TraceSession, trace_program
+from repro.reconstruct import (
+    LineStep,
+    Reconstructor,
+    render_flat,
+    render_multithread,
+    render_tree,
+    select_view,
+    step_back_over,
+    step_out,
+    step_over,
+)
+from repro.runtime import RuntimeConfig, SnapPolicy
+from repro.vm import Signal
+
+CRASH_SRC = """int helper(int d) {
+    return 100 / d;
+}
+int main() {
+    int x;
+    x = helper(5);
+    print_int(x);
+    x = helper(0);
+    print_int(x);
+    return 0;
+}
+"""
+
+
+def crash_run():
+    return trace_program(CRASH_SRC, name="app")
+
+
+def line_numbers(trace):
+    return [s.line for s in trace.line_steps()]
+
+
+def test_crash_trace_ends_at_faulting_line():
+    run = crash_run()
+    trace = run.trace()
+    thread = trace.threads[-1]
+    # The last executed line is the faulting line inside helper.
+    last = thread.line_steps()[-1]
+    assert last.line == 2 and last.func == "helper"
+    exc = thread.events("exception")[-1]
+    assert exc.detail["line"] == 2
+    assert exc.detail["func"] == "helper"
+
+
+def test_crash_trace_shows_successful_call_first():
+    run = crash_run()
+    thread = run.trace().threads[-1]
+    lines = line_numbers(thread)
+    # First call succeeded: lines 1,2 of helper appear before line 7.
+    assert 2 in lines and 7 in lines
+    assert lines.index(2) < lines.index(7)
+
+
+def test_exception_trimming_cuts_partial_block():
+    """Lines after the faulting statement never appear (§4.2)."""
+    src = """int main() {
+    int a;
+    int b;
+    a = 7;
+    b = a / 0;
+    a = 99;
+    print_int(a);
+    return 0;
+}
+"""
+    run = trace_program(src)
+    thread = run.trace().threads[-1]
+    lines = line_numbers(thread)
+    assert 5 in lines
+    assert 6 not in lines and 7 not in lines
+
+
+def test_exception_in_callee_keeps_call_line_last():
+    run = crash_run()
+    thread = run.trace().threads[-1]
+    main_lines = [
+        s.line for s in thread.line_steps() if s.func == "main"
+    ]
+    assert main_lines[-1] == 8
+
+
+def test_kill_nine_trace_survives():
+    """The kill -9 headline: buffers outlive the process; reconstruction
+    still produces the history."""
+    session = TraceSession()
+    session.add_minic(
+        """int main() {
+    int i;
+    for (i = 0; i < 1000000; i = i + 1) {
+        yield();
+    }
+    return 0;
+}
+""",
+        name="app",
+    )
+    session.process.start("app")
+    session.machine.run(max_cycles=100_000)
+    session.process.post_signal(Signal.KILL)
+    assert session.process.exit_state == "killed"
+    # The host (here: the test) copies the mapped buffers post mortem.
+    snap = session.runtime.build_snap("external", {"how": "post-mortem"})
+    trace = Reconstructor(session.mapfiles).reconstruct(snap)
+    thread = trace.threads[-1]
+    assert thread.tid == 0
+    assert len(thread.line_steps()) > 10
+    assert any(s.line == 4 for s in thread.line_steps())  # the yield line
+
+
+def test_hang_view_shows_blocked_threads():
+    src = """int worker(int arg) {
+    lock(2);
+    sleep(500);
+    lock(1);
+    return 0;
+}
+int main() {
+    thread_create(worker, 0);
+    lock(1);
+    sleep(500);
+    lock(2);
+    return 0;
+}
+"""
+    session = TraceSession(
+        runtime_config=RuntimeConfig(policy=SnapPolicy.parse("snap on hang"))
+    )
+    session.add_minic(src, name="app")
+    run = session.run(max_cycles=5_000_000)
+    assert run.status == "stalled"
+    view = run.view()
+    assert "hang" in view
+    assert view.count("thread") >= 2
+
+
+def test_multithread_interleaving_respects_anchors():
+    src = """int worker(int arg) {
+    int i;
+    for (i = 0; i < 3; i = i + 1) {
+        sleep(5000);
+    }
+    exit_thread(0);
+    return 0;
+}
+int main() {
+    thread_create(worker, 1);
+    int j;
+    for (j = 0; j < 3; j = j + 1) {
+        sleep(5000);
+    }
+    sleep(50000);
+    return 0;
+}
+"""
+    session = TraceSession()
+    session.add_minic(src, name="app")
+    run = session.run()
+    snap = run.runtime.snap_external("end")
+    trace = Reconstructor(run.mapfiles).reconstruct(snap)
+    tids = {t.tid for t in trace.threads}
+    assert tids >= {0, 1}
+    merged = render_multithread(trace.threads)
+    assert "T0" in merged and "T1" in merged
+
+
+def test_render_flat_with_sources():
+    run = crash_run()
+    thread = run.trace().threads[-1]
+    sources = {"app.c": CRASH_SRC.splitlines()}
+    text = render_flat(thread, sources=sources)
+    assert "100 / d" in text  # source pane content inlined
+
+
+def test_stepping_operations():
+    run = crash_run()
+    thread = run.trace().threads[-1]
+    steps = thread.steps
+    # Find the call into helper (line 6, depth 0).
+    call_idx = next(
+        i
+        for i, s in enumerate(steps)
+        if isinstance(s, LineStep) and s.line == 6 and s.call == "helper"
+    )
+    over = step_over(thread, call_idx)
+    assert over is not None
+    assert steps[over].depth <= steps[call_idx].depth
+    # Step into would be call_idx + 1 (the callee's entry line).
+    entry = steps[call_idx + 1]
+    assert isinstance(entry, LineStep) and entry.func == "helper"
+    out = step_out(thread, call_idx + 1)
+    assert out is not None and steps[out].depth < entry.depth
+    back = step_back_over(thread, over)
+    assert back is not None and back <= call_idx + 2
+
+
+def test_tree_view_collapse():
+    run = crash_run()
+    thread = run.trace().threads[-1]
+    full = render_tree(thread)
+    collapsed = render_tree(thread, collapse={"helper"})
+    assert "[+] helper (collapsed)" in collapsed
+    assert len(collapsed.splitlines()) < len(full.splitlines()) + 2
+
+
+def test_select_view_exception_highlights_fault():
+    run = crash_run()
+    view = run.view()
+    assert "<=== fault here" in view
+    assert "DIVIDE_BY_ZERO" in view
+
+
+def test_il_mode_exception_line_accuracy():
+    """§2.4: IL mode reports the exact line without fault addresses —
+    several statements on one block still resolve to the right line."""
+    src = """int main() {
+    int a;
+    int b;
+    a = 5;
+    b = 0;
+    a = a + 1;
+    a = a / b;
+    a = 99;
+    return 0;
+}
+"""
+    run = trace_program(src, mode="il")
+    thread = run.trace().threads[-1]
+    lines = line_numbers(thread)
+    assert 6 in lines  # a = a + 1 executed
+    assert 7 in lines  # the faulting line itself (its block started)
+    assert 8 not in lines  # never reached
+
+
+def test_il_mode_array_bounds_exception():
+    """The Java ArrayIndexOutOfBounds analog."""
+    src = """int data[4];
+int main() {
+    int i;
+    for (i = 0; i < 10; i = i + 1) {
+        data[i] = i;
+    }
+    return 0;
+}
+"""
+    run = trace_program(src, mode="il")
+    assert run.process.exit_state == "faulted"
+    assert run.process.fault.code == 7  # ARRAY_BOUNDS
+    thread = run.trace().threads[-1]
+    exc = thread.events("exception")[-1]
+    assert exc.detail["code"] == 7

@@ -1,0 +1,129 @@
+"""Expansion edge paths: bad DAGs, unknown ids, IL trimming, sync order."""
+
+from repro.instrument import instrument_module
+from repro.lang.minic import compile_source
+from repro.reconstruct import Reconstructor
+from repro.reconstruct.expand import ModuleIndex, expand_span
+from repro.reconstruct.recovery import ThreadSpan
+from repro.runtime import RuntimeConfig, TraceBackRuntime
+from repro.runtime.records import BAD_DAG_ID, DagRecord
+from repro.runtime.snap import SnapFile
+from repro.vm import Machine
+
+
+def snap_and_mapfile(src: str, runtime_config=None, mode="native"):
+    from repro.instrument import InstrumentConfig
+
+    machine = Machine()
+    process = machine.create_process("t")
+    runtime = TraceBackRuntime(process, runtime_config or RuntimeConfig())
+    result = instrument_module(
+        compile_source(src, "t", bounds_checks=(mode == "il")),
+        InstrumentConfig(mode=mode),
+    )
+    process.load_module(result.module)
+    process.start()
+    machine.run(max_cycles=10_000_000)
+    return runtime.build_snap("test", {}), result.mapfile
+
+
+SIMPLE = "int main() { print_int(3); return 0; }"
+
+
+def _index(snap: SnapFile, mapfile) -> ModuleIndex:
+    return ModuleIndex.build(snap, [mapfile])
+
+
+def test_bad_dag_records_become_untraced_events():
+    snap, mapfile = snap_and_mapfile(SIMPLE)
+    span = ThreadSpan(buffer_index=0, tid=0,
+                      records=[DagRecord(BAD_DAG_ID, 0)])
+    trace = expand_span(span, _index(snap, mapfile), snap)
+    events = trace.events("untraced")
+    assert events and events[0].detail["why"] == "bad-dag"
+
+
+def test_unknown_dag_id_reported_not_crashed():
+    snap, mapfile = snap_and_mapfile(SIMPLE)
+    span = ThreadSpan(buffer_index=0, tid=0,
+                      records=[DagRecord(0xABCDE, 0)])
+    trace = expand_span(span, _index(snap, mapfile), snap)
+    events = trace.events("untraced")
+    assert events and events[0].detail["why"] == "unknown-dag"
+    assert events[0].detail["dag_id"] == 0xABCDE
+
+
+def test_mapfile_without_matching_snap_module_is_ignored():
+    snap, mapfile = snap_and_mapfile(SIMPLE)
+    other_snap, other_mapfile = snap_and_mapfile(
+        "int main() { print_int(9); return 0; }"
+    )
+    # Reconstruct the first snap offering only the *other* mapfile: the
+    # checksums don't match, so every DAG is unknown but nothing crashes.
+    trace = Reconstructor([other_mapfile]).reconstruct(snap)
+    thread = trace.threads[-1]
+    assert not thread.line_steps()
+    assert thread.events("untraced")
+
+
+def test_native_mode_trims_by_fault_address():
+    src = """int main() {
+    int a;
+    int b;
+    a = 1;
+    b = 2;
+    a = a / (b - 2);
+    b = 99;
+    return 0;
+}
+"""
+    snap, mapfile = snap_and_mapfile(src)
+    trace = Reconstructor([mapfile]).reconstruct(snap)
+    lines = [s.line for s in trace.threads[-1].line_steps()]
+    assert 6 in lines
+    assert 7 not in lines  # trimmed by the exception address
+
+
+def test_il_mode_blocks_already_line_granular():
+    src = """int main() {
+    int a;
+    int b;
+    a = 1;
+    b = 2;
+    a = a / (b - 2);
+    b = 99;
+    return 0;
+}
+"""
+    snap, mapfile = snap_and_mapfile(src, mode="il")
+    assert mapfile.mode == "il"
+    trace = Reconstructor([mapfile]).reconstruct(snap)
+    lines = [s.line for s in trace.threads[-1].line_steps()]
+    assert 6 in lines and 7 not in lines
+
+
+def test_multiple_modules_resolve_by_actual_ranges():
+    """After rebasing, records resolve through the *actual* (rebased)
+    ranges recorded in the snap, not the compiled defaults."""
+    machine = Machine()
+    process = machine.create_process("t")
+    runtime = TraceBackRuntime(process)
+    lib = instrument_module(
+        compile_source("int inc(int x) { return x + 1; }", "lib")
+    )
+    app = instrument_module(
+        compile_source(
+            "extern int inc(int x);\n"
+            "int main() { print_int(inc(41)); return 0; }",
+            "app",
+        )
+    )
+    process.load_module(lib.module)
+    process.load_module(app.module)  # rebased at load
+    process.start("app")
+    machine.run(max_cycles=5_000_000)
+    assert process.output == ["42"]
+    snap = runtime.build_snap("end", {})
+    trace = Reconstructor([lib.mapfile, app.mapfile]).reconstruct(snap)
+    modules = {s.module for s in trace.threads[-1].line_steps()}
+    assert modules == {"lib", "app"}

@@ -1,0 +1,130 @@
+"""Cross-thread ordering and text views (§3.5, §4.3)."""
+
+from repro.reconstruct import (
+    AFTER,
+    BEFORE,
+    CONCURRENT,
+    concurrent_with,
+    merge,
+    ordering,
+    render_flat,
+    render_multithread,
+    select_view,
+)
+from repro.reconstruct.model import (
+    LineStep,
+    ProcessTrace,
+    ThreadTrace,
+    TraceEvent,
+)
+
+
+def make_trace(tid: int, anchored_steps: list[tuple[int | None, int]]) -> ThreadTrace:
+    """Build a synthetic trace: (anchor_clock, line) pairs."""
+    trace = ThreadTrace(tid=tid, buffer_index=0, process_name="p",
+                        machine_name="m")
+    for seq, (anchor, line) in enumerate(anchored_steps):
+        step = LineStep(module="m", func="f", file="f.c", line=line,
+                        block_id=line)
+        step.anchor_clock = anchor
+        step.seq = seq
+        trace.steps.append(step)
+    return trace
+
+
+def test_ordering_disjoint_windows():
+    a = make_trace(0, [(10, 1), (20, 2)])
+    b = make_trace(1, [(30, 3)])
+    assert ordering(a, a.steps[0], b, b.steps[0]) == BEFORE
+    assert ordering(b, b.steps[0], a, a.steps[0]) == AFTER
+
+
+def test_ordering_overlapping_windows_is_concurrent():
+    a = make_trace(0, [(10, 1), (40, 2)])
+    b = make_trace(1, [(10, 3)])
+    assert ordering(a, a.steps[0], b, b.steps[0]) == CONCURRENT
+
+
+def test_ordering_unanchored_is_concurrent():
+    a = make_trace(0, [(None, 1)])
+    b = make_trace(1, [(5, 2)])
+    assert ordering(a, a.steps[0], b, b.steps[0]) == CONCURRENT
+
+
+def test_merge_respects_per_thread_order():
+    a = make_trace(0, [(10, 1), (30, 2)])
+    b = make_trace(1, [(20, 3)])
+    merged = merge([a, b])
+    lines = [step.line for _, step in merged]
+    assert lines.index(1) < lines.index(2)
+    assert lines == [1, 3, 2]
+
+
+def test_merge_sorts_by_anchor():
+    a = make_trace(0, [(100, 1)])
+    b = make_trace(1, [(50, 2)])
+    merged = merge([a, b])
+    assert [s.line for _, s in merged] == [2, 1]
+
+
+def test_concurrent_with_lists_overlaps():
+    a = make_trace(0, [(10, 1)])
+    b = make_trace(1, [(10, 2), (99, 3)])
+    hits = concurrent_with([a, b], a, a.steps[0])
+    lines = {step.line for _, step in hits}
+    assert 2 in lines
+
+
+def test_render_multithread_contains_all_threads():
+    a = make_trace(0, [(10, 1)])
+    b = make_trace(7, [(20, 2)])
+    text = render_multithread([a, b])
+    assert "T0" in text and "T7" in text
+
+
+def test_render_flat_marks_truncation():
+    trace = make_trace(0, [(1, 5)])
+    trace.truncated = True
+    assert "truncated" in render_flat(trace)
+
+
+def test_select_view_multithread_for_plain_snaps():
+    a = make_trace(0, [(10, 1)])
+    b = make_trace(1, [(20, 2)])
+    pt = ProcessTrace(process_name="p", machine_name="m", reason="external",
+                      detail={}, clock=0, threads=[a, b])
+    assert "merged view" in select_view(pt)
+
+
+def test_select_view_hang_lists_threads():
+    a = make_trace(0, [(10, 4)])
+    pt = ProcessTrace(process_name="p", machine_name="m", reason="hang",
+                      detail={}, clock=0, threads=[a])
+    view = select_view(pt)
+    assert "hang" in view and "f.c:4" in view
+
+
+def test_select_view_empty_process():
+    pt = ProcessTrace(process_name="p", machine_name="m", reason="external",
+                      detail={}, clock=0, threads=[])
+    assert "no recoverable trace" in select_view(pt)
+
+
+def test_event_rendering_covers_kinds():
+    trace = ThreadTrace(tid=0, buffer_index=0, process_name="p",
+                        machine_name="m")
+    for kind, detail in [
+        ("exception", {"code": 2, "file": "a.c", "line": 3, "func": "f"}),
+        ("exception_end", {"signum": 15}),
+        ("timestamp", {"syscall": 8}),
+        ("thread_start", {"tid": 0}),
+        ("thread_end", {"tid": 0, "exit_code": 0}),
+        ("snapmark", {"reason": 1}),
+        ("untraced", {"why": "bad-dag"}),
+        ("sync", {"sync_kind": 1, "logical_id": 5, "seq": 1}),
+    ]:
+        trace.steps.append(TraceEvent(kind=kind, detail=detail))
+    text = render_flat(trace)
+    assert "DIVIDE_BY_ZERO" in text
+    assert "rpc-call-out" in text
+    assert "untraced" in text

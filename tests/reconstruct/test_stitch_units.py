@@ -1,0 +1,135 @@
+"""Stitching unit tests on synthetic SYNC chains (§5.1-5.2)."""
+
+from repro.reconstruct import (
+    collect_sync_points,
+    estimate_skews,
+    stitch_logical_threads,
+)
+from repro.reconstruct.model import LineStep, ThreadTrace, TraceEvent
+from repro.runtime.records import SyncKind
+
+
+def sync_event(kind, runtime_id, logical_id, seq, clock):
+    return TraceEvent(
+        kind="sync",
+        detail={
+            "sync_kind": kind,
+            "runtime_id": runtime_id,
+            "logical_id": logical_id,
+            "seq": seq,
+        },
+        clock=clock,
+    )
+
+
+def line(n):
+    return LineStep(module="m", func="f", file="f.c", line=n, block_id=n)
+
+
+def make_trace(tid, process, steps):
+    trace = ThreadTrace(tid=tid, buffer_index=0, process_name=process,
+                        machine_name=process)
+    for seq, step in enumerate(steps):
+        step.seq = seq
+        trace.steps.append(step)
+    return trace
+
+
+def rpc_pair(skew=0, logical=0x42):
+    caller = make_trace(0, "client", [
+        line(1),
+        sync_event(SyncKind.CALL_OUT, 100, logical, 1, 1000),
+        sync_event(SyncKind.RETURN, 100, logical, 4, 2000),
+        line(2),
+    ])
+    callee = make_trace(0, "server", [
+        sync_event(SyncKind.ENTER, 200, logical, 2, 1400 + skew),
+        line(10),
+        line(11),
+        sync_event(SyncKind.EXIT, 200, logical, 3, 1600 + skew),
+    ])
+    return caller, callee
+
+
+def test_collect_orders_by_logical_then_seq():
+    caller, callee = rpc_pair()
+    points = collect_sync_points([callee, caller])  # reversed input order
+    assert [p.seq for p in points] == [1, 2, 3, 4]
+    assert [p.sync_kind for p in points] == [
+        SyncKind.CALL_OUT, SyncKind.ENTER, SyncKind.EXIT, SyncKind.RETURN
+    ]
+
+
+def test_stitch_produces_caller_callee_caller():
+    caller, callee = rpc_pair()
+    (logical,) = stitch_logical_threads([caller, callee])
+    legs = [seg.leg for seg in logical.segments]
+    assert legs[0] == "caller"
+    assert "callee" in legs
+    assert legs[-1] == "caller"
+    flat = [
+        step.line
+        for _, step in logical.steps()
+        if isinstance(step, LineStep)
+    ]
+    assert flat == [1, 10, 11, 2]  # callee lines between caller lines
+
+
+def test_stitch_separate_logical_ids_stay_separate():
+    a_caller, a_callee = rpc_pair(logical=0x11)
+    b_caller, b_callee = rpc_pair(logical=0x22)
+    logicals = stitch_logical_threads([a_caller, a_callee, b_caller, b_callee])
+    assert len(logicals) == 2
+    assert {lt.logical_id for lt in logicals} == {0x11, 0x22}
+
+
+def test_skew_estimate_symmetric_latency():
+    # Caller clock: out=1000 ret=2000; callee: enter=1400+skew exit=1600+skew.
+    # True offset = skew + 200 (network asymmetry folds into the bound).
+    caller, callee = rpc_pair(skew=5000)
+    skews = estimate_skews([caller, callee])
+    ((pair, offset),) = skews.items()
+    assert pair == (100, 200)
+    assert abs(offset - 5000) <= 300
+
+
+def test_skew_requires_full_quadruple():
+    caller, callee = rpc_pair()
+    # Drop the EXIT sync: no estimate possible.
+    callee.steps = [s for s in callee.steps
+                    if not (isinstance(s, TraceEvent) and s.kind == "sync"
+                            and s.detail["sync_kind"] == SyncKind.EXIT)]
+    assert estimate_skews([caller, callee]) == {}
+
+
+def test_stitch_missing_exit_flushes_callee_tail():
+    """A callee that crashed before its EXIT still contributes its steps
+    (the Figure 6 server-fault case)."""
+    logical_id = 0x7
+    caller = make_trace(0, "client", [
+        line(1),
+        sync_event(SyncKind.CALL_OUT, 100, logical_id, 1, 1000),
+        sync_event(SyncKind.RETURN, 100, logical_id, 4, 2000),
+        line(2),
+    ])
+    callee = make_trace(0, "server", [
+        sync_event(SyncKind.ENTER, 200, logical_id, 2, 1400),
+        line(10),
+        TraceEvent(kind="exception", detail={"code": 1}),
+    ])
+    for seq, step in enumerate(callee.steps):
+        step.seq = seq
+    (logical,) = stitch_logical_threads([caller, callee])
+    flat = [
+        (owner.process_name, getattr(step, "line", None))
+        for owner, step in logical.steps()
+    ]
+    server_lines = [l for p, l in flat if p == "server" and l is not None]
+    assert server_lines == [10]
+    # And the server's exception event rides along in its segment.
+    kinds = [
+        step.kind
+        for owner, step in logical.steps()
+        if isinstance(step, TraceEvent) and owner.process_name == "server"
+    ]
+    assert "exception" in kinds

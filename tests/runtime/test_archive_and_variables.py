@@ -1,0 +1,139 @@
+"""Snap compression (§2.1's 10x claim) and variable display (§3.6)."""
+
+from repro import TraceSession, trace_program
+from repro.reconstruct import global_variables, render_variables, variable
+from repro.runtime import (
+    RuntimeConfig,
+    SnapPolicy,
+    compress_snap,
+    compression_ratio,
+    decompress_snap,
+    load_compressed,
+    save_compressed,
+)
+
+LOOPY = """
+int counters[16];
+int total = 0;
+int main() {
+    int i;
+    for (i = 0; i < 300; i = i + 1) {
+        counters[i % 16] = counters[i % 16] + 1;
+        total = total + 1;
+    }
+    snap(1);
+    return 0;
+}
+"""
+
+
+def run_with_memory(src: str = LOOPY):
+    session = TraceSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on api\ninclude memory on")
+        )
+    )
+    session.add_minic(src, name="app", file_name="app.c")
+    return session.run()
+
+
+# ----------------------------------------------------------------------
+# Compression
+# ----------------------------------------------------------------------
+def test_compress_round_trip():
+    run = run_with_memory()
+    snap = run.snap
+    clone = decompress_snap(compress_snap(snap))
+    assert clone.reason == snap.reason
+    assert [b.words for b in clone.buffers] == [b.words for b in snap.buffers]
+    assert clone.memory == snap.memory
+    assert [vars(m) for m in clone.modules] == [vars(m) for m in snap.modules]
+
+
+def test_compression_hits_paper_factor():
+    """Paper §2.1: "readily compressible by a factor of 10 or more"."""
+    run = run_with_memory()
+    assert compression_ratio(run.snap) > 10.0
+
+
+def test_compress_does_not_mutate_snap():
+    run = run_with_memory()
+    before = [list(b.words) for b in run.snap.buffers]
+    compress_snap(run.snap)
+    compress_snap(run.snap)
+    assert [list(b.words) for b in run.snap.buffers] == before
+
+
+def test_compressed_file_round_trip(tmp_path):
+    run = run_with_memory()
+    path = tmp_path / "snap.tbz"
+    save_compressed(run.snap, str(path))
+    clone = load_compressed(str(path))
+    assert clone.process_name == run.snap.process_name
+    # And it is genuinely smaller than the JSON form.
+    json_path = tmp_path / "snap.json"
+    run.snap.save(str(json_path))
+    assert path.stat().st_size < json_path.stat().st_size / 5
+
+
+def test_decompress_rejects_garbage():
+    import pytest
+
+    with pytest.raises(ValueError):
+        decompress_snap(b"not a snap")
+
+
+# ----------------------------------------------------------------------
+# Variables
+# ----------------------------------------------------------------------
+def test_globals_resolved_with_values():
+    run = run_with_memory()
+    names = {v.name for v in global_variables(run.snap, run.mapfiles)}
+    assert {"counters", "total"} <= names
+    total = variable(run.snap, run.mapfiles, "total")
+    assert total.scalar == 300
+    counters = variable(run.snap, run.mapfiles, "counters")
+    assert sum(counters.values) == 300
+
+
+def test_corrupted_neighbour_visible():
+    """The Fidelity diagnosis: the overwritten neighbour's value is in
+    the snap's variable pane."""
+    from repro.workloads.scenarios import FIDELITY_C
+
+    session = TraceSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled\ninclude memory on")
+        )
+    )
+    session.add_minic(FIDELITY_C, name="fidelity", file_name="feed.c")
+    run = session.run()
+    neighbor = variable(run.snap, run.mapfiles, "neighbor")
+    # Initialized {1000, 2000, 3000, 4000}; the overrun stomped the
+    # first two entries with small loop values.
+    assert neighbor.values[0] < 1000
+    assert neighbor.values[2:] == [3000, 4000]
+
+
+def test_variables_without_memory_dump():
+    run = trace_program(LOOPY.replace("snap(1);", "snap(1); //"))
+    # Default policy has no memory dump: values report as absent.
+    values = global_variables(run.snap, run.mapfiles)
+    assert values  # symbols still resolve...
+    assert all(v.values is None for v in values)  # ...but without data
+
+
+def test_render_variables_text():
+    run = run_with_memory()
+    text = render_variables(run.snap, run.mapfiles)
+    assert "app.total = 300" in text
+    assert "app.counters[16]" in text
+
+
+def test_string_literals_excluded():
+    run = run_with_memory(
+        'int g = 1;\nint main() { print_str("hi"); snap(1); return 0; }'
+    )
+    names = {v.name for v in global_variables(run.snap, run.mapfiles)}
+    assert "g" in names
+    assert not any(n.startswith("__str_") for n in names)

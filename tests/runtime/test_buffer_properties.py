@@ -1,0 +1,98 @@
+"""Property tests on the ring-buffer write/mine cycle.
+
+The §3.1–3.2 invariant: whatever sequence of records the runtime
+appends, through any number of sub-buffer wraps, mining recovers a
+*contiguous suffix* of that sequence, in order.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.reconstruct import mine_buffer
+from repro.runtime import TraceBuffer
+from repro.runtime.records import DagRecord, ExtKind, ExtRecord, MAX_DAG_ID
+from repro.runtime.snap import BufferDump
+from repro.vm import Machine
+
+
+def record_strategy():
+    dag = st.builds(
+        DagRecord,
+        dag_id=st.integers(0, MAX_DAG_ID),
+        path_bits=st.integers(0, 0x7FF),
+    )
+    ext = st.builds(
+        ExtRecord,
+        kind=st.sampled_from(
+            [ExtKind.TIMESTAMP, ExtKind.SYNC, ExtKind.EXCEPTION,
+             ExtKind.SNAP_MARK]
+        ),
+        inline=st.integers(0, 0xFFFF),
+        payload=st.tuples().flatmap(
+            lambda _: st.lists(
+                st.integers(0, 0xFFFFFFFF), min_size=0, max_size=5
+            ).map(tuple)
+        ),
+    )
+    return st.one_of(dag, ext)
+
+
+def dump_of(buf: TraceBuffer) -> BufferDump:
+    return BufferDump(
+        index=buf.index, flags=buf.flags, base=buf.base,
+        sub_count=buf.sub_count, sub_size=buf.sub_size,
+        owner_tid=buf.owner_tid, words=buf.snapshot(),
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    records=st.lists(record_strategy(), min_size=0, max_size=60),
+    sub_count=st.integers(2, 4),
+    sub_size=st.integers(8, 24),
+)
+def test_mined_records_are_ordered_suffix(records, sub_count, sub_size):
+    machine = Machine()
+    process = machine.create_process("t")
+    buf = TraceBuffer.allocate(
+        process, index=0, sub_count=sub_count, sub_size=sub_size
+    )
+    cursor = buf.sub_start(0) - 1
+    written = []
+    for record in records:
+        size = 1 if isinstance(record, DagRecord) else record.size
+        if size >= sub_size - 1:
+            continue  # record physically cannot fit a sub-buffer; skip
+        cursor = buf.append(cursor, record)
+        written.append(record)
+
+    mined = mine_buffer(dump_of(buf))
+    assert mined == written[len(written) - len(mined):]
+    if written:
+        # The newest record always survives.
+        assert mined and mined[-1] == written[-1]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    count=st.integers(0, 200),
+    sub_count=st.integers(2, 4),
+)
+def test_capacity_bounds_retention(count, sub_count):
+    """The ring retains at most its capacity, at least the last
+    sub-buffer's worth (minus the zeroed one)."""
+    machine = Machine()
+    process = machine.create_process("t")
+    sub_size = 10
+    buf = TraceBuffer.allocate(
+        process, index=0, sub_count=sub_count, sub_size=sub_size
+    )
+    cursor = buf.sub_start(0) - 1
+    for i in range(count):
+        cursor = buf.append(cursor, DagRecord(dag_id=i % 1000, path_bits=0))
+    mined = mine_buffer(dump_of(buf))
+    capacity = sub_count * (sub_size - 1)
+    assert len(mined) <= min(count, capacity)
+    if count >= capacity:
+        # At least one full sub-buffer survives beyond the current one.
+        assert len(mined) >= sub_size - 1

@@ -1,0 +1,211 @@
+"""Trace buffers, sub-buffering, buffer assignment/reuse, desperation."""
+
+from repro.instrument import instrument_module
+from repro.isa import assemble
+from repro.lang.minic import compile_source
+from repro.runtime import (
+    BufferFlags,
+    HEADER_WORDS,
+    RuntimeConfig,
+    SENTINEL,
+    TraceBackRuntime,
+    TraceBuffer,
+)
+from repro.runtime.records import ExtKind, ExtRecord
+from repro.vm import Machine
+
+
+def fresh_process():
+    machine = Machine()
+    return machine, machine.create_process("t")
+
+
+# ----------------------------------------------------------------------
+# TraceBuffer mechanics
+# ----------------------------------------------------------------------
+def test_buffer_layout_and_sentinels():
+    _, process = fresh_process()
+    buf = TraceBuffer.allocate(process, index=0, sub_count=3, sub_size=8)
+    for sub in range(3):
+        assert buf.mapped.words[buf.sub_end(sub)] == SENTINEL
+    assert buf.sub_start(0) == HEADER_WORDS
+    assert buf.sub_of(buf.sub_start(2)) == 2
+
+
+def test_wrap_commits_and_zeroes_next():
+    _, process = fresh_process()
+    buf = TraceBuffer.allocate(process, index=0, sub_count=2, sub_size=4)
+    # Dirty sub-buffer 1, then wrap out of sub-buffer 0.
+    for rel in range(buf.sub_start(1), buf.sub_end(1)):
+        buf.mapped.words[rel] = 0xDEAD
+    slot = buf.wrap_from(buf.sub_end(0))
+    assert buf.last_committed == 0
+    assert buf.commit_count == 1
+    assert slot == buf.sub_start(1)
+    for rel in range(buf.sub_start(1), buf.sub_end(1)):
+        assert buf.mapped.words[rel] == 0
+    assert buf.mapped.words[buf.sub_end(1)] == SENTINEL
+
+
+def test_full_wrap_cycles_to_first_sub_buffer():
+    _, process = fresh_process()
+    buf = TraceBuffer.allocate(process, index=0, sub_count=2, sub_size=4)
+    slot = buf.wrap_from(buf.sub_end(1))
+    assert slot == buf.sub_start(0)
+
+
+def test_append_never_straddles_sentinel():
+    _, process = fresh_process()
+    buf = TraceBuffer.allocate(process, index=0, sub_count=2, sub_size=6)
+    cursor = buf.sub_start(0) - 1
+    big = ExtRecord(kind=ExtKind.SYNC, inline=1, payload=(1, 2, 3))  # 5 words
+    cursor = buf.append(cursor, big)
+    # A second big record can't fit before sub 0's sentinel: it must
+    # land at the start of sub 1.
+    cursor = buf.append(cursor, big)
+    assert buf.sub_of(cursor) == 1
+    assert buf.commit_count == 1
+
+
+def test_probation_buffer_is_sentinel_only():
+    _, process = fresh_process()
+    probation = TraceBuffer.probation(process)
+    assert probation.flags & BufferFlags.PROBATION
+    assert probation.mapped.words[probation.sub_start(0)] == SENTINEL
+
+
+# ----------------------------------------------------------------------
+# Runtime buffer management
+# ----------------------------------------------------------------------
+COUNT_SRC = """
+int main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 200; i = i + 1) {
+        total = total + i;
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+def traced_run(config: RuntimeConfig, src: str = COUNT_SRC, threads_src=None):
+    machine = Machine()
+    process = machine.create_process("t")
+    runtime = TraceBackRuntime(process, config)
+    result = instrument_module(compile_source(threads_src or src, "t"))
+    process.load_module(result.module)
+    process.start()
+    status = machine.run(max_cycles=20_000_000)
+    return machine, process, runtime, status
+
+
+def test_first_probe_leaves_probation():
+    _, process, runtime, status = traced_run(RuntimeConfig())
+    assert status == "done"
+    assert runtime.stats.wraps >= 1  # at least the probation trap
+    assert runtime.stats.threads_seen == 1
+
+
+def test_small_buffers_wrap_repeatedly():
+    config = RuntimeConfig(sub_buffer_words=16, sub_buffers=2, main_buffers=1)
+    _, process, runtime, _ = traced_run(config)
+    assert runtime.stats.sub_wraps > 0
+    assert runtime.stats.full_wraps > 0
+    assert process.output == ["19900"]
+
+
+THREADED_SRC = """
+int work(int arg) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 50; i = i + 1) { acc = acc + arg; }
+    exit_thread(acc);
+    return 0;
+}
+int main() {
+    int t;
+    for (t = 0; t < 5; t = t + 1) {
+        thread_create(work, t);
+    }
+    sleep(100000);
+    print_int(99);
+    return 0;
+}
+"""
+
+
+def test_threads_beyond_pool_use_desperation():
+    config = RuntimeConfig(
+        sub_buffer_words=64, sub_buffers=2, main_buffers=1, max_buffers=2
+    )
+    _, process, runtime, status = traced_run(config, threads_src=THREADED_SRC)
+    assert status == "done"
+    assert runtime.stats.desperation_entries > 0
+    assert process.output == ["99"]
+
+
+def test_buffers_grow_up_to_cap():
+    config = RuntimeConfig(
+        sub_buffer_words=64, sub_buffers=2, main_buffers=1, max_buffers=8
+    )
+    _, _, runtime, _ = traced_run(config, threads_src=THREADED_SRC)
+    assert runtime.stats.buffers_allocated > 1
+    assert runtime.stats.desperation_entries == 0
+
+
+def test_buffer_reuse_after_thread_exit():
+    """Sequentially created threads pack into the same buffer (§3.1.2)."""
+    src = """
+int work(int arg) {
+    print_int(arg);
+    exit_thread(0);
+    return 0;
+}
+int main() {
+    int t;
+    for (t = 0; t < 4; t = t + 1) {
+        thread_create(work, t);
+        sleep(20000);
+    }
+    sleep(50000);
+    return 0;
+}
+"""
+    # Two buffers: one for main, one shared sequentially by the workers.
+    config = RuntimeConfig(
+        sub_buffer_words=128, sub_buffers=2, main_buffers=2, max_buffers=2
+    )
+    _, process, runtime, _ = traced_run(config, threads_src=src)
+    assert sorted(process.output) == ["0", "1", "2", "3"]
+    assert runtime.stats.buffers_reused >= 3
+
+
+def test_fail_dynamic_buffers_uses_static():
+    config = RuntimeConfig(fail_dynamic_buffers=True, static_buffer_words=32)
+    _, process, runtime, status = traced_run(config)
+    assert status == "done"
+    assert process.output == ["19900"]  # tracing degraded, program fine
+
+
+def test_scavenge_reclaims_killed_thread_buffers():
+    machine = Machine()
+    process = machine.create_process("t")
+    config = RuntimeConfig(sub_buffer_words=64, sub_buffers=2, main_buffers=2)
+    runtime = TraceBackRuntime(process, config)
+    result = instrument_module(compile_source(THREADED_SRC, "t"))
+    process.load_module(result.module)
+    process.start()
+    machine.run(max_cycles=300_000)
+    # Simulate threads that died without notifying: mark them killed.
+    for thread in process.threads.values():
+        if thread.tid != 0 and thread.alive():
+            thread.kill()
+    reclaimed = runtime.scavenge()
+    assert reclaimed >= 0  # no crash; buffers with dead owners freed
+    for buf in runtime._assignment.values():
+        owner = process.threads[buf.owner_tid]
+        assert owner.alive()

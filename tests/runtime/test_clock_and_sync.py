@@ -1,0 +1,97 @@
+"""Clocks (§3.5) and logical-thread SYNC management (§5.1)."""
+
+from repro.runtime import (
+    HardwareClock,
+    LogicalClock,
+    LogicalThreadManager,
+    join64,
+    next_runtime_id,
+    split64,
+)
+from repro.runtime.records import ExtKind, SyncKind
+from repro.vm import Machine
+
+
+def test_split_join_round_trip():
+    for value in (0, 1, 0xFFFFFFFF, 0x1_0000_0000, 0xDEAD_BEEF_CAFE):
+        assert join64(*split64(value)) == value
+
+
+def test_hardware_clock_tracks_machine_and_skew():
+    machine = Machine(clock_skew=500)
+    clock = HardwareClock(machine)
+    assert clock.now() == 500
+    machine.cycles += 10
+    assert clock.now() == 510
+    assert clock.is_real_time
+
+
+def test_logical_clock_counts_events():
+    clock = LogicalClock()
+    assert clock.now() == 0
+    clock.tick()
+    clock.tick()
+    assert clock.now() == 2
+    assert not clock.is_real_time
+
+
+def test_runtime_ids_unique():
+    a, b = next_runtime_id(), next_runtime_id()
+    assert a != b
+
+
+def test_sync_quadruple_sequence():
+    """One RPC: four SYNCs, same logical id, successive sequence numbers."""
+    caller = LogicalThreadManager(runtime_id=next_runtime_id())
+    callee = LogicalThreadManager(runtime_id=next_runtime_id())
+
+    rec1, triple = caller.caller_send(tid=0, clock=100)
+    rec2 = callee.callee_enter(tid=5, triple=triple, clock=200)
+    rec3, reply = callee.callee_exit(tid=5, clock=300)
+    rec4 = caller.caller_return(tid=0, reply=reply, clock=400)
+
+    records = [rec1, rec2, rec3, rec4]
+    assert all(r.kind == ExtKind.SYNC for r in records)
+    kinds = [r.inline for r in records]
+    assert kinds == [SyncKind.CALL_OUT, SyncKind.ENTER, SyncKind.EXIT,
+                     SyncKind.RETURN]
+    logical_ids = {r.payload[1] for r in records}
+    assert len(logical_ids) == 1
+    seqs = [r.payload[2] for r in records]
+    assert seqs == [seqs[0], seqs[0] + 1, seqs[0] + 2, seqs[0] + 3]
+
+
+def test_partner_tables_updated():
+    caller = LogicalThreadManager(runtime_id=1000)
+    callee = LogicalThreadManager(runtime_id=2000)
+    _, triple = caller.caller_send(tid=0, clock=0)
+    callee.callee_enter(tid=1, triple=triple, clock=0)
+    _, reply = callee.callee_exit(tid=1, clock=0)
+    caller.caller_return(tid=0, reply=reply, clock=0)
+    assert 1000 in callee.partners
+    assert 2000 in caller.partners
+
+
+def test_repeated_calls_reuse_logical_id():
+    caller = LogicalThreadManager(runtime_id=3000)
+    _, t1 = caller.caller_send(tid=0, clock=0)
+    caller.caller_return(tid=0, reply=None, clock=0)
+    _, t2 = caller.caller_send(tid=0, clock=0)
+    assert t1["logical_id"] == t2["logical_id"]
+    assert t2["seq"] > t1["seq"]
+
+
+def test_distinct_threads_get_distinct_logical_ids():
+    caller = LogicalThreadManager(runtime_id=4000)
+    _, t1 = caller.caller_send(tid=0, clock=0)
+    _, t2 = caller.caller_send(tid=1, clock=0)
+    assert t1["logical_id"] != t2["logical_id"]
+
+
+def test_caller_return_without_reply_still_advances():
+    """The callee was uninstrumented: no reply triple, sequence still
+    moves so later RPCs stay ordered."""
+    caller = LogicalThreadManager(runtime_id=5000)
+    _, t1 = caller.caller_send(tid=0, clock=0)
+    record = caller.caller_return(tid=0, reply=None, clock=0)
+    assert record.payload[2] == t1["seq"] + 1

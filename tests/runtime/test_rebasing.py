@@ -1,0 +1,170 @@
+"""DAG rebasing, bad-DAG fallback, range reuse, TLS rewriting (§2.3, §2.5)."""
+
+from repro.instrument import DagBaseFile, InstrumentConfig, instrument_module
+from repro.isa import Op, decode
+from repro.lang.minic import compile_source
+from repro.runtime import (
+    BAD_DAG_ID,
+    DagAllocator,
+    RuntimeConfig,
+    TraceBackRuntime,
+    rewrite_tls_slots,
+)
+from repro.vm import Machine
+
+MOD_A = """
+int alpha() { return 1; }
+int main() { print_int(alpha()); return 0; }
+"""
+MOD_B = """
+int beta(int x) { return x + 1; }
+"""
+
+
+def make_instrumented(src: str, name: str, dag_base: int = 16):
+    return instrument_module(
+        compile_source(src, name), InstrumentConfig(dag_base=dag_base)
+    )
+
+
+def loaded_dag_ids(loaded) -> set[int]:
+    seg = loaded.segments[0]
+    return {
+        decode(seg.words[o]).imm for o in loaded.module.dag_fixups
+    }
+
+
+def test_first_module_keeps_default_base():
+    machine = Machine()
+    process = machine.create_process("t")
+    runtime = TraceBackRuntime(process)
+    result = make_instrumented(MOD_A, "a")
+    loaded = process.load_module(result.module)
+    ids = loaded_dag_ids(loaded)
+    assert min(ids) == 16
+
+
+def test_conflicting_module_is_rebased():
+    machine = Machine()
+    process = machine.create_process("t")
+    runtime = TraceBackRuntime(process)
+    la = process.load_module(make_instrumented(MOD_A, "a").module)
+    lb = process.load_module(make_instrumented(MOD_B, "b").module)
+    ids_a = loaded_dag_ids(la)
+    ids_b = loaded_dag_ids(lb)
+    assert not ids_a & ids_b
+    assert runtime.allocator.rebase_count == 1
+
+
+def test_rebased_program_still_runs_and_traces():
+    machine = Machine()
+    process = machine.create_process("t")
+    runtime = TraceBackRuntime(process)
+    app = """
+extern int beta(int x);
+int main() { print_int(beta(41)); return 0; }
+"""
+    process.load_module(make_instrumented(MOD_B, "b").module)
+    process.load_module(make_instrumented(app, "app").module)
+    process.start("app")
+    assert machine.run(max_cycles=5_000_000) == "done"
+    assert process.output == ["42"]
+
+
+def test_reload_reuses_same_range():
+    machine = Machine()
+    process = machine.create_process("t")
+    runtime = TraceBackRuntime(process)
+    result = make_instrumented(MOD_B, "b")
+    loaded1 = process.load_module(result.module)
+    rng1 = runtime.allocator.by_checksum[result.module.checksum()]
+    process.unload_module(loaded1)
+    loaded2 = process.load_module(result.module)
+    rng2 = runtime.allocator.by_checksum[result.module.checksum()]
+    assert rng1.base == rng2.base
+    assert len(runtime.allocator.by_checksum) == 1  # no id-space leak
+
+
+def test_exhausted_id_space_uses_bad_dag():
+    machine = Machine()
+    process = machine.create_process("t")
+    result_a = make_instrumented(MOD_A, "a", dag_base=0)
+    # Room for module a only: module b cannot fit anywhere.
+    config = RuntimeConfig(max_dag_id=result_a.module.dag_count + 1)
+    runtime = TraceBackRuntime(process, config)
+    la = process.load_module(result_a.module)
+    lb = process.load_module(make_instrumented(MOD_B, "b", dag_base=0).module)
+    assert runtime.allocator.bad_count == 1
+    assert loaded_dag_ids(lb) == {BAD_DAG_ID}
+    # Module a's range is intact: its trace remains recoverable.
+    assert BAD_DAG_ID not in loaded_dag_ids(la)
+
+
+def test_bad_dag_module_still_executes():
+    machine = Machine()
+    process = machine.create_process("t")
+    config = RuntimeConfig(max_dag_id=1)
+    TraceBackRuntime(process, config)
+    process.load_module(make_instrumented(MOD_A, "a").module)
+    process.start()
+    assert machine.run(max_cycles=5_000_000) == "done"
+    assert process.output == ["1"]
+
+
+def test_dagbase_file_preassigns_ranges():
+    machine = Machine()
+    process = machine.create_process("t")
+    dagbase = DagBaseFile.parse("a 100\nb 300\n")
+    runtime = TraceBackRuntime(process, RuntimeConfig(dagbase=dagbase))
+    la = process.load_module(make_instrumented(MOD_A, "a").module)
+    lb = process.load_module(make_instrumented(MOD_B, "b").module)
+    assert min(loaded_dag_ids(la)) == 100
+    assert min(loaded_dag_ids(lb)) == 300
+
+
+def test_allocator_first_fit_fills_gaps():
+    allocator = DagAllocator(max_dag_id=1000)
+    assert allocator._first_fit(10) == 0
+
+
+def test_tls_rewrite_moves_probe_slots():
+    machine = Machine()
+    process = machine.create_process("t")
+    process.loader.register_host_function("__tb_buffer_wrap", lambda t: None)
+    result = make_instrumented(MOD_A, "a")
+    loaded = process.loader.load(result.module)
+    count = rewrite_tls_slots(
+        loaded, trace_slot=30, spill_slot=31,
+        compiled_trace_slot=60, compiled_spill_slot=61,
+    )
+    assert count == len(result.module.tls_fixups)
+    seg = loaded.segments[0]
+    for offset in result.module.tls_fixups:
+        assert decode(seg.words[offset]).imm in (30, 31)
+
+
+def test_tls_rewrite_noop_when_slots_match():
+    machine = Machine()
+    process = machine.create_process("t")
+    process.loader.register_host_function("__tb_buffer_wrap", lambda t: None)
+    result = make_instrumented(MOD_A, "a")
+    loaded = process.loader.load(result.module)
+    assert rewrite_tls_slots(loaded, 60, 61, 60, 61) == 0
+
+
+def test_alternate_tls_slot_end_to_end():
+    """The runtime configured with different slots rewrites probes at
+    load and the program still traces correctly (§2.5)."""
+    machine = Machine()
+    process = machine.create_process("t")
+    config = RuntimeConfig(trace_slot=20, spill_slot=21)
+    runtime = TraceBackRuntime(process, config)
+    process.load_module(make_instrumented(MOD_A, "a").module)
+    process.start()
+    assert machine.run(max_cycles=5_000_000) == "done"
+    assert process.output == ["1"]
+    snap = runtime.snap_external("check")
+    main_buffers = [b for b in snap.buffers if not b.flags]
+    assert any(
+        any(w >> 31 for w in b.words[10:]) for b in main_buffers
+    )  # DAG records landed despite the moved slot

@@ -1,0 +1,172 @@
+"""VM edge cases: stack limits, killed RPC servers, scheduler corners."""
+
+from repro import TraceSession
+from repro.isa import assemble
+from repro.lang.minic import compile_source
+from repro.runtime import RuntimeConfig, ServiceProcess, SnapPolicy
+from repro.vm import ExcCode, ExitState, Machine, Signal, ThreadState
+
+
+def test_runaway_recursion_faults_not_hangs():
+    """Stack exhaustion becomes an access violation at the guard edge."""
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(
+        compile_source("int f(int n) { return f(n + 1); }\n"
+                       "int main() { return f(0); }", "t")
+    )
+    process.start()
+    status = machine.run(max_cycles=10_000_000)
+    assert status == "done"
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == ExcCode.ACCESS_VIOLATION
+
+
+def test_kill_while_serving_rpc_hangs_caller_and_service_detects():
+    """The server dies -9 mid-request: the caller hangs; the hang path
+    (external snap utility) is how the paper handles it."""
+    machine = Machine()
+
+    server = machine.create_process("server")
+    server.load_module(
+        assemble(
+            """
+            .module srv
+            .export handle
+            .func handle
+            spin:
+              br spin
+            .endfunc
+            """
+        )
+    )
+    server.rpc_services[9] = "handle"
+
+    client = machine.create_process("client")
+    from repro.instrument import instrument_module
+    from repro.runtime import TraceBackRuntime
+
+    service = ServiceProcess()
+    tb = TraceBackRuntime(
+        client,
+        RuntimeConfig(policy=SnapPolicy.parse("snap on hang")),
+        service=service,
+    )
+    result = instrument_module(
+        compile_source(
+            """
+int buf[1];
+int main() {
+    int status;
+    status = rpc_call(9, buf, 1, buf, 0);
+    print_int(status);
+    return 0;
+}
+""",
+            "client",
+        )
+    )
+    client.load_module(result.module)
+    client.start("client")
+    machine.run(max_cycles=300_000)
+    server.post_signal(Signal.KILL)
+    status = machine.run(max_cycles=600_000)
+    assert status == "stalled"
+    hung = service.poll_status()
+    assert tb in hung
+    snaps = service.check_hangs()
+    assert snaps and snaps[0].reason == "hang"
+    # The caller's last line in the trace is the rpc_call.
+    from repro.reconstruct import Reconstructor
+
+    trace = Reconstructor([result.mapfile]).reconstruct(snaps[0])
+    last = trace.threads[-1].last_line()
+    assert last is not None and last.line == 5  # the rpc_call line
+
+
+def test_many_short_lived_threads():
+    session = TraceSession(
+        runtime_config=RuntimeConfig(main_buffers=2, max_buffers=3)
+    )
+    session.add_minic(
+        """
+int hits[1];
+int tick(int arg) {
+    hits[0] = hits[0] + 1;
+    exit_thread(0);
+    return 0;
+}
+int main() {
+    int i;
+    for (i = 0; i < 20; i = i + 1) {
+        thread_create(tick, i);
+        sleep(3000);
+    }
+    sleep(50000);
+    print_int(hits[0]);
+    return 0;
+}
+""",
+        name="app",
+    )
+    run = session.run()
+    assert run.output == ["20"]
+    assert run.runtime.stats.buffers_reused >= 10
+
+
+def test_scheduler_interleaves_processes_fairly():
+    machine = Machine()
+    outputs = []
+    for name in ("p1", "p2"):
+        process = machine.create_process(name)
+        process.load_module(
+            compile_source(
+                "int main() { int i; for (i = 0; i < 500; i = i + 1) "
+                "{ yield(); } print_int(1); return 0; }",
+                name,
+            )
+        )
+        process.start()
+        outputs.append(process)
+    assert machine.run(max_cycles=10_000_000) == "done"
+    for process in outputs:
+        assert process.output == ["1"]
+
+
+def test_guest_cannot_write_code_segment():
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(
+        assemble(
+            """
+            .module t
+            .entry main
+            .func main
+              la r1, main
+              li r0, 0
+              stw r0, r1, 0     ; self-modifying write: AV
+              halt
+            .endfunc
+            """
+        )
+    )
+    process.start()
+    machine.run(max_cycles=10_000)
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == ExcCode.ACCESS_VIOLATION
+
+
+def test_blocked_thread_states_visible():
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(
+        compile_source(
+            "int main() { sleep(100000); return 0; }", "t"
+        )
+    )
+    process.start()
+    machine.run(max_cycles=2_000)
+    thread = process.threads[0]
+    assert thread.state is ThreadState.BLOCKED
+    assert thread.block_reason == "sleep"
+    assert thread.wake_cycle is not None

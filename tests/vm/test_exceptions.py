@@ -1,0 +1,294 @@
+"""Exception dispatch: faults, handler search, unwinding, hooks."""
+
+from repro.isa import assemble
+from repro.vm import ExcCode, ExitState, Machine, ProcessHooks
+
+
+def build(src: str):
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(assemble(src))
+    process.start()
+    return machine, process
+
+
+def test_divide_by_zero_uncaught_kills_process():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          li r1, 1
+          li r2, 0
+          div r0, r1, r2
+          halt
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == ExcCode.DIVIDE_BY_ZERO
+
+
+def test_access_violation_on_unmapped_read():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          li r1, 9
+          shli r1, r1, 24
+          ldw r0, r1, 0
+          halt
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == ExcCode.ACCESS_VIOLATION
+
+
+def test_write_to_rodata_faults():
+    """The Figure 6 bug shape: a store through a pointer to const data."""
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          la r1, name
+          li r0, 88
+          stw r0, r1, 0
+          halt
+        .endfunc
+        .rodata
+        name: .str "Rex"
+        """
+    )
+    machine.run()
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == ExcCode.ACCESS_VIOLATION
+
+
+def test_local_handler_catches_fault():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+        t0:
+          li r1, 1
+          li r2, 0
+          div r0, r1, r2
+        t1:
+          halt
+        catch:
+          sys 1              ; prints the exception code
+          li r0, 0
+          halt
+        .handler t0 t1 catch
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.exit_state == ExitState.EXITED
+    assert process.output == [str(ExcCode.DIVIDE_BY_ZERO)]
+
+
+def test_handler_code_filter_respected():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+        t0:
+          li r1, 100
+          throw r1
+        t1:
+          halt
+        wrongcatch:
+          halt
+        .handler t0 t1 wrongcatch 55
+        .endfunc
+        """
+    )
+    machine.run()
+    # Handler only catches code 55; THROW raised 100 -> process dies.
+    assert process.exit_state == ExitState.FAULTED
+    assert process.fault.code == 100
+
+
+def test_unwind_through_callee_to_caller_handler():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+        t0:
+          call danger
+        t1:
+          halt
+        catch:
+          sys 1
+          li r0, 0
+          halt
+        .handler t0 t1 catch
+        .endfunc
+        .func danger
+          li r1, 0
+          li r2, 5
+          div r0, r2, r1
+          ret
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.exit_state == ExitState.EXITED
+    assert process.output == [str(ExcCode.DIVIDE_BY_ZERO)]
+
+
+def test_unwind_restores_stack_pointer():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+        .frame 2
+          addi sp, sp, -2    ; prologue
+        t0:
+          push r0            ; clutter the stack before the fault
+          push r0
+          call danger
+        t1:
+          halt
+        catch:
+          addi sp, sp, 2     ; epilogue must see the prologue sp
+          li r0, 0
+          halt
+        .handler t0 t1 catch
+        .endfunc
+        .func danger
+          li r1, 7
+          throw r1
+          ret
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.exit_state == ExitState.EXITED
+    # After the handler's epilogue, sp is back at the entry value and the
+    # trampoline return address is intact: process exited normally.
+
+
+def test_first_chance_hook_sees_fault_before_handler():
+    events = []
+
+    class Watcher(ProcessHooks):
+        def first_chance(self, thread, fault):
+            events.append(("first", fault.code))
+
+        def unhandled(self, thread, fault):
+            events.append(("unhandled", fault.code))
+
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+        t0:
+          li r1, 200
+          throw r1
+        t1:
+          halt
+        catch:
+          li r0, 0
+          halt
+        .handler t0 t1 catch
+        .endfunc
+        """
+    )
+    process.hooks.add(Watcher())
+    machine.run()
+    assert events == [("first", 200)]
+    assert process.exit_state == ExitState.EXITED
+
+
+def test_unhandled_hook_fires_once():
+    events = []
+
+    class Watcher(ProcessHooks):
+        def unhandled(self, thread, fault):
+            events.append(fault.code)
+
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          li r1, 300
+          throw r1
+        .endfunc
+        """
+    )
+    process.hooks.add(Watcher())
+    machine.run()
+    assert events == [300]
+
+
+def test_nested_handlers_prefer_innermost():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+        o0:
+          call inner
+        o1:
+          halt
+        outercatch:
+          li r0, 2
+          sys 1
+          li r0, 0
+          halt
+        .handler o0 o1 outercatch
+        .endfunc
+        .func inner
+        i0:
+          li r1, 150
+          throw r1
+        i1:
+          ret
+        innercatch:
+          li r0, 1
+          sys 1
+          li r0, 0
+          halt
+        .handler i0 i1 innercatch
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.output == ["1"]
+
+
+def test_sleep_negative_raises_illegal_argument():
+    """The Oracle bug from §6.1: sleep() with a negative argument."""
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+        t0:
+          li r0, -5
+          sys 8
+        t1:
+          halt
+        catch:
+          sys 1
+          li r0, 0
+          halt
+        .handler t0 t1 catch
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.output == [str(ExcCode.ILLEGAL_ARGUMENT)]

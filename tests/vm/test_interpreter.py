@@ -1,0 +1,307 @@
+"""Interpreter semantics: ALU, memory, control flow, calls."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.vm import ExitState, Machine
+
+
+def run_source(src: str) -> tuple:
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(assemble(src))
+    process.start()
+    status = machine.run(max_cycles=2_000_000)
+    return machine, process, status
+
+
+def run_and_output(src: str) -> list[str]:
+    _, process, status = run_source(src)
+    assert status == "done"
+    assert process.exit_state == ExitState.EXITED
+    return process.output
+
+
+def wrap_main(body: str) -> str:
+    return f".module t\n.entry main\n.func main\n{body}\n.endfunc\n"
+
+
+def test_arithmetic_and_print():
+    out = run_and_output(
+        wrap_main(
+            """
+            li r1, 6
+            li r2, 7
+            mul r0, r1, r2
+            sys 1
+            halt
+            """
+        )
+    )
+    assert out == ["42"]
+
+
+def test_signed_division_truncates_toward_zero():
+    out = run_and_output(
+        wrap_main(
+            """
+            li r1, -7
+            li r2, 2
+            div r0, r1, r2
+            sys 1
+            halt
+            """
+        )
+    )
+    assert out == ["-3"]
+
+
+def test_comparisons():
+    out = run_and_output(
+        wrap_main(
+            """
+            li r1, -1
+            li r2, 1
+            slt r0, r1, r2
+            sys 1
+            sle r0, r2, r1
+            sys 1
+            seq r0, r1, r1
+            sys 1
+            halt
+            """
+        )
+    )
+    assert out == ["1", "0", "1"]
+
+
+def test_loop_sums_to_expected_value():
+    out = run_and_output(
+        wrap_main(
+            """
+            li r0, 0
+            li r1, 100
+        loop:
+            add r0, r0, r1
+            addi r1, r1, -1
+            bnz r1, loop
+            sys 1
+            halt
+            """
+        )
+    )
+    assert out == ["5050"]
+
+
+def test_global_data_load_store():
+    out = run_and_output(
+        """
+        .module t
+        .entry main
+        .func main
+          la r1, cell
+          ldw r0, r1, 0
+          addi r0, r0, 5
+          stw r0, r1, 0
+          ldw r0, r1, 0
+          sys 1
+          halt
+        .endfunc
+        .data
+        cell: .word 37
+        """
+    )
+    assert out == ["42"]
+
+
+def test_recursive_call_fib():
+    out = run_and_output(
+        """
+        .module t
+        .entry main
+        .func main
+          li r0, 10
+          call fib
+          sys 1
+          halt
+        .endfunc
+        .func fib
+          li r1, 2
+          blt r0, r1, base
+          push r0
+          addi r0, r0, -1
+          call fib
+          pop r1
+          push r0
+          mov r0, r1
+          addi r0, r0, -2
+          call fib
+          pop r1
+          add r0, r0, r1
+          ret
+        base:
+          ret
+        .endfunc
+        """
+    )
+    assert out == ["55"]
+
+
+def test_jump_table_multiway_branch():
+    out = run_and_output(
+        """
+        .module t
+        .entry main
+        .func main
+          li r0, 1           ; select case 1
+          la r1, table
+          jtab r0, r1
+        case0:
+          li r0, 100
+          br done
+        case1:
+          li r0, 200
+          br done
+        case2:
+          li r0, 300
+        done:
+          sys 1
+          halt
+        .endfunc
+        .rodata
+        table: .addr case0 case1 case2
+        """
+    )
+    assert out == ["200"]
+
+
+def test_indirect_call_through_register():
+    out = run_and_output(
+        """
+        .module t
+        .entry main
+        .func main
+          la r1, callee
+          callr r1
+          sys 1
+          halt
+        .endfunc
+        .func callee
+          li r0, 77
+          ret
+        .endfunc
+        """
+    )
+    assert out == ["77"]
+
+
+def test_cross_module_call():
+    machine = Machine()
+    process = machine.create_process("t")
+    lib = assemble(
+        """
+        .module lib
+        .export triple
+        .func triple
+          li r1, 3
+          mul r0, r0, r1
+          ret
+        .endfunc
+        """
+    )
+    app = assemble(
+        """
+        .module app
+        .entry main
+        .import triple
+        .func main
+          li r0, 14
+          callx triple
+          sys 1
+          halt
+        .endfunc
+        """
+    )
+    process.load_module(lib)
+    process.load_module(app)
+    process.start("app")
+    assert machine.run() == "done"
+    assert process.output == ["42"]
+
+
+def test_string_output():
+    out = run_and_output(
+        """
+        .module t
+        .entry main
+        .func main
+          la r0, msg
+          sys 2
+          halt
+        .endfunc
+        .rodata
+        msg: .str "hello"
+        """
+    )
+    assert out == ["hello"]
+
+
+def test_tls_slots_are_per_thread_storage():
+    out = run_and_output(
+        wrap_main(
+            """
+            li r0, 99
+            tlsst r0, 5
+            li r0, 0
+            tlsld r0, 5
+            sys 1
+            halt
+            """
+        )
+    )
+    assert out == ["99"]
+
+
+def test_exit_code_propagates():
+    _, process, _ = run_source(wrap_main("li r0, 3\n halt"))
+    assert process.exit_code == 3
+
+
+def test_cycle_limit_reported():
+    machine, _, status = run_source(wrap_main("spin: br spin"))
+    assert status == "limit"
+
+
+def test_probe_support_instructions():
+    """ORM, STDAG, and BSENT behave as the probe sequences require."""
+    out = run_and_output(
+        """
+        .module t
+        .entry main
+        .func main
+          la r1, buf
+          stdag r1, 5        ; mem[r1] = 0x80000000 | (5 << 11)
+          orm r1, 3          ; set path bits 0 and 1
+          ldw r0, r1, 0
+          shri r0, r0, 11
+          andi r0, r0, 0xff
+          sys 1              ; dag id 5
+          ldw r0, r1, 0
+          andi r0, r0, 0x7ff
+          sys 1              ; path bits 3
+          la r1, sent
+          bsent r1, yes
+          li r0, 0
+          br out
+        yes:
+          li r0, 1
+        out:
+          sys 1
+          halt
+        .endfunc
+        .data
+        buf:  .word 0
+        sent: .word 0xFFFFFFFF
+        """
+    )
+    assert out == ["5", "3", "1"]

@@ -1,0 +1,238 @@
+"""Signal delivery/interposition hooks, kill -9, and local RPC."""
+
+from repro.isa import assemble
+from repro.vm import (
+    ExcCode,
+    ExitState,
+    Machine,
+    ProcessHooks,
+    Signal,
+)
+
+LOOP_FOREVER = """
+.module t
+.entry main
+.func main
+spin:
+  br spin
+.endfunc
+"""
+
+
+def build(machine: Machine, src: str, name: str = "t", start: bool = True):
+    process = machine.create_process(name)
+    process.load_module(assemble(src))
+    if start:
+        process.start()
+    return process
+
+
+def test_fatal_signal_default_action():
+    machine = Machine()
+    process = build(machine, LOOP_FOREVER)
+    machine.run(max_cycles=500)
+    process.post_signal(Signal.TERM)
+    machine.run(max_cycles=2_000)
+    assert process.exit_state == ExitState.SIGNALED
+    assert process.exit_code == Signal.TERM
+
+
+def test_signal_hook_runs_before_default_action():
+    seen = []
+
+    class Watcher(ProcessHooks):
+        def signal(self, thread, signum):
+            seen.append(signum)
+
+    machine = Machine()
+    process = build(machine, LOOP_FOREVER)
+    process.hooks.add(Watcher())
+    machine.run(max_cycles=500)
+    process.post_signal(Signal.INT)
+    machine.run(max_cycles=2_000)
+    assert seen == [Signal.INT]
+
+
+def test_guest_signal_handler_runs_and_resumes():
+    machine = Machine()
+    process = build(
+        machine,
+        """
+        .module t
+        .entry main
+        .func main
+          li r0, 15
+          la r1, handler
+          sys 18            ; signal(SIGTERM, handler)
+          la r2, flag
+        wait:
+          ldw r0, r2, 0
+          bz r0, wait
+          sys 1
+          halt
+        .endfunc
+        .func handler
+          la r2, flag
+          li r0, 1
+          stw r0, r2, 0
+          ret
+        .endfunc
+        .data
+        flag: .word 0
+        """,
+    )
+    machine.run(max_cycles=500)
+    process.post_signal(Signal.TERM)
+    machine.run(max_cycles=100_000)
+    assert process.exit_state == ExitState.EXITED
+    assert process.output == ["1"]
+
+
+def test_signal_return_hook_fires():
+    events = []
+
+    class Watcher(ProcessHooks):
+        def signal_return(self, thread, signum):
+            events.append(signum)
+
+    machine = Machine()
+    process = build(
+        machine,
+        """
+        .module t
+        .entry main
+        .func main
+          li r0, 15
+          la r1, handler
+          sys 18
+          la r2, flag
+        wait:
+          ldw r0, r2, 0
+          bz r0, wait
+          halt
+        .endfunc
+        .func handler
+          la r2, flag
+          li r0, 1
+          stw r0, r2, 0
+          ret
+        .endfunc
+        .data
+        flag: .word 0
+        """,
+    )
+    process.hooks.add(Watcher())
+    machine.run(max_cycles=500)
+    process.post_signal(Signal.TERM)
+    machine.run(max_cycles=100_000)
+    assert events == [Signal.TERM]
+
+
+def test_kill_nine_runs_no_hooks():
+    calls = []
+
+    class Watcher(ProcessHooks):
+        def signal(self, thread, signum):
+            calls.append("signal")
+
+        def thread_exited(self, thread):
+            calls.append("exit")
+
+        def process_exit(self, process, code):
+            calls.append("pexit")
+
+    machine = Machine()
+    process = build(machine, LOOP_FOREVER)
+    process.hooks.add(Watcher())
+    machine.run(max_cycles=500)
+    process.post_signal(Signal.KILL)
+    assert process.exit_state == ExitState.KILLED
+    assert calls == []
+
+
+def test_mapped_buffer_survives_kill():
+    machine = Machine()
+    process = build(machine, LOOP_FOREVER)
+    base, mapped = process.map_buffer("trace", 8)
+    process.memory.write_block(base, [1, 2, 3])
+    process.post_signal(Signal.KILL)
+    assert mapped.words[:3] == [1, 2, 3]
+
+
+SERVER = """
+.module server
+.export handle
+.func handle
+  ; handler(arg_addr=r0, arg_len=r1, ret_addr=r2, ret_cap=r3)
+  ldw r4, r0, 0
+  muli r4, r4, 2
+  stw r4, r2, 0
+  li r0, 0
+  ret
+.endfunc
+"""
+
+CLIENT = """
+.module client
+.entry main
+.func main
+  li r0, 41
+  la r1, argbuf
+  stw r0, r1, 0
+  li r0, 7           ; service id
+  li r2, 1           ; arg len
+  la r3, retbuf
+  li r4, 1           ; ret capacity
+  sys 14             ; rpc_call
+  sys 1              ; print status
+  la r3, retbuf
+  ldw r0, r3, 0
+  sys 1              ; print doubled value
+  halt
+.endfunc
+.data
+argbuf: .word 0
+retbuf: .word 0
+"""
+
+
+def test_local_rpc_round_trip():
+    machine = Machine()
+    server = build(machine, SERVER, "server", start=False)
+    server.rpc_services[7] = "handle"
+    client = build(machine, CLIENT, "client")
+    machine.run(max_cycles=1_000_000)
+    assert client.output == ["0", "82"]
+    assert server.alive  # the server process keeps running / stays loaded
+
+
+FAULTY_SERVER = """
+.module server
+.export handle
+.func handle
+  li r1, 0
+  li r2, 3
+  div r0, r2, r1     ; server-side crash
+  ret
+.endfunc
+"""
+
+
+def test_server_fault_becomes_rpc_server_fault_status():
+    """Figure 6 shape: the server faults; the client sees a status code
+    and keeps running."""
+    machine = Machine()
+    server = build(machine, FAULTY_SERVER, "server", start=False)
+    server.rpc_services[7] = "handle"
+    client = build(machine, CLIENT, "client")
+    machine.run(max_cycles=1_000_000)
+    assert client.output[0] == str(ExcCode.RPC_SERVER_FAULT)
+    assert client.exit_state == ExitState.EXITED
+    assert server.alive
+
+
+def test_rpc_to_unknown_service_fails_cleanly():
+    machine = Machine()
+    client = build(machine, CLIENT, "client")
+    machine.run(max_cycles=1_000_000)
+    assert client.output[0] == str(ExcCode.RPC_SERVER_FAULT)

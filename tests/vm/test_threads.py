@@ -1,0 +1,237 @@
+"""Threads, scheduling, locks, sleep, and hang detection."""
+
+from repro.isa import assemble
+from repro.vm import ExitState, Machine, ProcessHooks, ThreadState
+
+
+def build(src: str):
+    machine = Machine()
+    process = machine.create_process("t")
+    process.load_module(assemble(src))
+    process.start()
+    return machine, process
+
+
+def test_thread_create_runs_concurrently():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          la r0, worker
+          li r1, 5
+          sys 11            ; thread_create(worker, 5)
+          li r2, 40000
+        spin:
+          addi r2, r2, -1
+          bnz r2, spin
+          la r1, done
+          ldw r0, r1, 0
+          sys 1
+          halt
+        .endfunc
+        .func worker
+          sys 20            ; arg already in r0
+          muli r0, r0, 10
+          la r1, done
+          stw r0, r1, 0
+          li r0, 0
+          sys 4             ; exit_thread
+        .endfunc
+        .data
+        done: .word 0
+        """
+    )
+    machine.run()
+    assert process.exit_state == ExitState.EXITED
+    assert process.output == ["50"]
+
+
+def test_lock_provides_mutual_exclusion():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          la r0, worker
+          li r1, 0
+          sys 11
+          la r0, worker
+          sys 11
+          li r2, 120000
+        wait:
+          la r1, count
+          ldw r0, r1, 0
+          li r3, 20000
+          beq r0, r3, okdone
+          addi r2, r2, -1
+          bnz r2, wait
+        okdone:
+          la r1, count
+          ldw r0, r1, 0
+          sys 1
+          halt
+        .endfunc
+        .func worker
+          li r4, 10000
+        loop:
+          li r0, 1
+          sys 12            ; lock(1)
+          la r1, count
+          ldw r2, r1, 0
+          addi r2, r2, 1
+          stw r2, r1, 0
+          li r0, 1
+          sys 13            ; unlock(1)
+          addi r4, r4, -1
+          bnz r4, loop
+          li r0, 0
+          sys 4
+        .endfunc
+        .data
+        count: .word 0
+        """
+    )
+    machine.run(max_cycles=10_000_000)
+    assert process.output == ["20000"]
+
+
+def test_deadlock_reports_stalled():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          la r0, worker
+          sys 11
+          li r0, 1
+          sys 12            ; main takes lock 1
+          li r0, 100
+          sys 8             ; sleep so the worker takes lock 2
+          li r0, 2
+          sys 12            ; main wants lock 2 -> deadlock
+          halt
+        .endfunc
+        .func worker
+          li r0, 2
+          sys 12            ; worker takes lock 2
+          li r0, 200
+          sys 8
+          li r0, 1
+          sys 12            ; worker wants lock 1 -> deadlock
+          li r0, 0
+          sys 4
+        .endfunc
+        """
+    )
+    status = machine.run(max_cycles=1_000_000)
+    assert status == "stalled"
+    blocked = [t for t in process.threads.values() if t.state is ThreadState.BLOCKED]
+    assert len(blocked) == 2
+
+
+def test_sleep_fast_forwards_idle_clock():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          li r0, 500000
+          sys 8
+          halt
+        .endfunc
+        """
+    )
+    assert machine.run() == "done"
+    # The clock advanced past the sleep without executing 500k instrs.
+    assert machine.cycles >= 500_000
+    assert process.threads[0].instructions < 100
+
+
+def test_thread_exit_hook_and_exit_code():
+    exits = []
+
+    class Watcher(ProcessHooks):
+        def thread_exited(self, thread):
+            exits.append((thread.tid, thread.exit_code))
+
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          la r0, worker
+          li r1, 9
+          sys 11
+          li r0, 1000
+          sys 8
+          halt
+        .endfunc
+        .func worker
+          li r0, 7
+          sys 4
+        .endfunc
+        """
+    )
+    process.hooks.add(Watcher())
+    machine.run()
+    assert (1, 7) in exits
+
+
+def test_entry_function_return_ends_thread():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          la r0, worker
+          sys 11
+          li r0, 2000
+          sys 8
+          halt
+        .endfunc
+        .func worker
+          li r0, 13
+          ret               ; return from entry function = thread exit
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.threads[1].exit_code == 13
+
+
+def test_yield_does_not_break_execution():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          li r1, 3
+        loop:
+          sys 15
+          addi r1, r1, -1
+          bnz r1, loop
+          li r0, 1
+          sys 1
+          halt
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.output == ["1"]
+
+
+def test_gettid_distinguishes_threads():
+    machine, process = build(
+        """
+        .module t
+        .entry main
+        .func main
+          sys 17
+          sys 1
+          halt
+        .endfunc
+        """
+    )
+    machine.run()
+    assert process.output == ["0"]

