@@ -1,0 +1,134 @@
+"""Interpreter engine benchmark: predecoded fast dispatch vs reference.
+
+Measures guest instructions per second for both TBVM engines on a
+representative slice of the specint workload suite and records the
+result in ``BENCH_interpreter.json`` at the repo root.  The fast engine
+(:mod:`repro.vm.dispatch`) exists to make the simulation usable at
+paper-scale workloads; this benchmark holds it to its contract:
+
+* at least a 2x geometric-mean speedup over ``Machine.step()``;
+* identical program output and cycle counts (the differential suite in
+  ``tests/vm/test_differential.py`` checks full state; this cross-checks
+  the summary numbers on the real workloads).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_interpreter.py
+
+or as part of the slow pytest lane (``pytest -m slow benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from statistics import geometric_mean
+
+from repro.lang.minic import compile_source
+from repro.workloads.harness import format_table, run_once
+from repro.workloads.specint import benchmark_named
+
+SCHEMA = "tbvm-interpreter-bench/1"
+
+#: A spread of workload shapes: tight integer loops (gzip, mcf), pointer
+#: chasing (parser), branchy search (crafty), and call-heavy (gap).
+WORKLOADS = ["gzip", "mcf", "parser", "crafty", "gap"]
+
+#: Best-of-N wall-clock to damp scheduler noise.
+REPEATS = 3
+
+MIN_GEO_MEAN_SPEEDUP = 2.0
+
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_interpreter.json"
+
+
+def _measure(name: str, engine: str) -> dict:
+    """Best-of-``REPEATS`` run of one workload on one engine."""
+    bench = benchmark_named(name)
+    best = None
+    for _ in range(REPEATS):
+        module = compile_source(bench.source, name)
+        start = time.perf_counter()
+        outcome = run_once(module, engine=engine)
+        seconds = time.perf_counter() - start
+        if best is None or seconds < best["seconds"]:
+            best = {
+                "seconds": seconds,
+                "instructions": outcome.instructions,
+                "cycles": outcome.cycles,
+                "output": outcome.output,
+            }
+    best["ips"] = best["instructions"] / best["seconds"]
+    return best
+
+
+def run_benchmark() -> dict:
+    """Measure every workload under both engines; write and return the
+    report."""
+    rows = []
+    for name in WORKLOADS:
+        reference = _measure(name, "reference")
+        fast = _measure(name, "fast")
+        # Equivalence cross-check: same work, same result.
+        assert fast["output"] == reference["output"], name
+        assert fast["cycles"] == reference["cycles"], name
+        assert fast["instructions"] == reference["instructions"], name
+        rows.append(
+            {
+                "name": name,
+                "instructions": fast["instructions"],
+                "reference": {
+                    "seconds": round(reference["seconds"], 4),
+                    "ips": round(reference["ips"]),
+                },
+                "fast": {
+                    "seconds": round(fast["seconds"], 4),
+                    "ips": round(fast["ips"]),
+                },
+                "speedup": round(fast["ips"] / reference["ips"], 3),
+            }
+        )
+
+    report = {
+        "schema": SCHEMA,
+        "workloads": rows,
+        "geo_mean_speedup": round(
+            geometric_mean([row["speedup"] for row in rows]), 3
+        ),
+    }
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _render(report: dict) -> str:
+    rows = [
+        (
+            row["name"],
+            row["instructions"],
+            f"{row['reference']['ips']:,}",
+            f"{row['fast']['ips']:,}",
+            f"{row['speedup']:.2f}x",
+        )
+        for row in report["workloads"]
+    ]
+    rows.append(
+        ("geo mean", "", "", "", f"{report['geo_mean_speedup']:.2f}x")
+    )
+    return format_table(
+        rows,
+        headers=["workload", "instructions", "ref ips", "fast ips", "speedup"],
+        title="Interpreter engines: instructions/second",
+    )
+
+
+def test_fast_engine_speedup(report):
+    result = run_benchmark()
+    report.append(_render(result))
+    assert result["geo_mean_speedup"] >= MIN_GEO_MEAN_SPEEDUP, (
+        f"fast engine only {result['geo_mean_speedup']:.2f}x over reference"
+    )
+
+
+if __name__ == "__main__":
+    print(_render(run_benchmark()))

@@ -9,7 +9,24 @@ the substrate is a simulator, not the authors' 2005 testbed.
 Run with ``pytest benchmarks/ --benchmark-only``.
 """
 
+from pathlib import Path
+
 import pytest
+
+_BENCH_DIR = Path(__file__).resolve().parent
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark is ``slow``: they regenerate whole paper tables
+    and dominate the suite's wall clock, so the default test lane skips
+    them (run ``pytest -m "slow or not slow"`` for everything).
+
+    The hook sees the whole session's items, so filter to this
+    directory before marking.
+    """
+    for item in items:
+        if Path(item.fspath).resolve().is_relative_to(_BENCH_DIR):
+            item.add_marker(pytest.mark.slow)
 
 
 @pytest.fixture(scope="session")

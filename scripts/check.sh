@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Repo check entry points.
+#
+#   scripts/check.sh test-fast   default lane: everything not marked slow
+#                                (the tier-1 gate; finishes in well under
+#                                a minute)
+#   scripts/check.sh test-all    full lane: fast tests + slow tests +
+#                                every paper-table benchmark
+#   scripts/check.sh bench       interpreter engine benchmark; writes
+#                                BENCH_interpreter.json at the repo root
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+case "${1:-test-fast}" in
+  test-fast)
+    exec python -m pytest -x -q
+    ;;
+  test-all)
+    # A trailing -m overrides the default "not slow" from pyproject.
+    exec python -m pytest -q -m "slow or not slow"
+    ;;
+  bench)
+    exec python benchmarks/bench_interpreter.py
+    ;;
+  *)
+    echo "usage: $0 {test-fast|test-all|bench}" >&2
+    exit 2
+    ;;
+esac

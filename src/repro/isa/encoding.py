@@ -10,6 +10,8 @@ a legal binary representation").
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.isa.instructions import (
     FORMATS,
     IMM16_MAX,
@@ -82,11 +84,17 @@ def encode(instr: Instr) -> int:
     return word
 
 
+@lru_cache(maxsize=1 << 16)
 def decode(word: int) -> Instr:
     """Decode a 32-bit word into an :class:`Instr`.
 
     Raises :class:`EncodingError` for unknown opcodes, which is how the
     disassembler and CFG builder detect data mixed into a code section.
+
+    Results are memoized: real modules repeat a small set of words
+    (probes, NOPs, common ALU forms), and :class:`Instr` is frozen, so
+    the loader's predecode pass can share one instance per word instead
+    of re-deriving fields each time.
     """
     opcode = (word >> _OP_SHIFT) & 0xFF
     if opcode not in _VALID_OPS:

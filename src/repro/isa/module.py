@@ -188,11 +188,19 @@ class Module:
         Entries are kept sorted by ``start``; the covering entry is the
         last one at or before ``offset``, clipped to the containing
         function so padding between functions maps to nothing.
+
+        The start-offset list is cached (keyed by the line-table length,
+        which only grows while a module is being built): reconstruction
+        calls this per replayed step, and rebuilding the list each call
+        made it O(table) per lookup.
         """
         if not self.lines:
             return None
-        starts = [entry.start for entry in self.lines]
-        idx = bisect_right(starts, offset) - 1
+        cached = getattr(self, "_line_starts", None)
+        if cached is None or len(cached) != len(self.lines):
+            cached = [entry.start for entry in self.lines]
+            self._line_starts = cached
+        idx = bisect_right(cached, offset) - 1
         if idx < 0:
             return None
         return self.lines[idx]

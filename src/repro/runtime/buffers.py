@@ -93,7 +93,10 @@ class TraceBuffer:
         words[5] = 0
         words[6] = _NO_OWNER
         words[7] = flags
-        words[8] = 0
+        # Canonical "no records yet" cursor: one before the first record
+        # slot.  Everything that reads or persists word 8 (graceful
+        # detach, buffer reuse, scavenging) uses this convention.
+        words[8] = buf.sub_start(0) - 1
         for sub in range(sub_count):
             words[buf.sub_end(sub)] = SENTINEL
         return buf

@@ -196,7 +196,6 @@ class TraceBackRuntime(ProcessHooks):
             sub_count=self.config.sub_buffers,
             sub_size=self.config.sub_buffer_words,
         )
-        buf.write_cursor = buf.sub_start(0) - 1
         self._all_buffers.append(buf)
         self._free_buffers.append(buf)
         self.stats.buffers_allocated += 1
@@ -408,6 +407,23 @@ class TraceBackRuntime(ProcessHooks):
             self._assignment.pop(thread.tid, None)
             self._free_buffers.append(buf)  # reuse (§3.1.2)
         self._pending.pop(thread.tid, None)
+
+    def process_exit(self, process: Process, code: int) -> None:
+        """Graceful process exit (HALT / EXIT_PROCESS): a graceful
+        detach for every still-attached thread.
+
+        Threads that end individually persist their cursor in
+        :meth:`thread_exited`, but a process-wide exit stops the
+        remaining threads without that path running, which used to leave
+        header word 8 stale.  Persist each attached thread's cursor so a
+        reattach or offline recovery sees exactly where its trace ends.
+        """
+        self.clock.tick()
+        for tid, buf in list(self._assignment.items()):
+            thread = process.threads.get(tid)
+            if thread is None or buf.flags:
+                continue
+            buf.write_cursor = buf.to_rel(thread.tls[self.config.trace_slot])
 
     def scavenge(self) -> int:
         """Dead-thread scavenging (§3.1.2): reclaim buffers owned by

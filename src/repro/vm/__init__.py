@@ -8,6 +8,7 @@ from repro.vm.errors import ExcCode, Signal, VMError, VMFault
 from repro.vm.hooks import HookList, ProcessHooks
 from repro.vm.loader import LoadedModule, Loader
 from repro.vm.machine import (
+    ENGINES,
     ExitState,
     Machine,
     Process,
@@ -29,6 +30,7 @@ from repro.vm.thread import (
 
 __all__ = [
     "COSTS",
+    "ENGINES",
     "ExcCode",
     "ExitState",
     "Frame",

@@ -21,6 +21,7 @@ from typing import Callable
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instr
 from repro.isa.module import Module, Reloc
+from repro.vm.dispatch import Handler, build_handlers
 from repro.vm.errors import VMError
 from repro.vm.memory import Memory, Segment
 
@@ -41,6 +42,12 @@ class LoadedModule:
     import_bindings: list[int | Callable] = field(default_factory=list)
     #: Decoded-instruction cache, parallel to the code segment.
     decoded: list[Instr] = field(default_factory=list)
+    #: Predecoded handler table for the fast engine, parallel to
+    #: ``decoded`` (see :mod:`repro.vm.dispatch`).
+    handlers: list[Handler] = field(default_factory=list)
+    #: The owning process's memory; bound by the loader so predecoded
+    #: handlers can capture ``load``/``store`` directly.
+    memory: Memory | None = None
     unloaded: bool = False
 
     @property
@@ -67,9 +74,12 @@ class LoadedModule:
         return self.code_base + self.module.exports[name]
 
     def refresh_decode_cache(self) -> None:
-        """Re-decode the (possibly rewritten) code segment."""
+        """Re-decode the (possibly rewritten) code segment and lower it
+        to the fast engine's predecoded handler table."""
         code_seg = self.segments[0]
         self.decoded = [decode(word) for word in code_seg.words]
+        if self.memory is not None:
+            self.handlers = build_handlers(self, self.memory)
 
 
 class Loader:
@@ -147,6 +157,7 @@ class Loader:
             rodata_base=rodata_base,
             data_base=data_base,
             segments=segments,
+            memory=self._memory,
         )
         loaded.import_bindings = [self._bind(name, module) for name in module.imports]
         self._loaded.append(loaded)

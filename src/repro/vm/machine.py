@@ -25,11 +25,19 @@ Faithfulness notes relative to the paper:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.isa.instructions import Op
 from repro.isa.module import Module
+from repro.vm.dispatch import (
+    ALU_I as _ALU_I,
+    ALU_R as _ALU_R,
+    BRANCH as _BRANCH,
+    HOST_CALL_COST,
+    _s32,
+)
 from repro.vm.errors import ExcCode, Signal, VMError, VMFault
 from repro.vm.hooks import HookList, ProcessHooks
 from repro.vm.loader import LoadedModule, Loader
@@ -45,20 +53,17 @@ from repro.vm.thread import (
 
 WORD_MASK = 0xFFFFFFFF
 
-#: Cycles charged for a host-function CALLX when the host fn returns None.
-HOST_CALL_COST = 25
+#: The two execution engines a Machine can run (see ``Machine.engine``).
+ENGINES = ("fast", "reference")
+
+#: Environment variable overriding the default engine for new Machines.
+ENGINE_ENV_VAR = "TBVM_ENGINE"
 
 #: Default per-thread stack size in words.
 STACK_WORDS = 8192
 
 #: Scheduler quantum in instructions.
 QUANTUM = 40
-
-
-def _s32(value: int) -> int:
-    """Interpret a 32-bit word as signed."""
-    value &= WORD_MASK
-    return value - (1 << 32) if value >= (1 << 31) else value
 
 
 @dataclass
@@ -269,15 +274,30 @@ class Process:
 
 
 class Machine:
-    """One simulated computer: CPU, clock, processes."""
+    """One simulated computer: CPU, clock, processes.
+
+    ``engine`` selects the interpreter: ``"fast"`` (the default) runs the
+    predecoded closure-dispatch engine in :mod:`repro.vm.dispatch`;
+    ``"reference"`` runs the original ``step()`` if/elif interpreter.
+    The two are bit-identical in architectural state, cycle counts, and
+    trace output (enforced by ``tests/vm/test_differential.py``); the
+    fast engine exists purely for throughput.  The ``TBVM_ENGINE``
+    environment variable overrides the default for debugging.
+    """
 
     def __init__(
         self,
         name: str = "machine",
         clock_skew: int = 0,
         io_latency: int = 2000,
+        engine: str | None = None,
     ):
+        if engine is None:
+            engine = os.environ.get(ENGINE_ENV_VAR, ENGINES[0])
+        if engine not in ENGINES:
+            raise VMError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.name = name
+        self.engine = engine
         self.cycles = 0
         self.clock_skew = clock_skew
         self.io_latency = io_latency
@@ -364,10 +384,57 @@ class Machine:
             self._deliver_signal(thread, process.pending_signals.pop(0))
             if not thread.runnable():
                 return
+        if self.engine == "fast":
+            self._run_slice_fast(thread, process, quantum)
+            return
         for _ in range(quantum):
             if not process.alive or not thread.runnable():
                 return
             self.step(thread)
+
+    def _run_slice_fast(
+        self, thread: Thread, process: Process, quantum: int
+    ) -> None:
+        """The fast engine's hot loop: predecoded handler dispatch.
+
+        Mirrors ``step()`` exactly, but hoists the per-instruction work
+        the reference interpreter repeats every step: the module lookup
+        is cached while the pc stays inside one module's code range, and
+        the opcode cascade is gone — each code word was lowered to a
+        closure at load time (``loaded.handlers``).  The handler list is
+        re-read through the attribute on every iteration so a decode-
+        cache refresh (code rewriting) takes effect immediately, just as
+        it does for the reference engine's ``loaded.decoded`` reads.
+        """
+        loader = process.loader
+        loaded: LoadedModule | None = None
+        code_base = 1
+        code_end = 0
+        ready = ThreadState.READY
+        for _ in range(quantum):
+            if process.exit_state != ExitState.RUNNING or thread.state is not ready:
+                return
+            pc = thread.pc
+            if pc < code_base or pc >= code_end or loaded.unloaded:
+                loaded = loader.find_code(pc)
+                if loaded is None:
+                    self._fault(
+                        thread,
+                        VMFault(ExcCode.ACCESS_VIOLATION, pc,
+                                f"execute of unmapped {pc:#x}"),
+                    )
+                    code_base = 1
+                    code_end = 0
+                    continue
+                code_base = loaded.code_base
+                code_end = loaded.code_end
+            self.cycles += 1
+            process.cycles_used += 1
+            thread.instructions += 1
+            try:
+                loaded.handlers[pc - code_base](self, thread)
+            except VMFault as fault:
+                self._fault(thread, fault)
 
     # ------------------------------------------------------------------
     # Signals
@@ -436,10 +503,16 @@ class Machine:
         caller.unblock()
 
     # ------------------------------------------------------------------
-    # Interpreter
+    # Reference interpreter
     # ------------------------------------------------------------------
     def step(self, thread: Thread) -> None:
-        """Execute one instruction of ``thread``."""
+        """Execute one instruction of ``thread``.
+
+        This is the **reference interpreter**: one if/elif dispatch per
+        instruction.  The fast engine (:mod:`repro.vm.dispatch`) must
+        stay bit-identical to it; change semantics here first, then
+        mirror them in the handler builder.
+        """
         process = thread.process
         loaded = process.loader.find_code(thread.pc)
         if loaded is None:
@@ -769,58 +842,3 @@ def spawn_service_thread(process: Process, request: RpcRequest) -> Thread:
     return thread
 
 
-# ----------------------------------------------------------------------
-# ALU / branch dispatch tables
-# ----------------------------------------------------------------------
-def _div(a: int, b: int, pc: int) -> int:
-    if b == 0:
-        raise VMFault(ExcCode.DIVIDE_BY_ZERO, pc, "DIV")
-    q = abs(_s32(a)) // abs(_s32(b))
-    if (_s32(a) < 0) != (_s32(b) < 0):
-        q = -q
-    return q & WORD_MASK
-
-
-def _mod(a: int, b: int, pc: int) -> int:
-    if b == 0:
-        raise VMFault(ExcCode.DIVIDE_BY_ZERO, pc, "MOD")
-    sa = _s32(a)
-    r = abs(sa) % abs(_s32(b))
-    return (-r if sa < 0 else r) & WORD_MASK
-
-
-_ALU_R = {
-    Op.ADD: lambda a, b, pc: (a + b) & WORD_MASK,
-    Op.SUB: lambda a, b, pc: (a - b) & WORD_MASK,
-    Op.MUL: lambda a, b, pc: (a * b) & WORD_MASK,
-    Op.DIV: _div,
-    Op.MOD: _mod,
-    Op.AND: lambda a, b, pc: a & b,
-    Op.OR: lambda a, b, pc: a | b,
-    Op.XOR: lambda a, b, pc: a ^ b,
-    Op.SHL: lambda a, b, pc: (a << (b & 31)) & WORD_MASK,
-    Op.SHR: lambda a, b, pc: (a & WORD_MASK) >> (b & 31),
-    Op.SLT: lambda a, b, pc: 1 if _s32(a) < _s32(b) else 0,
-    Op.SLE: lambda a, b, pc: 1 if _s32(a) <= _s32(b) else 0,
-    Op.SEQ: lambda a, b, pc: 1 if a == b else 0,
-    Op.SNE: lambda a, b, pc: 1 if a != b else 0,
-}
-
-_ALU_I = {
-    Op.ANDI: lambda a, imm: a & (imm & 0xFFFF),
-    Op.ORI: lambda a, imm: a | (imm & 0xFFFF),
-    Op.XORI: lambda a, imm: a ^ (imm & 0xFFFF),
-    Op.SHLI: lambda a, imm: (a << (imm & 31)) & WORD_MASK,
-    Op.SHRI: lambda a, imm: (a & WORD_MASK) >> (imm & 31),
-    Op.SLTI: lambda a, imm: 1 if _s32(a) < imm else 0,
-    Op.MULI: lambda a, imm: (a * imm) & WORD_MASK,
-}
-
-_BRANCH = {
-    Op.BZ: lambda a, b: a == 0,
-    Op.BNZ: lambda a, b: a != 0,
-    Op.BEQ: lambda a, b: a == b,
-    Op.BNE: lambda a, b: a != b,
-    Op.BLT: lambda a, b: _s32(a) < _s32(b),
-    Op.BGE: lambda a, b: _s32(a) >= _s32(b),
-}

@@ -58,9 +58,14 @@ def run_once(
     runtime_config: RuntimeConfig | None = None,
     with_runtime: bool = False,
     setup=None,
+    engine: str | None = None,
 ) -> RunOutcome:
-    """Execute one module to completion on a fresh machine."""
-    machine = Machine()
+    """Execute one module to completion on a fresh machine.
+
+    ``engine`` selects the interpreter (``"fast"``/``"reference"``);
+    None uses the Machine default.
+    """
+    machine = Machine(engine=engine)
     process = machine.create_process("bench")
     if with_runtime:
         TraceBackRuntime(process, runtime_config or RuntimeConfig())

@@ -1,0 +1,54 @@
+"""Golden-trace regression tests for the shipped examples.
+
+The full reconstruction output of ``examples/quickstart.py`` and
+``examples/multithreaded_crash.py`` — trace, crash diagnosis, call-tree
+and merged views — is checked in under ``goldens/``.  Every engine must
+reproduce it byte-identically: reconstruction reads the trace-buffer
+words the interpreter wrote, so any divergence in probe side effects,
+cycle accounting, or scheduling shows up here as a diff.
+
+To regenerate after an *intentional* output change::
+
+    PYTHONPATH=src python examples/quickstart.py \
+        > tests/reconstruct/goldens/quickstart.txt
+    PYTHONPATH=src python examples/multithreaded_crash.py \
+        > tests/reconstruct/goldens/multithreaded_crash.txt
+"""
+
+from __future__ import annotations
+
+import contextlib
+import importlib.util
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.vm import ENGINES
+from repro.vm.machine import ENGINE_ENV_VAR
+
+_REPO = Path(__file__).resolve().parents[2]
+_GOLDENS = Path(__file__).resolve().parent / "goldens"
+
+EXAMPLES = ["quickstart", "multithreaded_crash"]
+
+
+def _run_example(name: str) -> str:
+    """Import the example fresh and capture everything main() prints."""
+    spec = importlib.util.spec_from_file_location(
+        f"golden_{name}", _REPO / "examples" / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        module.main()
+    return out.getvalue()
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_matches_golden(name, engine, monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV_VAR, engine)
+    golden = (_GOLDENS / f"{name}.txt").read_text()
+    assert _run_example(name) == golden

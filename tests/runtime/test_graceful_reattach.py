@@ -1,0 +1,134 @@
+"""Graceful detach must persist the write cursor (header word 8).
+
+The paper's buffers are memory-mapped files precisely so the trace
+survives the process: on a *graceful* event the runtime records where
+writing stopped, and a later reattach (or offline recovery) resumes from
+that word.  Two historical gaps are pinned down here:
+
+* ``TraceBuffer.allocate`` initialized word 8 to ``0`` while everything
+  else (buffer reuse, scavenging, thread exit) treats
+  ``sub_start(0) - 1`` as the canonical "no records yet" cursor;
+* a graceful *process* exit (HALT / ``EXIT_PROCESS``) stopped the
+  remaining threads without the per-thread exit path, leaving their
+  buffers' word 8 stale.
+"""
+
+from __future__ import annotations
+
+from repro.instrument import InstrumentConfig, instrument_module
+from repro.lang.minic import compile_source
+from repro.runtime import RuntimeConfig, TraceBackRuntime
+from repro.runtime.buffers import SENTINEL, TraceBuffer
+from repro.runtime.records import ExtKind, ExtRecord, INVALID
+from repro.vm import Machine
+from repro.vm.machine import ExitState
+
+SOURCE = """
+int spin[1];
+
+int work(int n) {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < n; i = i + 1) {
+        acc = acc + i * 3;
+    }
+    return acc;
+}
+
+int worker(int arg) {
+    while (1) {
+        spin[0] = spin[0] + work(5);
+        yield();
+    }
+    return 0;
+}
+
+int main() {
+    thread_create(worker, 0);
+    print_int(work(40));
+    sleep(2000);
+    exit(0);
+    return 0;
+}
+"""
+
+
+def _graceful_traced_run():
+    machine = Machine()
+    process = machine.create_process("app")
+    runtime = TraceBackRuntime(process, RuntimeConfig(main_buffers=4))
+    module = instrument_module(
+        compile_source(SOURCE, "app"), InstrumentConfig()
+    ).module
+    process.load_module(module)
+    process.start()
+    status = machine.run(max_cycles=5_000_000)
+    assert status == "done"
+    assert process.exit_state == ExitState.EXITED
+    return process, runtime
+
+
+def test_fresh_buffer_reports_canonical_empty_cursor():
+    """allocate() must agree with the reuse/scavenge convention that an
+    untouched buffer's cursor is one before the first record slot."""
+    machine = Machine()
+    process = machine.create_process("p")
+    buf = TraceBuffer.allocate(process, index=0, sub_count=2, sub_size=16)
+    assert buf.write_cursor == buf.sub_start(0) - 1
+
+
+def test_graceful_process_exit_persists_cursor():
+    """``exit(0)`` stops main *and* the still-attached worker without
+    the per-thread exit path; both buffers' header word 8 must point at
+    the last record word each thread actually wrote."""
+    process, runtime = _graceful_traced_run()
+    assert len(process.threads) == 2
+    checked = 0
+    for thread in process.threads.values():
+        buf = runtime.buffer_of_thread(thread)
+        if buf is None or buf.flags:
+            continue
+        checked += 1
+        cursor = buf.write_cursor
+        # The cursor matches the thread's live TLS trace pointer...
+        assert cursor == buf.to_rel(thread.tls[runtime.config.trace_slot])
+        # ...real records were written...
+        assert cursor > buf.sub_start(0) - 1
+        words = buf.mapped.words
+        assert words[cursor] not in (INVALID, SENTINEL)
+        # ...and every slot after it (up to the sub-buffer sentinel) is
+        # still invalid: the cursor is exactly the last written word.
+        for rel in range(cursor + 1, buf.sub_end(buf.sub_of(cursor))):
+            assert words[rel] == INVALID
+    assert checked == 2
+
+
+def test_reattach_round_trip_appends_after_persisted_cursor():
+    """Reattach from nothing but the mapped file: rebuild the buffer
+    view from its header, resume at the persisted cursor, and append."""
+    process, runtime = _graceful_traced_run()
+    old = runtime.buffer_of_thread(process.threads[0])
+
+    words = old.mapped.words
+    reattached = TraceBuffer(
+        index=words[1],
+        base=old.base,
+        mapped=old.mapped,
+        sub_count=words[2],
+        sub_size=words[3],
+        flags=words[7],
+    )
+    assert reattached.write_cursor == old.write_cursor
+
+    # Append continues where the detached writer stopped.
+    slot = reattached.write_cursor + 1
+    if words[slot] == SENTINEL:
+        slot = reattached.wrap_from(slot)
+    marker = ExtRecord(ExtKind.SNAP_MARK, inline=0x1234)
+    words[slot] = marker.encode()[0]
+    reattached.write_cursor = slot
+
+    assert words[reattached.write_cursor] == marker.encode()[0]
+    # The pre-existing trace is untouched up to the old cursor.
+    assert words[old.write_cursor] not in (INVALID, SENTINEL)
