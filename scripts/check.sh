@@ -6,6 +6,9 @@
 #                                a minute)
 #   scripts/check.sh test-all    full lane: fast tests + slow tests +
 #                                every paper-table benchmark
+#   scripts/check.sh chaos       fault-injection suite: every chaos
+#                                scenario plus the full seeded fuzz
+#                                sweep (includes the slow lane)
 #   scripts/check.sh bench       interpreter engine benchmark; writes
 #                                BENCH_interpreter.json at the repo root
 set -euo pipefail
@@ -20,11 +23,14 @@ case "${1:-test-fast}" in
     # A trailing -m overrides the default "not slow" from pyproject.
     exec python -m pytest -q -m "slow or not slow"
     ;;
+  chaos)
+    exec python -m pytest -q tests/chaos -m "slow or not slow"
+    ;;
   bench)
     exec python benchmarks/bench_interpreter.py
     ;;
   *)
-    echo "usage: $0 {test-fast|test-all|bench}" >&2
+    echo "usage: $0 {test-fast|test-all|chaos|bench}" >&2
     exit 2
     ;;
 esac

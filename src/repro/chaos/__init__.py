@@ -1,0 +1,51 @@
+"""Fault injection ("chaos") for TraceBack artifacts (§2.1, §4.1).
+
+TraceBack's value proposition is diagnosing the *first* fault from
+whatever evidence survives — wrapped buffers, torn archives, ``kill
+-9``'d processes, machines that never sent their snap.  This package
+damages snaps and the distributed substrate systematically and
+reproducibly, so salvage-mode reconstruction can be tested against
+ground truth: every injector returns a description of exactly what it
+destroyed, and every scenario pairs a damaged run with the machines it
+expected.  See DESIGN.md, "Degradation ladder".
+"""
+
+from repro.chaos.inject import (
+    clobber_header,
+    copy_snap,
+    corrupt_archive,
+    drop_machine,
+    drop_sync_records,
+    duplicate_sync_records,
+    flip_bits,
+    skew_clock,
+    tear_archive,
+    truncate_buffer,
+    zero_words,
+)
+from repro.chaos.scenarios import (
+    MACHINES,
+    SCENARIOS,
+    ChaosResult,
+    build_base,
+    run_scenario,
+)
+
+__all__ = [
+    "MACHINES",
+    "SCENARIOS",
+    "ChaosResult",
+    "build_base",
+    "clobber_header",
+    "copy_snap",
+    "corrupt_archive",
+    "drop_machine",
+    "drop_sync_records",
+    "duplicate_sync_records",
+    "flip_bits",
+    "run_scenario",
+    "skew_clock",
+    "tear_archive",
+    "truncate_buffer",
+    "zero_words",
+]

@@ -1,0 +1,347 @@
+"""Named chaos scenarios: end-to-end damaged distributed runs.
+
+Each scenario builds the same three-machine RPC chain (client ->
+frontend -> backend, two nested RPCs, every process instrumented), runs
+it on the simulated network, then injures the evidence the way one of
+the paper's failure stories would (§2.1 eBay transmission, §4.1 wrapped
+buffers, kill -9 mid-run, clock skew "even when large", §5).  The
+result carries the surviving snaps, the mapfiles, and the ground-truth
+damage list — everything a test (or a demo) needs to reconstruct in
+salvage mode and check the degradation summary names each loss.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.chaos.inject import (
+    clobber_header,
+    copy_snap,
+    corrupt_archive,
+    drop_machine,
+    drop_sync_records,
+    duplicate_sync_records,
+    flip_bits,
+    skew_clock,
+    tear_archive,
+    truncate_buffer,
+    zero_words,
+)
+from repro.distributed.session import DistributedSession
+from repro.instrument.mapfile import Mapfile
+from repro.reconstruct import DistributedTrace, Reconstructor
+from repro.runtime.archive import compress_snap, salvage_decompress
+from repro.runtime.snap import SnapFile
+from repro.runtime.sync import reset_runtime_ids
+
+CLIENT_SRC = """
+int argbuf[1];
+int retbuf[1];
+int main() {
+    argbuf[0] = 20;
+    int status;
+    status = rpc_call(7, argbuf, 1, retbuf, 1);
+    print_int(status);
+    print_int(retbuf[0]);
+    return 0;
+}
+"""
+
+FRONTEND_SRC = """
+int argbuf[1];
+int retbuf[1];
+int handle(int argaddr, int arglen, int retaddr, int retcap) {
+    int value;
+    int status;
+    value = peek(argaddr);
+    argbuf[0] = value + 1;
+    status = rpc_call(8, argbuf, 1, retbuf, 1);
+    poke(retaddr, retbuf[0]);
+    return status;
+}
+"""
+
+BACKEND_SRC = """
+int handle(int argaddr, int arglen, int retaddr, int retcap) {
+    poke(retaddr, peek(argaddr) * 2);
+    return 0;
+}
+"""
+
+#: Machine names of the standard topology, in caller -> callee order.
+MACHINES = ["machine-a", "machine-b", "machine-c"]
+
+
+@dataclass
+class ChaosResult:
+    """One damaged run, ready for reconstruction."""
+
+    name: str
+    #: Surviving snaps (None entries mark archive losses kept in place).
+    snaps: list[SnapFile | None]
+    mapfiles: list[Mapfile]
+    #: Ground truth: what the injector destroyed.
+    injected: list[str]
+    #: Every machine that took part in the run.
+    expected_machines: list[str] = field(default_factory=list)
+    #: machine name -> archive/salvage loss lines discovered on load.
+    salvage_notes: dict[str, list[str]] = field(default_factory=dict)
+
+    def reconstruct(self, strict: bool = False) -> DistributedTrace:
+        """Reconstruct the damaged evidence (salvage mode by default)."""
+        return Reconstructor(self.mapfiles).reconstruct_distributed(
+            self.snaps,
+            strict=strict,
+            expected_machines=self.expected_machines,
+            salvage_notes=self.salvage_notes,
+        )
+
+
+def build_base(
+    skews: tuple[int, int, int] = (0, 0, 0),
+    kill_at_cycles: int | None = None,
+    rpc_chaos=None,
+):
+    """Run the standard chain and return (snaps, mapfiles, session).
+
+    ``kill_at_cycles`` runs the network for that budget, then ``kill
+    -9``s the frontend process via the VM kill path and lets the rest of
+    the network drain — the paper's abrupt-termination story.
+    ``rpc_chaos`` installs a network-level fault hook
+    (see :class:`repro.distributed.network.Network`).
+    """
+    # Repeated runs in one process must be word-identical; rewind the
+    # runtime-id allocator or SYNC records embed different ids.
+    reset_runtime_ids()
+    session = DistributedSession()
+    machines = [
+        session.add_machine(name, clock_skew=skew)
+        for name, skew in zip(MACHINES, skews)
+    ]
+    session.add_process(machines[0], "client", CLIENT_SRC, start=True)
+    session.add_process(
+        machines[1], "frontend", FRONTEND_SRC, services={7: "handle"}
+    )
+    session.add_process(
+        machines[2], "backend", BACKEND_SRC, services={8: "handle"}
+    )
+    if rpc_chaos is not None:
+        session.network.rpc_chaos = rpc_chaos
+
+    if kill_at_cycles is None:
+        result = session.run()
+        return result.snaps, result.mapfiles, session
+
+    # Manual drive with a mid-run kill -9 of the frontend.
+    for handle in session.nodes.values():
+        if handle.entry_module is not None:
+            handle.process.start(handle.entry_module)
+    total = sum(m.cycles for m in session.network.machines)
+    session.network.run(max_total_cycles=total + kill_at_cycles)
+    session.nodes["frontend"].process.kill()
+    session.network.run()
+    snaps = []
+    for handle in session.nodes.values():
+        snap = handle.runtime.snap_store.latest()
+        if snap is None:
+            # Post-mortem snap: trace buffers outlive the kill (they
+            # live in "memory-mapped files"), exactly the paper's claim.
+            snap = handle.runtime.build_snap("post-mortem", {"signal": 9})
+        snaps.append(snap)
+    return snaps, session.mapfiles, session
+
+
+# ----------------------------------------------------------------------
+# Scenarios
+# ----------------------------------------------------------------------
+def _base_result(name: str) -> ChaosResult:
+    snaps, mapfiles, _ = build_base()
+    return ChaosResult(
+        name=name,
+        snaps=[copy_snap(s) for s in snaps],
+        mapfiles=mapfiles,
+        injected=[],
+        expected_machines=list(MACHINES),
+    )
+
+
+def scenario_corrupt_buffer(rng: random.Random) -> ChaosResult:
+    """Bit-flips and zeroed runs inside one machine's buffer dumps."""
+    result = _base_result("corrupt-buffer")
+    victim = result.snaps[rng.randrange(len(result.snaps))]
+    result.injected += flip_bits(victim, rng, flips=6)
+    result.injected += zero_words(victim, rng, runs=1, run_len=12)
+    return result
+
+
+def scenario_torn_header(rng: random.Random) -> ChaosResult:
+    """Clobbered buffer header words (magic / geometry / commit)."""
+    result = _base_result("torn-header")
+    victim = result.snaps[rng.randrange(len(result.snaps))]
+    result.injected += clobber_header(victim, rng, words=2)
+    return result
+
+
+def scenario_truncated_buffer(rng: random.Random) -> ChaosResult:
+    """One buffer's words cut short inside the snap artifact."""
+    result = _base_result("truncated-buffer")
+    victim = result.snaps[rng.randrange(len(result.snaps))]
+    result.injected += truncate_buffer(victim, rng)
+    return result
+
+
+def scenario_truncated_archive(rng: random.Random) -> ChaosResult:
+    """A compressed snap container torn in transmission; the survivors
+    are salvaged from the partial container."""
+    result = _base_result("truncated-archive")
+    victim_idx = rng.randrange(len(result.snaps))
+    victim = result.snaps[victim_idx]
+    machine = victim.machine_name
+    data = compress_snap(victim)
+    torn, note = tear_archive(data, rng)
+    result.injected.append(f"{machine}: {note}")
+    salvaged, notes = salvage_decompress(torn)
+    result.snaps[victim_idx] = salvaged  # may be None: total loss
+    result.salvage_notes[machine] = notes or ["container unrecoverable"]
+    return result
+
+
+def scenario_corrupt_archive(rng: random.Random) -> ChaosResult:
+    """Bit rot inside a compressed snap container."""
+    result = _base_result("corrupt-archive")
+    victim_idx = rng.randrange(len(result.snaps))
+    victim = result.snaps[victim_idx]
+    machine = victim.machine_name
+    data = compress_snap(victim)
+    bad, notes = corrupt_archive(data, rng)
+    result.injected += [f"{machine}: {n}" for n in notes]
+    salvaged, load_notes = salvage_decompress(bad)
+    result.snaps[victim_idx] = salvaged
+    result.salvage_notes[machine] = load_notes or []
+    return result
+
+
+def scenario_missing_machine(rng: random.Random) -> ChaosResult:
+    """One machine contributes no snap at all."""
+    result = _base_result("missing-machine")
+    survivors, dropped = drop_machine(
+        [s for s in result.snaps if s is not None], rng
+    )
+    result.snaps = list(survivors)
+    result.injected.append(f"machine {dropped}: snap never arrived")
+    return result
+
+
+def scenario_dropped_sync(rng: random.Random) -> ChaosResult:
+    """SYNC records zeroed out of the buffers: RPC legs lose evidence."""
+    result = _base_result("dropped-sync")
+    for snap in result.snaps:
+        result.injected += drop_sync_records(snap, rng, count=1)
+    return result
+
+
+def scenario_duplicated_sync(rng: random.Random) -> ChaosResult:
+    """SYNC records replayed over their neighbours."""
+    result = _base_result("duplicated-sync")
+    for snap in result.snaps:
+        result.injected += duplicate_sync_records(snap, rng, count=1)
+    return result
+
+
+def scenario_clock_skew(rng: random.Random) -> ChaosResult:
+    """Extreme inter-machine clock skew (§5.2: correct "even when the
+    time skew between machines is large"), plus post-hoc metadata skew."""
+    shifts = (0, rng.randrange(1 << 30, 1 << 34), -rng.randrange(1 << 30, 1 << 34))
+    snaps, mapfiles, _ = build_base(skews=shifts)
+    result = ChaosResult(
+        name="clock-skew",
+        snaps=[copy_snap(s) for s in snaps],
+        mapfiles=mapfiles,
+        injected=[f"machine skews {shifts}"],
+        expected_machines=list(MACHINES),
+    )
+    result.injected += skew_clock(result.snaps[-1], 1 << 35)
+    return result
+
+
+def scenario_abrupt_kill(rng: random.Random) -> ChaosResult:
+    """The frontend is kill -9'd mid-run (the VM kill path); its trace
+    buffers are recovered post mortem."""
+    cycles = rng.randrange(4_000, 40_000)
+    snaps, mapfiles, _ = build_base(kill_at_cycles=cycles)
+    return ChaosResult(
+        name="abrupt-kill",
+        snaps=[copy_snap(s) for s in snaps],
+        mapfiles=mapfiles,
+        injected=[f"frontend killed after ~{cycles} network cycles"],
+        expected_machines=list(MACHINES),
+    )
+
+
+def scenario_stripped_sync_payload(rng: random.Random) -> ChaosResult:
+    """The wire loses the out-of-band TraceBack triple (an
+    uninstrumented hop): SYNC chains break at the network."""
+    strip_after = rng.randrange(2)
+
+    calls = {"n": 0}
+
+    def hook(request):
+        calls["n"] += 1
+        if calls["n"] > strip_after:
+            return "strip-sync"
+        return None
+
+    snaps, mapfiles, _ = build_base(rpc_chaos=hook)
+    return ChaosResult(
+        name="stripped-sync-payload",
+        snaps=[copy_snap(s) for s in snaps],
+        mapfiles=mapfiles,
+        injected=[f"SYNC payload stripped after {strip_after} RPC(s)"],
+        expected_machines=list(MACHINES),
+    )
+
+
+def scenario_killed_callee(rng: random.Random) -> ChaosResult:
+    """The callee process is killed by the network instead of serving
+    (server died between registration and dispatch)."""
+
+    def hook(request):
+        return "kill-callee" if request.service == 8 else None
+
+    snaps, mapfiles, _ = build_base(rpc_chaos=hook)
+    return ChaosResult(
+        name="killed-callee",
+        snaps=[copy_snap(s) for s in snaps],
+        mapfiles=mapfiles,
+        injected=["backend killed on first dispatch to service 8"],
+        expected_machines=list(MACHINES),
+    )
+
+
+SCENARIOS = {
+    "corrupt-buffer": scenario_corrupt_buffer,
+    "torn-header": scenario_torn_header,
+    "truncated-buffer": scenario_truncated_buffer,
+    "truncated-archive": scenario_truncated_archive,
+    "corrupt-archive": scenario_corrupt_archive,
+    "missing-machine": scenario_missing_machine,
+    "dropped-sync": scenario_dropped_sync,
+    "duplicated-sync": scenario_duplicated_sync,
+    "clock-skew": scenario_clock_skew,
+    "abrupt-kill": scenario_abrupt_kill,
+    "stripped-sync-payload": scenario_stripped_sync_payload,
+    "killed-callee": scenario_killed_callee,
+}
+
+
+def run_scenario(name: str, seed: int = 0) -> ChaosResult:
+    """Build and damage one named scenario, reproducibly."""
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos scenario {name!r}; "
+            f"choose from {sorted(SCENARIOS)}"
+        ) from None
+    return scenario(random.Random(seed))

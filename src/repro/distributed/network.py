@@ -27,6 +27,14 @@ class Network:
         #: wire latency stand-in.
         self.rpc_latency = rpc_latency
         self.rpc_count = 0
+        #: Optional fault-injection hook (`repro.chaos`): called with
+        #: each request before routing; may return an action string —
+        #: ``"drop"`` (the RPC never arrives), ``"strip-sync"`` (the
+        #: out-of-band TraceBack triple is lost in transit, as across an
+        #: uninstrumented hop), ``"kill-callee"`` (the serving process
+        #: dies abruptly instead of answering) — or None for normal
+        #: delivery.
+        self.rpc_chaos = None
 
     # ------------------------------------------------------------------
     def add_machine(
@@ -51,9 +59,21 @@ class Network:
         self.rpc_count += 1
         caller_machine = request.caller_process.machine
         caller_machine.cycles += self.rpc_latency
+        action = self.rpc_chaos(request) if self.rpc_chaos else None
+        if action == "drop":
+            caller_machine.complete_rpc(request, status=ExcCode.RPC_SERVER_FAULT)
+            return
+        if action == "strip-sync":
+            request.extra = {}
         for machine in self.machines:
             for process in machine.processes:
                 if process.alive and request.service in process.rpc_services:
+                    if action == "kill-callee":
+                        process.kill()
+                        caller_machine.complete_rpc(
+                            request, status=ExcCode.RPC_SERVER_FAULT
+                        )
+                        return
                     spawn_service_thread(process, request)
                     return
         caller_machine.complete_rpc(request, status=ExcCode.RPC_SERVER_FAULT)

@@ -76,6 +76,27 @@ def merge(traces: list[ThreadTrace]) -> list[tuple[ThreadTrace, Step]]:
     return [(trace, step) for _, trace, step in keyed]
 
 
+def merge_grouped(
+    traces: list[ThreadTrace],
+) -> list[tuple[str, list[tuple[ThreadTrace, Step]]]]:
+    """The degradation ladder's bottom rung: per-machine merges only.
+
+    When no SYNC evidence survives between two machines their anchor
+    clocks are incomparable (skew is unbounded), so a single global
+    interleaving would fabricate an order.  Group threads by machine and
+    interleave within each group, where one clock domain makes anchors
+    meaningful.  Returns ``(machine_name, merged steps)`` per machine,
+    sorted by machine name.
+    """
+    by_machine: dict[str, list[ThreadTrace]] = {}
+    for trace in traces:
+        by_machine.setdefault(trace.machine_name, []).append(trace)
+    return [
+        (machine, merge(by_machine[machine]))
+        for machine in sorted(by_machine)
+    ]
+
+
 def concurrent_with(
     traces: list[ThreadTrace], focus: ThreadTrace, step: Step
 ) -> list[tuple[ThreadTrace, Step]]:

@@ -98,6 +98,14 @@ class ProcessTrace:
     threads: list[ThreadTrace] = field(default_factory=list)
     #: Messages about unrecoverable data (bad DAGs, shared buffers...).
     notes: list[str] = field(default_factory=list)
+    #: Per-buffer :class:`~repro.reconstruct.recovery.SalvageReport`s,
+    #: populated only by salvage-mode reconstruction.
+    salvage: list = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether salvage-mode recovery lost anything in this process."""
+        return any(r.damaged for r in self.salvage)
 
     def thread(self, tid: int) -> ThreadTrace | None:
         """The trace of thread ``tid`` (the most recent span)."""
@@ -134,6 +142,61 @@ class LogicalThreadTrace:
 
 
 @dataclass
+class DegradationSummary:
+    """What a salvaged reconstruction lost, and how far down the
+    degradation ladder the answer sits.
+
+    The ladder (DESIGN.md): **full** trace -> **gaps** (per-thread holes
+    from damaged buffers) -> **approximate** (causal order between some
+    machines unproven — no surviving SYNC pair) -> **partial** (whole
+    machines missing from the evidence).
+    """
+
+    #: Human-readable loss statements, e.g. "machine B: buffer 2
+    #: corrupt, 312/4096 words skipped".
+    losses: list[str] = field(default_factory=list)
+    #: Machine-name pairs whose relative causal order is approximate
+    #: (no complete SYNC quadruple survives between them).
+    approximate_pairs: list[tuple[str, str]] = field(default_factory=list)
+    #: Machines that should have contributed a snap but did not.
+    missing_machines: list[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(
+            self.losses or self.approximate_pairs or self.missing_machines
+        )
+
+    @property
+    def level(self) -> str:
+        """The ladder rung: full | gaps | approximate | partial."""
+        if self.missing_machines:
+            return "partial"
+        if self.approximate_pairs:
+            return "approximate"
+        if self.losses:
+            return "gaps"
+        return "full"
+
+    def lines(self) -> list[str]:
+        """Display lines for the degradation banner."""
+        out = [f"degradation: {self.level}"]
+        for machine in self.missing_machines:
+            out.append(f"  machine {machine}: no snap recovered")
+        for a, b in self.approximate_pairs:
+            out.append(
+                f"  causal order between {a} and {b} approximate "
+                "(no surviving SYNC pair)"
+            )
+        out.extend(f"  {loss}" for loss in self.losses)
+        return out
+
+    def summary(self) -> str:
+        """The whole banner as one string."""
+        return "\n".join(self.lines())
+
+
+@dataclass
 class DistributedTrace:
     """A master trace stitched from several snaps (§5)."""
 
@@ -141,3 +204,5 @@ class DistributedTrace:
     logical_threads: list[LogicalThreadTrace]
     #: (runtime_a, runtime_b) -> estimated clock offset b - a (§5.2).
     skew_estimates: dict[tuple[int, int], int] = field(default_factory=dict)
+    #: Filled by salvage-mode reconstruction; None after a strict run.
+    degradation: DegradationSummary | None = None

@@ -4,6 +4,13 @@ This is the entry point a user of the library calls.  Reconstruction
 requires (1) a trace/snap file, (2) the mapfiles of the instrumented
 modules — matched by checksum — exactly the paper's input list (§4),
 with debug information embedded in the mapfiles.
+
+Both strict and salvage disciplines are offered.  Strict (the default)
+raises on the first integrity violation; salvage mode reconstructs
+whatever the damage left behind — wrapped buffers, torn archives,
+``kill -9``'d processes, whole machines missing — and attaches a
+:class:`~repro.reconstruct.model.DegradationSummary` naming each loss,
+which is the paper's actual field regime (§2.1, §4.1).
 """
 
 from __future__ import annotations
@@ -11,9 +18,22 @@ from __future__ import annotations
 from repro.instrument.mapfile import Mapfile
 from repro.reconstruct.callstack import assign_depths
 from repro.reconstruct.expand import ModuleIndex, expand_span
-from repro.reconstruct.model import DistributedTrace, ProcessTrace
-from repro.reconstruct.recovery import recover_spans
-from repro.reconstruct.stitch import estimate_skews, stitch_logical_threads
+from repro.reconstruct.model import (
+    DegradationSummary,
+    DistributedTrace,
+    ProcessTrace,
+)
+from repro.reconstruct.recovery import (
+    REASON_EXPAND_FAILED,
+    SalvageReport,
+    recover_spans,
+    recover_spans_salvage,
+)
+from repro.reconstruct.stitch import (
+    estimate_skews,
+    stitch_logical_threads,
+    sync_machine_pairs,
+)
 from repro.runtime.snap import SnapFile
 
 
@@ -28,10 +48,26 @@ class Reconstructor:
         self.mapfiles.append(mapfile)
 
     # ------------------------------------------------------------------
-    def reconstruct(self, snap: SnapFile) -> ProcessTrace:
-        """One snap -> per-thread line traces with call depths."""
+    def reconstruct(self, snap: SnapFile, strict: bool = True) -> ProcessTrace:
+        """One snap -> per-thread line traces with call depths.
+
+        ``strict=False`` selects salvage mode: damaged buffers yield
+        whatever records survive, with per-buffer
+        :class:`~repro.reconstruct.recovery.SalvageReport`s on the
+        result's ``salvage`` list instead of a
+        :class:`~repro.reconstruct.recovery.RecoveryError`.
+        """
         index = ModuleIndex.build(snap, self.mapfiles)
-        spans, notes = recover_spans(snap.buffers)
+        if strict:
+            spans, notes = recover_spans(snap.buffers)
+            reports: list[SalvageReport] = []
+        else:
+            recovered = recover_spans_salvage(snap.buffers)
+            spans, notes, reports = (
+                recovered.spans,
+                recovered.notes,
+                recovered.reports,
+            )
         result = ProcessTrace(
             process_name=snap.process_name,
             machine_name=snap.machine_name,
@@ -39,24 +75,112 @@ class Reconstructor:
             detail=snap.detail,
             clock=snap.clock,
             notes=notes,
+            salvage=reports,
         )
         for span in spans:
-            trace = expand_span(span, index, snap)
+            if strict:
+                trace = expand_span(span, index, snap)
+            else:
+                # Defense in depth: salvaged records can be internally
+                # inconsistent in ways expansion never sees from a live
+                # runtime; a span that explodes becomes a named loss,
+                # not a crash.
+                try:
+                    trace = expand_span(span, index, snap)
+                except Exception as exc:  # noqa: BLE001 — salvage barrier
+                    report = SalvageReport(buffer_index=span.buffer_index)
+                    report.note(
+                        REASON_EXPAND_FAILED,
+                        f"buffer {span.buffer_index}: thread "
+                        f"{span.tid} span failed to expand "
+                        f"({type(exc).__name__}: {exc})",
+                    )
+                    result.salvage.append(report)
+                    result.notes.append(report.problems[-1])
+                    continue
             assign_depths(trace)
             result.threads.append(trace)
         return result
 
     # ------------------------------------------------------------------
-    def reconstruct_distributed(self, snaps: list[SnapFile]) -> DistributedTrace:
+    def reconstruct_distributed(
+        self,
+        snaps: list[SnapFile | None],
+        strict: bool = True,
+        expected_machines: list[str] | None = None,
+        salvage_notes: dict[str, list[str]] | None = None,
+    ) -> DistributedTrace:
         """Several snaps (processes/machines) -> one master trace (§5).
 
         Fuses RPC caller/callee segments into logical threads and
         estimates inter-runtime clock skew from the SYNC quadruples.
+
+        Salvage mode (``strict=False``) additionally tolerates absent
+        machines: ``None`` entries in ``snaps`` are skipped, machines
+        named in ``expected_machines`` but contributing no snap are
+        reported missing, and the returned trace carries a
+        :class:`~repro.reconstruct.model.DegradationSummary` describing
+        every loss (``salvage_notes`` maps a machine name to extra loss
+        lines, e.g. from archive salvage).
         """
-        processes = [self.reconstruct(snap) for snap in snaps]
+        if strict:
+            present = [snap for snap in snaps if snap is not None]
+            if len(present) != len(snaps):
+                raise ValueError(
+                    f"{len(snaps) - len(present)} snap(s) missing; "
+                    "use salvage mode (strict=False) to reconstruct "
+                    "around the loss"
+                )
+            processes = [self.reconstruct(snap) for snap in present]
+            all_threads = [t for p in processes for t in p.threads]
+            return DistributedTrace(
+                processes=processes,
+                logical_threads=stitch_logical_threads(all_threads),
+                skew_estimates=estimate_skews(all_threads),
+            )
+
+        degradation = DegradationSummary()
+        processes = []
+        for snap in snaps:
+            if snap is None:
+                continue
+            process = self.reconstruct(snap, strict=False)
+            processes.append(process)
+            for report in process.salvage:
+                if report.damaged:
+                    degradation.losses.append(
+                        f"machine {process.machine_name}: {report.summary()}"
+                    )
+        seen_machines = {p.machine_name for p in processes}
+        for machine in expected_machines or []:
+            if machine not in seen_machines:
+                degradation.missing_machines.append(machine)
+        for machine, lines in (salvage_notes or {}).items():
+            degradation.losses.extend(
+                f"machine {machine}: {line}" for line in lines
+            )
+
         all_threads = [t for p in processes for t in p.threads]
+        stitch_notes: list[str] = []
+        logical = stitch_logical_threads(
+            all_threads, salvage=True, notes=stitch_notes
+        )
+        degradation.losses.extend(stitch_notes)
+
+        # Which machine pairs lack any surviving SYNC anchor?  Their
+        # relative order in a merged view is approximate at best.
+        covered = sync_machine_pairs(all_threads)
+        machines = sorted(
+            seen_machines | set(degradation.missing_machines)
+        )
+        for i, a in enumerate(machines):
+            for b in machines[i + 1 :]:
+                if (a, b) not in covered:
+                    degradation.approximate_pairs.append((a, b))
+
         return DistributedTrace(
             processes=processes,
-            logical_threads=stitch_logical_threads(all_threads),
+            logical_threads=logical,
             skew_estimates=estimate_skews(all_threads),
+            degradation=degradation,
         )

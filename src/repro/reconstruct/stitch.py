@@ -62,7 +62,84 @@ def collect_sync_points(traces: list[ThreadTrace]) -> list[SyncPoint]:
     return points
 
 
-def stitch_logical_threads(traces: list[ThreadTrace]) -> list[LogicalThreadTrace]:
+def dedupe_sync_points(
+    points: list[SyncPoint], notes: list[str] | None = None
+) -> list[SyncPoint]:
+    """Drop duplicated SYNC records (damaged buffers can replay them).
+
+    Two points are duplicates when they agree on (logical id, seq, sync
+    kind, runtime id); the first occurrence wins.  On undamaged traces
+    this is the identity.
+    """
+    seen: set[tuple[int, int, int, int]] = set()
+    kept: list[SyncPoint] = []
+    dropped = 0
+    for point in points:
+        key = (point.logical_id, point.seq, point.sync_kind, point.runtime_id)
+        if key in seen:
+            dropped += 1
+            continue
+        seen.add(key)
+        kept.append(point)
+    if dropped and notes is not None:
+        notes.append(f"{dropped} duplicated SYNC record(s) ignored")
+    return kept
+
+
+def annotate_sync_gaps(
+    chain: list[SyncPoint], notes: list[str]
+) -> None:
+    """Describe missing legs in one logical thread's SYNC chain.
+
+    A healthy RPC leaves four successive sequence numbers; a hole means
+    a leg's record was lost (dropped SYNC, overwritten buffer, dead
+    machine) and the fused order around it is approximate.
+    """
+    if not chain:
+        return
+    seqs = [p.seq for p in chain]
+    logical = chain[0].logical_id
+    for prev, cur in zip(seqs, seqs[1:]):
+        if cur > prev + 1:
+            notes.append(
+                f"logical thread {logical:#x}: SYNC leg(s) missing "
+                f"(sequence jumps {prev} -> {cur}); causal order "
+                "approximate across the gap"
+            )
+    kinds = [p.sync_kind for p in chain]
+    if kinds and kinds[0] not in (SyncKind.CALL_OUT, SyncKind.ENTER):
+        notes.append(
+            f"logical thread {logical:#x}: chain starts mid-RPC "
+            f"(first surviving leg is kind {kinds[0]})"
+        )
+
+
+def sync_machine_pairs(traces: list[ThreadTrace]) -> set[tuple[str, str]]:
+    """Machine-name pairs whose causal order SYNC evidence anchors.
+
+    A pair is covered when at least one logical thread has surviving
+    SYNC points on both machines — even an incomplete CALL_OUT/ENTER
+    half-pair orders the two sides.
+    """
+    by_logical: dict[int, set[str]] = {}
+    for point in collect_sync_points(traces):
+        by_logical.setdefault(point.logical_id, set()).add(
+            point.trace.machine_name
+        )
+    pairs: set[tuple[str, str]] = set()
+    for machines in by_logical.values():
+        ordered = sorted(machines)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                pairs.add((a, b))
+    return pairs
+
+
+def stitch_logical_threads(
+    traces: list[ThreadTrace],
+    salvage: bool = False,
+    notes: list[str] | None = None,
+) -> list[LogicalThreadTrace]:
     """Fuse physical-thread segments into logical threads.
 
     Walk each logical thread's SYNC points in sequence order; at each
@@ -74,12 +151,16 @@ def stitch_logical_threads(traces: list[ThreadTrace]) -> list[LogicalThreadTrace
     chain of physical thread trace segments").
     """
     points = collect_sync_points(traces)
+    if salvage:
+        points = dedupe_sync_points(points, notes)
     by_logical: dict[int, list[SyncPoint]] = {}
     for point in points:
         by_logical.setdefault(point.logical_id, []).append(point)
 
     logical_traces: list[LogicalThreadTrace] = []
     for logical_id, chain in sorted(by_logical.items()):
+        if salvage and notes is not None:
+            annotate_sync_gaps(chain, notes)
         logical = LogicalThreadTrace(logical_id=logical_id)
         #: Where each physical trace's cursor stands (step index).
         cursors: dict[int, int] = {}

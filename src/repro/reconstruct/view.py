@@ -11,8 +11,10 @@ showing what blocks it).
 from __future__ import annotations
 
 from repro.reconstruct.callstack import assign_depths
-from repro.reconstruct.interleave import merge
+from repro.reconstruct.interleave import merge, merge_grouped
 from repro.reconstruct.model import (
+    DegradationSummary,
+    DistributedTrace,
     LineStep,
     LogicalThreadTrace,
     ProcessTrace,
@@ -130,6 +132,48 @@ def render_logical(logical: LogicalThreadTrace) -> str:
         )
         for step in segment.steps():
             rows.append("    " + format_step(step))
+    return "\n".join(rows)
+
+
+def render_degradation(summary: DegradationSummary | None) -> str:
+    """The degradation banner a salvaged reconstruction leads with."""
+    if summary is None or not summary.degraded:
+        return "degradation: full (no losses)"
+    return summary.summary()
+
+
+def render_distributed(trace: DistributedTrace) -> str:
+    """Render a master trace, degradation banner first (§5 + salvage).
+
+    Healthy traces get the fused logical threads plus one globally
+    merged multi-thread view.  When causal order between some machines
+    is only approximate (no surviving SYNC pair), the merged view drops
+    to the ladder's per-machine rung rather than fabricate an order.
+    """
+    rows: list[str] = []
+    if trace.degradation is not None:
+        rows.append(render_degradation(trace.degradation))
+        rows.append("")
+    for logical in trace.logical_threads:
+        rows.append(render_logical(logical))
+        rows.append("")
+    all_threads = [t for p in trace.processes for t in p.threads]
+    approximate = bool(
+        trace.degradation is not None and trace.degradation.approximate_pairs
+    )
+    if not all_threads:
+        rows.append("(no recoverable trace on any machine)")
+    elif approximate:
+        for machine, steps in merge_grouped(all_threads):
+            rows.append(f"machine {machine} (local order only)")
+            for owner, step in steps:
+                label = f"T{owner.tid}" if owner.tid is not None else "T?"
+                rows.append(f"{label:>4} | {format_step(step)}")
+            rows.append("")
+    else:
+        rows.append(render_multithread(all_threads))
+    while rows and not rows[-1]:
+        rows.pop()
     return "\n".join(rows)
 
 

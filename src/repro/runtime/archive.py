@@ -6,6 +6,22 @@ by a factor of 10 or more for ease of archiving or transmission"
 zeroed sub-buffer space is pure runs.  This module provides the
 compressed snap container the eBay anecdote implies ("sent the trace,
 in real time, to another author back at corporate headquarters").
+
+Container format v2 (``TBSZ2``)::
+
+    magic  b"TBSZ2\\n"
+    <I>    uncompressed body length        (container-level length check)
+    zlib-compressed body:
+        <I> header length
+        header JSON (buffer word lists replaced by
+                     ["blob", index, byte size, crc32] markers)
+        blob bytes, concatenated
+
+The CRC32 per blob and the body-length word exist because snaps travel:
+a connection cut mid-transfer used to yield a silently short word list
+or a raw ``struct.error``.  v1 containers (no checksums) remain
+readable.  :func:`salvage_decompress` recovers what it can from a torn
+or bit-flipped container instead of raising.
 """
 
 from __future__ import annotations
@@ -16,8 +32,15 @@ import zlib
 
 from repro.runtime.snap import SnapFile
 
-#: Magic prefix of compressed snap containers.
-MAGIC = b"TBSZ1\n"
+#: Magic prefix of current (checksummed) compressed snap containers.
+MAGIC = b"TBSZ2\n"
+
+#: Magic prefix of legacy containers (no checksums, no length word).
+MAGIC_V1 = b"TBSZ1\n"
+
+
+class ArchiveError(ValueError):
+    """The container is damaged: torn, truncated, or checksum-corrupt."""
 
 
 def pack_words(words: list[int]) -> bytes:
@@ -31,39 +54,180 @@ def unpack_words(data: bytes) -> list[int]:
     return list(struct.unpack(f"<{count}I", data[: count * 4]))
 
 
-def compress_snap(snap: SnapFile, level: int = 6) -> bytes:
-    """One self-contained compressed artifact for a snap.
-
-    Buffer words are packed as raw little-endian 32-bit data (where the
-    repetitive structure lives) and the metadata rides along as JSON;
-    the whole payload is deflated.
-    """
+def _pack_body(snap: SnapFile, with_crc: bool) -> bytes:
     payload = snap.to_dict()
     blobs: list[bytes] = []
     for buffer in payload["buffers"]:
         blob = pack_words(buffer["words"])
-        buffer["words"] = ["blob", len(blobs), len(blob)]
+        marker = ["blob", len(blobs), len(blob)]
+        if with_crc:
+            marker.append(zlib.crc32(blob))
+        buffer["words"] = marker
         blobs.append(blob)
     header = json.dumps(payload).encode()
-    body = struct.pack("<I", len(header)) + header + b"".join(blobs)
-    return MAGIC + zlib.compress(body, level)
+    return struct.pack("<I", len(header)) + header + b"".join(blobs)
+
+
+def compress_snap(snap: SnapFile, level: int = 6, version: int = 2) -> bytes:
+    """One self-contained compressed artifact for a snap.
+
+    Buffer words are packed as raw little-endian 32-bit data (where the
+    repetitive structure lives) and the metadata rides along as JSON;
+    the whole payload is deflated.  ``version=1`` writes the legacy
+    un-checksummed container (kept for compatibility tests).
+    """
+    if version == 1:
+        return MAGIC_V1 + zlib.compress(_pack_body(snap, with_crc=False), level)
+    body = _pack_body(snap, with_crc=True)
+    return MAGIC + struct.pack("<I", len(body)) + zlib.compress(body, level)
+
+
+def _parse_body(
+    body: bytes, strict: bool, notes: list[str]
+) -> SnapFile | None:
+    """Shared v1/v2 body parser.
+
+    In strict mode any damage raises :class:`ArchiveError`; otherwise
+    problems land in ``notes`` and damaged blobs are recovered as far as
+    the surviving bytes allow.
+    """
+    if len(body) < 4:
+        if strict:
+            raise ArchiveError("container body too short for a header")
+        notes.append("container body too short for a header")
+        return None
+    (header_len,) = struct.unpack("<I", body[:4])
+    if 4 + header_len > len(body):
+        if strict:
+            raise ArchiveError(
+                f"container torn inside the metadata header "
+                f"({header_len} bytes declared, {len(body) - 4} present)"
+            )
+        notes.append("container torn inside the metadata header")
+        return None
+    try:
+        payload = json.loads(body[4 : 4 + header_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        if strict:
+            raise ArchiveError(f"metadata header unparseable: {exc}") from exc
+        notes.append(f"metadata header unparseable: {exc}")
+        return None
+    cursor = 4 + header_len
+    for buffer in payload.get("buffers", []):
+        marker = buffer.get("words")
+        if not (isinstance(marker, list) and marker and marker[0] == "blob"):
+            continue
+        size = marker[2]
+        crc = marker[3] if len(marker) > 3 else None
+        blob = body[cursor : cursor + size]
+        if len(blob) < size:
+            message = (
+                f"buffer {buffer.get('index', '?')}: blob truncated "
+                f"({len(blob)}/{size} bytes survive)"
+            )
+            if strict:
+                raise ArchiveError(message)
+            notes.append(message)
+        elif crc is not None and zlib.crc32(blob) != crc:
+            message = (
+                f"buffer {buffer.get('index', '?')}: blob CRC mismatch "
+                "(corrupt words)"
+            )
+            if strict:
+                raise ArchiveError(message)
+            notes.append(message)
+        buffer["words"] = unpack_words(blob)
+        cursor += size
+    if strict:
+        return SnapFile.from_dict(payload)
+    snap, field_notes = SnapFile.from_dict_salvage(payload)
+    notes.extend(field_notes)
+    return snap
+
+
+def _inflate_partial(compressed: bytes) -> bytes:
+    """Inflate as much of a damaged zlib stream as possible.
+
+    The zlib wrapper's trailing adler32 makes *any* corruption fatal to
+    ``zlib.decompress`` even when every deflate block inflated fine, so
+    strip the 2-byte wrapper and inflate the raw deflate stream in small
+    chunks: a mid-stream error then still keeps everything decoded
+    before it, and a corrupt checksum costs nothing.
+    """
+    if len(compressed) < 3:
+        return b""
+    inflater = zlib.decompressobj(wbits=-zlib.MAX_WBITS)
+    chunks: list[bytes] = []
+    raw = compressed[2:]  # past the zlib CMF/FLG header
+    for start in range(0, len(raw), 1024):
+        try:
+            chunks.append(inflater.decompress(raw[start : start + 1024]))
+        except zlib.error:
+            break
+    else:
+        try:
+            chunks.append(inflater.flush())
+        except zlib.error:
+            pass
+    return b"".join(chunks)
 
 
 def decompress_snap(data: bytes) -> SnapFile:
-    """Inverse of :func:`compress_snap`."""
+    """Inverse of :func:`compress_snap`.  Raises :class:`ArchiveError`
+    on any damage (truncation, tearing, CRC mismatch)."""
+    if data.startswith(MAGIC_V1):
+        try:
+            body = zlib.decompress(data[len(MAGIC_V1):])
+        except zlib.error as exc:
+            raise ArchiveError(f"container deflate stream damaged: {exc}") from exc
+        return _parse_body(body, strict=True, notes=[])
     if not data.startswith(MAGIC):
-        raise ValueError("not a compressed snap container")
-    body = zlib.decompress(data[len(MAGIC):])
-    (header_len,) = struct.unpack("<I", body[:4])
-    payload = json.loads(body[4 : 4 + header_len])
-    cursor = 4 + header_len
-    for buffer in payload["buffers"]:
-        marker = buffer["words"]
-        if isinstance(marker, list) and marker and marker[0] == "blob":
-            _, _index, size = marker
-            buffer["words"] = unpack_words(body[cursor : cursor + size])
-            cursor += size
-    return SnapFile.from_dict(payload)
+        raise ArchiveError("not a compressed snap container")
+    if len(data) < len(MAGIC) + 4:
+        raise ArchiveError("container truncated before the length word")
+    (body_len,) = struct.unpack("<I", data[len(MAGIC) : len(MAGIC) + 4])
+    try:
+        body = zlib.decompress(data[len(MAGIC) + 4 :])
+    except zlib.error as exc:
+        raise ArchiveError(f"container deflate stream damaged: {exc}") from exc
+    if len(body) != body_len:
+        raise ArchiveError(
+            f"container length check failed: {len(body)} bytes inflate, "
+            f"{body_len} declared (truncated in transit?)"
+        )
+    return _parse_body(body, strict=True, notes=[])
+
+
+def salvage_decompress(data: bytes) -> tuple[SnapFile | None, list[str]]:
+    """Best-effort read of a damaged container.
+
+    Returns ``(snap, notes)``: ``snap`` is None only when nothing at all
+    is recoverable (unreadable metadata); otherwise it carries every
+    buffer whose bytes survive, with damage described in ``notes``.
+    Never raises on damage.
+    """
+    notes: list[str] = []
+    if data.startswith(MAGIC_V1):
+        compressed = data[len(MAGIC_V1):]
+        declared = None
+    elif data.startswith(MAGIC):
+        if len(data) < len(MAGIC) + 4:
+            return None, ["container truncated before the length word"]
+        (declared,) = struct.unpack("<I", data[len(MAGIC) : len(MAGIC) + 4])
+        compressed = data[len(MAGIC) + 4 :]
+    else:
+        return None, ["not a compressed snap container"]
+    try:
+        body = zlib.decompress(compressed)
+    except zlib.error as exc:
+        notes.append(f"deflate stream damaged: {exc}")
+        body = _inflate_partial(compressed)
+    if declared is not None and len(body) != declared:
+        notes.append(
+            f"length check failed: {len(body)}/{declared} bytes recovered"
+        )
+    snap = _parse_body(body, strict=False, notes=notes)
+    return snap, notes
 
 
 def compression_ratio(snap: SnapFile, level: int = 6) -> float:

@@ -217,6 +217,69 @@ class SnapFile:
             memory={k: (v[0], v[1]) for k, v in d["memory"].items()},
         )
 
+    @classmethod
+    def from_dict_salvage(cls, d: dict) -> tuple["SnapFile", list[str]]:
+        """Tolerant counterpart of :meth:`from_dict`.
+
+        Damaged snap artifacts (torn JSON re-serialized, containers with
+        lost blobs) may be missing fields or carry malformed entries;
+        every such loss becomes a note instead of a ``KeyError``, so the
+        reconstruction pipeline always gets *a* snap to work on.
+        """
+        notes: list[str] = []
+
+        def pick(items: list, kind: str, build) -> list:
+            kept = []
+            for i, item in enumerate(items if isinstance(items, list) else []):
+                try:
+                    kept.append(build(item))
+                except (TypeError, KeyError, ValueError):
+                    notes.append(f"{kind} entry {i}: malformed metadata dropped")
+            return kept
+
+        def build_buffer(b: dict) -> BufferDump:
+            # Coerce aggressively: a buffer whose geometry fields are
+            # garbage is dropped (int() raises), but stray non-integer
+            # words are filtered so the rest of the dump stays mineable.
+            words = [w for w in b.get("words", []) if isinstance(w, int)]
+            owner = b.get("owner_tid")
+            return BufferDump(
+                index=int(b["index"]),
+                flags=int(b["flags"]),
+                base=int(b["base"]),
+                sub_count=int(b["sub_count"]),
+                sub_size=int(b["sub_size"]),
+                owner_tid=None if owner is None else int(owner),
+                words=words,
+            )
+
+        if not isinstance(d, dict):
+            d = {}
+            notes.append("snap metadata is not a mapping; starting empty")
+        snap = cls(
+            reason=d.get("reason", "unknown"),
+            detail=d.get("detail") if isinstance(d.get("detail"), dict) else {},
+            process_name=str(d.get("process_name", "<unknown>")),
+            pid=d.get("pid", -1),
+            machine_name=str(d.get("machine_name", "<unknown>")),
+            clock=d.get("clock", 0),
+            modules=pick(d.get("modules", []), "module", lambda m: ModuleDump(**m)),
+            buffers=pick(d.get("buffers", []), "buffer", build_buffer),
+            threads=pick(d.get("threads", []), "thread", lambda t: ThreadDump(**t)),
+            memory={},
+        )
+        memory = d.get("memory")
+        if isinstance(memory, dict):
+            for key, value in memory.items():
+                try:
+                    snap.memory[key] = (value[0], value[1])
+                except (TypeError, IndexError, KeyError):
+                    notes.append(f"memory segment {key!r}: malformed, dropped")
+        for field_name in ("reason", "process_name", "machine_name"):
+            if field_name not in d:
+                notes.append(f"snap metadata missing {field_name!r}")
+        return snap, notes
+
     def save(self, path: str) -> None:
         """Persist as JSON (the on-disk snap artifact)."""
         with open(path, "w") as fh:

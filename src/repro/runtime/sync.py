@@ -32,6 +32,13 @@ def next_runtime_id() -> int:
     return next(_runtime_ids)
 
 
+def reset_runtime_ids(start: int = 0x52540000) -> None:
+    """Rewind the allocator so repeated in-process runs (chaos
+    scenarios, fuzz sweeps) produce identical SYNC words."""
+    global _runtime_ids
+    _runtime_ids = itertools.count(start)
+
+
 #: Payload key used for the TraceBack triple on RPC extras.
 PAYLOAD_KEY = "traceback"
 
@@ -67,11 +74,7 @@ class LogicalThreadManager:
     def caller_send(self, tid: int, clock: int) -> tuple[ExtRecord, dict]:
         """Caller leg 1: allocate/bump, SYNC CALL_OUT, build the payload
         triple to attach to the outgoing RPC."""
-        binding = self.bindings.get(tid)
-        if binding is None:
-            logical = (self.runtime_id << 8) | (next(self._next_logical) & 0xFF)
-            binding = LogicalBinding(logical_id=logical & 0xFFFFFFFF, seq=0)
-            self.bindings[tid] = binding
+        binding = self._binding_or_synthesized(tid)
         binding.seq += 1
         record = self._sync_record(binding, SyncKind.CALL_OUT, clock)
         triple = {
@@ -91,9 +94,26 @@ class LogicalThreadManager:
         self.bindings[tid] = binding
         return self._sync_record(binding, SyncKind.ENTER, clock)
 
+    def _binding_or_synthesized(self, tid: int) -> LogicalBinding:
+        """The thread's binding — synthesized if it was lost.
+
+        A service thread can reach EXIT/RETURN with no binding when the
+        runtime state was torn down underneath it (process killed and
+        restarted mid-RPC, chaos-injected state loss).  Emitting a SYNC
+        with a fresh logical id keeps the leg in the trace — stitching
+        will report it as an unmatched leg instead of the runtime dying
+        on a ``KeyError``.
+        """
+        binding = self.bindings.get(tid)
+        if binding is None:
+            logical = (self.runtime_id << 8) | (next(self._next_logical) & 0xFF)
+            binding = LogicalBinding(logical_id=logical & 0xFFFFFFFF, seq=0)
+            self.bindings[tid] = binding
+        return binding
+
     def callee_exit(self, tid: int, clock: int) -> tuple[ExtRecord, dict]:
         """Callee leg 3: bump, SYNC EXIT, build the reply triple."""
-        binding = self.bindings[tid]
+        binding = self._binding_or_synthesized(tid)
         binding.seq += 1
         record = self._sync_record(binding, SyncKind.EXIT, clock)
         triple = {
@@ -106,7 +126,7 @@ class LogicalThreadManager:
     def caller_return(self, tid: int, reply: dict | None, clock: int) -> ExtRecord:
         """Caller leg 4: adopt the callee's sequence, note the partner,
         SYNC RETURN."""
-        binding = self.bindings[tid]
+        binding = self._binding_or_synthesized(tid)
         if reply is not None:
             self.partners.add(reply["runtime_id"])
             binding.seq = reply["seq"] + 1

@@ -30,13 +30,57 @@ from repro.instrument import (
 )
 from repro.isa import disassemble
 from repro.lang.minic import compile_source, compile_to_asm
-from repro.reconstruct import Reconstructor, render_flat, render_tree, select_view
-from repro.runtime import RuntimeConfig, SnapFile, SnapPolicy
+from repro.reconstruct import (
+    Reconstructor,
+    RecoveryError,
+    render_degradation,
+    render_flat,
+    render_tree,
+    select_view,
+)
+from repro.runtime import (
+    ArchiveError,
+    RuntimeConfig,
+    SnapFile,
+    SnapPolicy,
+    salvage_decompress,
+)
+from repro.runtime.archive import load_compressed
 
 
 def _read(path: str) -> str:
     with open(path) as fh:
         return fh.read()
+
+
+def _fail(message: str) -> int:
+    """One-line diagnosis on stderr, nonzero exit — never a traceback."""
+    print(f"tbtrace: error: {message}", file=sys.stderr)
+    return 1
+
+
+def _load_snap(path: str, salvage: bool = False) -> tuple[SnapFile, list[str]]:
+    """Read a snap artifact — JSON or a TBSZ* compressed container.
+
+    Returns ``(snap, notes)``; raises ``ArchiveError`` / ``ValueError``
+    / ``OSError`` with a human message on damage in strict mode.
+    """
+    with open(path, "rb") as fh:
+        head = fh.read(8)
+    if head.startswith(b"TBSZ"):
+        if not salvage:
+            return load_compressed(path), []
+        with open(path, "rb") as fh:
+            snap, notes = salvage_decompress(fh.read())
+        if snap is None:
+            raise ArchiveError(
+                "; ".join(notes) or "container unrecoverable"
+            )
+        return snap, notes
+    try:
+        return SnapFile.load(path), []
+    except (KeyError, TypeError) as exc:
+        raise ValueError(f"snap file {path} is malformed: {exc!r}") from exc
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -75,12 +119,35 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_view(args: argparse.Namespace) -> int:
-    snap = SnapFile.load(args.snap)
-    mapfiles = [Mapfile.load(path) for path in args.mapfiles]
-    trace = Reconstructor(mapfiles).reconstruct(snap)
+    try:
+        snap, load_notes = _load_snap(args.snap, salvage=args.salvage)
+    except (RecoveryError, ArchiveError, ValueError, OSError) as exc:
+        return _fail(f"cannot load snap {args.snap}: {exc}")
+    try:
+        mapfiles = [Mapfile.load(path) for path in args.mapfiles]
+    except (ValueError, KeyError, OSError) as exc:
+        return _fail(f"cannot load mapfiles: {exc}")
+    try:
+        trace = Reconstructor(mapfiles).reconstruct(
+            snap, strict=not args.salvage
+        )
+    except (RecoveryError, ValueError) as exc:
+        return _fail(
+            f"reconstruction failed: {exc} (re-run with --salvage to "
+            "recover what survives)"
+        )
     print(f"snap: {snap.reason} in {snap.process_name} on {snap.machine_name}")
+    for note in load_notes:
+        print(f"note: {note}")
     for note in trace.notes:
         print(f"note: {note}")
+    if args.salvage and trace.salvage:
+        from repro.reconstruct.model import DegradationSummary
+
+        summary = DegradationSummary(
+            losses=[r.summary() for r in trace.salvage if r.damaged]
+        )
+        print(render_degradation(summary))
     if args.flat:
         for thread in trace.threads:
             print()
@@ -164,9 +231,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(fn=cmd_run)
 
     view = sub.add_parser("view", help="reconstruct a snap from files")
-    view.add_argument("snap", help="snap JSON file")
+    view.add_argument("snap", help="snap file (JSON or TBSZ container)")
     view.add_argument("mapfiles", nargs="+", help="mapfile JSON files")
     view.add_argument("--flat", action="store_true")
+    view.add_argument(
+        "--salvage",
+        action="store_true",
+        help="recover what survives from a damaged snap instead of "
+        "failing on the first integrity error",
+    )
     view.set_defaults(fn=cmd_view)
 
     tile_cmd = sub.add_parser("tile", help="show CFGs and DAG tiling")

@@ -1,0 +1,96 @@
+"""``tbtrace view`` on damaged artifacts: diagnosis, not tracebacks."""
+
+import json
+import random
+
+import pytest
+
+from repro.chaos.inject import clobber_header, copy_snap
+from repro.chaos.scenarios import build_base
+from repro.runtime.archive import compress_snap
+from repro.tools.tb import main
+
+CRASHY = """
+int div_by(int d) {
+    return 100 / d;
+}
+int main() {
+    print_int(div_by(0));
+    return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("cli")
+    source = tmp / "crashy.c"
+    source.write_text(CRASHY)
+    snap = tmp / "crash.json"
+    mapfile = tmp / "app.map.json"
+    main(["run", str(source), "--save-snap", str(snap),
+          "--save-mapfile", str(mapfile)])
+    return tmp, snap, mapfile
+
+
+def test_view_missing_snap_one_line_error(artifacts, capsys):
+    tmp, _, mapfile = artifacts
+    rc = main(["view", str(tmp / "nope.json"), str(mapfile)])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert captured.err.startswith("tbtrace: error: cannot load snap")
+    assert "Traceback" not in captured.err
+
+
+def test_view_malformed_json_one_line_error(artifacts, capsys):
+    tmp, _, mapfile = artifacts
+    bad = tmp / "malformed.json"
+    bad.write_text(json.dumps({"not": "a snap"}))
+    rc = main(["view", str(bad), str(mapfile)])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "tbtrace: error:" in captured.err
+    assert captured.err.count("\n") == 1  # exactly one line
+
+
+def test_view_damaged_snap_suggests_salvage(artifacts, capsys):
+    tmp, snap, mapfile = artifacts
+    from repro.runtime.snap import SnapFile
+
+    damaged = SnapFile.load(str(snap))
+    clobber_header(damaged, random.Random(0))
+    bad = tmp / "damaged.json"
+    damaged.save(str(bad))
+    rc = main(["view", str(bad), str(mapfile)])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "re-run with --salvage" in captured.err
+
+
+def test_view_damaged_snap_salvage_recovers(artifacts, capsys):
+    tmp, _, mapfile = artifacts
+    rc = main(["view", str(tmp / "damaged.json"), str(mapfile),
+               "--salvage"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "degradation:" in captured.out
+
+
+def test_view_torn_archive_strict_vs_salvage(capsys, tmp_path):
+    snaps, mapfiles, _ = build_base()
+    mapfile = tmp_path / "frontend.map.json"
+    mapfiles[1].save(str(mapfile))
+    data = compress_snap(copy_snap(snaps[1]))
+    torn = data[: int(len(data) * 0.9)]  # late tear: body recoverable
+    archive = tmp_path / "torn.tbsz"
+    archive.write_bytes(torn)
+
+    rc = main(["view", str(archive), str(mapfile)])
+    captured = capsys.readouterr()
+    assert rc == 1
+    assert "tbtrace: error:" in captured.err
+
+    rc = main(["view", str(archive), str(mapfile), "--salvage"])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "note:" in captured.out

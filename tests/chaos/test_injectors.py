@@ -1,0 +1,136 @@
+"""Unit tests for the fault injectors themselves."""
+
+import random
+
+import pytest
+
+from repro.chaos import (
+    build_base,
+    clobber_header,
+    copy_snap,
+    corrupt_archive,
+    drop_machine,
+    drop_sync_records,
+    duplicate_sync_records,
+    flip_bits,
+    tear_archive,
+    truncate_buffer,
+    zero_words,
+)
+from repro.chaos.scenarios import run_scenario
+from repro.runtime.archive import compress_snap
+
+
+@pytest.fixture(scope="module")
+def base():
+    snaps, mapfiles, _ = build_base()
+    return snaps, mapfiles
+
+
+def test_copy_snap_is_independent(base):
+    snaps, _ = base
+    clone = copy_snap(snaps[0])
+    which = next(
+        i for i, b in enumerate(clone.buffers) if len(b.words) > 12
+    )
+    clone.buffers[which].words[12] ^= 0xFFFF
+    assert (
+        clone.buffers[which].words[12]
+        != snaps[0].buffers[which].words[12]
+    )
+
+
+def test_flip_bits_changes_exactly_named_words(base):
+    snaps, _ = base
+    original = snaps[0]
+    clone = copy_snap(original)
+    notes = flip_bits(clone, random.Random(7), flips=5)
+    assert len(notes) == 5
+    changed = sum(
+        1
+        for before, after in zip(original.buffers, clone.buffers)
+        for w1, w2 in zip(before.words, after.words)
+        if w1 != w2
+    )
+    # Two flips may hit the same word (cancelling or combining), so
+    # changed <= flips; but something must differ for 5 flips.
+    assert 1 <= changed <= 5
+
+
+def test_zero_words_zeroes_a_run(base):
+    snaps, _ = base
+    clone = copy_snap(snaps[0])
+    notes = zero_words(clone, random.Random(3), runs=1, run_len=8)
+    assert len(notes) == 1 and "zeroed words" in notes[0]
+
+
+def test_clobber_header_targets_verified_words(base):
+    snaps, _ = base
+    clone = copy_snap(snaps[0])
+    notes = clobber_header(clone, random.Random(5), words=3)
+    assert notes
+    for note in notes:
+        assert "header word 0" in note or "header word 4" in note
+
+
+def test_truncate_buffer_shortens(base):
+    snaps, _ = base
+    clone = copy_snap(snaps[0])
+    before = [len(b.words) for b in clone.buffers]
+    truncate_buffer(clone, random.Random(11))
+    after = [len(b.words) for b in clone.buffers]
+    assert after != before
+    assert sum(after) < sum(before)
+
+
+def test_drop_sync_records_zeroes_sync_evidence(base):
+    snaps, _ = base
+    # The frontend snap (index 1) carries SYNC records for both RPCs.
+    clone = copy_snap(snaps[1])
+    notes = drop_sync_records(clone, random.Random(2), count=2)
+    assert notes, "base run must contain SYNC records to drop"
+    for note in notes:
+        assert "dropped SYNC record" in note
+
+
+def test_duplicate_sync_records(base):
+    snaps, _ = base
+    clone = copy_snap(snaps[1])
+    notes = duplicate_sync_records(clone, random.Random(2), count=1)
+    assert len(notes) == 1
+
+
+def test_drop_machine_removes_one(base):
+    snaps, _ = base
+    survivors, dropped = drop_machine(list(snaps), random.Random(0))
+    assert len(survivors) == len(snaps) - 1
+    assert dropped not in {s.machine_name for s in survivors}
+
+
+def test_tear_archive_truncates(base):
+    snaps, _ = base
+    data = compress_snap(snaps[0])
+    torn, note = tear_archive(data, random.Random(1))
+    assert len(torn) < len(data)
+    assert "torn" in note
+
+
+def test_corrupt_archive_flips_bytes(base):
+    snaps, _ = base
+    data = compress_snap(snaps[0])
+    bad, notes = corrupt_archive(data, random.Random(1), flips=3)
+    assert len(bad) == len(data)
+    assert bad != data
+    assert len(notes) == 3
+
+
+def test_scenarios_are_reproducible():
+    a = run_scenario("corrupt-buffer", seed=42)
+    b = run_scenario("corrupt-buffer", seed=42)
+    assert a.injected == b.injected
+    assert [s.to_dict() for s in a.snaps] == [s.to_dict() for s in b.snaps]
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown chaos scenario"):
+        run_scenario("does-not-exist")
