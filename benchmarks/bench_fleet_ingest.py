@@ -1,0 +1,176 @@
+"""Fleet vault benchmark: ingest rate, dedupe, query latency at 1k snaps.
+
+The vault (§3.6.1/§3.7.5 deployment model) must keep up with a fleet
+that snaps often and repeats itself: group fan-outs arrive once per
+member, crash loops resubmit identical evidence, and a support engineer
+then queries the lot interactively.  This benchmark drives the full
+collector -> vault -> query pipeline over a 1,000-snap store and records
+the numbers in ``BENCH_fleet.json`` at the repo root:
+
+* **snaps/sec** through ``Collector.submit`` + ``drain`` (durable,
+  manifest-appended, content-hashed);
+* **dedupe hit rate** on a submission stream with 20% repeats;
+* **query latency** for indexed selects and for incident grouping over
+  the whole vault.
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_ingest.py
+
+or as part of the slow pytest lane (``pytest -m slow benchmarks/``).
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from repro.fleet import Collector, SnapVault, VaultQuery
+from repro.runtime.snap import SnapFile
+from repro.workloads.harness import format_table
+
+SCHEMA = "tb-fleet-ingest-bench/1"
+
+#: Distinct snaps in the vault after dedupe.
+UNIQUE_SNAPS = 1_000
+
+#: Every 4th submission repeats an earlier snap (crash loops, fan-out
+#: re-arrivals): 1,250 submissions -> 1,000 stored, 20% dedupe rate.
+DUPLICATE_EVERY = 4
+
+#: Repeated timed queries to average out scheduler noise.
+QUERY_REPEATS = 25
+
+#: Ingest must not be the bottleneck of a simulated run (ordinal floor;
+#: real rates are orders of magnitude higher).
+MIN_SNAPS_PER_SEC = 100.0
+
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+
+MACHINES = [f"rack-{i:02d}" for i in range(10)]
+PROCESSES = ["web", "db", "cache", "auth", "billing"]
+
+
+def _make_snap(i: int) -> SnapFile:
+    """One fleet snap; every 10th is a group fan-out member."""
+    reason = "group" if i % 10 in (1, 2) else ["api", "hang", "unhandled"][i % 3]
+    detail: dict = {"code": i}
+    if reason == "group":
+        detail = {
+            "group": f"outage-{i // 10}",
+            "initiator": PROCESSES[(i // 10) % len(PROCESSES)],
+            "initiator_reason": "unhandled",
+        }
+    return SnapFile(
+        reason=reason,
+        detail=detail,
+        process_name=PROCESSES[i % len(PROCESSES)],
+        pid=100 + i % 7,
+        machine_name=MACHINES[i % len(MACHINES)],
+        clock=1_000 * i,
+        modules=[],
+        buffers=[],
+        threads=[],
+    )
+
+
+def _submission_stream() -> list[SnapFile]:
+    snaps = [_make_snap(i) for i in range(UNIQUE_SNAPS)]
+    stream: list[SnapFile] = []
+    fresh = iter(snaps)
+    for i in range(UNIQUE_SNAPS + UNIQUE_SNAPS // DUPLICATE_EVERY):
+        if i % (DUPLICATE_EVERY + 1) == DUPLICATE_EVERY:
+            stream.append(_make_snap(i % UNIQUE_SNAPS))  # a repeat
+        else:
+            stream.append(next(fresh))
+    return stream
+
+
+def _timed_queries(vault: SnapVault) -> dict:
+    query = VaultQuery(vault)
+    start = time.perf_counter()
+    for i in range(QUERY_REPEATS):
+        query.select(machine=MACHINES[i % len(MACHINES)])
+    select_ms = (time.perf_counter() - start) * 1_000 / QUERY_REPEATS
+
+    start = time.perf_counter()
+    incidents = query.incidents()
+    incidents_ms = (time.perf_counter() - start) * 1_000
+    return {
+        "select_avg_ms": round(select_ms, 3),
+        "incidents_ms": round(incidents_ms, 3),
+        "incidents": len(incidents),
+    }
+
+
+def run_benchmark() -> dict:
+    root = tempfile.mkdtemp(prefix="tb-bench-vault-")
+    try:
+        vault = SnapVault(root, shards=8)
+        collector = Collector(vault, batch_size=32, queue_limit=256)
+        stream = _submission_stream()
+
+        start = time.perf_counter()
+        for snap in stream:
+            collector.submit(snap)
+        collector.drain()
+        seconds = time.perf_counter() - start
+
+        metrics = vault.metrics
+        assert len(vault) == UNIQUE_SNAPS, len(vault)
+        queries = _timed_queries(vault)
+        report = {
+            "schema": SCHEMA,
+            "submissions": len(stream),
+            "stored": len(vault),
+            "seconds": round(seconds, 4),
+            "snaps_per_sec": round(len(stream) / seconds, 1),
+            "dedupe_hits": metrics.dedupe_hits,
+            "dedupe_hit_rate": round(metrics.dedupe_hits / len(stream), 4),
+            "store_bytes": vault.store_bytes(),
+            "query": queries,
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def _render(report: dict) -> str:
+    rows = [
+        ("submissions", f"{report['submissions']:,}"),
+        ("stored (unique)", f"{report['stored']:,}"),
+        ("ingest", f"{report['snaps_per_sec']:,.0f} snaps/s"),
+        ("dedupe hit rate", f"{report['dedupe_hit_rate']:.1%}"),
+        ("store size", f"{report['store_bytes']:,} B"),
+        ("indexed select", f"{report['query']['select_avg_ms']:.2f} ms"),
+        (
+            "incident grouping",
+            f"{report['query']['incidents_ms']:.1f} ms "
+            f"({report['query']['incidents']} incidents)",
+        ),
+    ]
+    return format_table(
+        rows,
+        headers=["metric", "value"],
+        title=f"Fleet vault: {report['stored']:,}-snap store",
+    )
+
+
+def test_fleet_ingest(report):
+    result = run_benchmark()
+    report.append(_render(result))
+    assert result["snaps_per_sec"] >= MIN_SNAPS_PER_SEC, (
+        f"vault ingest only {result['snaps_per_sec']:.0f} snaps/s"
+    )
+    # The stream repeats every 5th submission; dedupe must catch them all.
+    assert abs(result["dedupe_hit_rate"] - 0.2) < 0.01
+    # Interactive budget: grouping a 1k-snap vault stays sub-second.
+    assert result["query"]["incidents_ms"] < 1_000
+
+
+if __name__ == "__main__":
+    print(_render(run_benchmark()))

@@ -9,6 +9,9 @@
 #   scripts/check.sh chaos       fault-injection suite: every chaos
 #                                scenario plus the full seeded fuzz
 #                                sweep (includes the slow lane)
+#   scripts/check.sh fleet       snap-vault subsystem: store/collector/
+#                                incident tests plus the vault ingest
+#                                benchmark; writes BENCH_fleet.json
 #   scripts/check.sh bench       interpreter engine benchmark; writes
 #                                BENCH_interpreter.json at the repo root
 set -euo pipefail
@@ -26,11 +29,15 @@ case "${1:-test-fast}" in
   chaos)
     exec python -m pytest -q tests/chaos -m "slow or not slow"
     ;;
+  fleet)
+    python -m pytest -q tests/fleet -m "slow or not slow"
+    exec python benchmarks/bench_fleet_ingest.py
+    ;;
   bench)
     exec python benchmarks/bench_interpreter.py
     ;;
   *)
-    echo "usage: $0 {test-fast|test-all|chaos|bench}" >&2
+    echo "usage: $0 {test-fast|test-all|chaos|fleet|bench}" >&2
     exit 2
     ;;
 esac

@@ -28,6 +28,7 @@ from repro.chaos.scenarios import (
     SCENARIOS,
     ChaosResult,
     build_base,
+    build_vault_run,
     run_scenario,
 )
 
@@ -36,6 +37,7 @@ __all__ = [
     "SCENARIOS",
     "ChaosResult",
     "build_base",
+    "build_vault_run",
     "clobber_header",
     "copy_snap",
     "corrupt_archive",

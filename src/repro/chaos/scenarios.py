@@ -13,6 +13,7 @@ salvage mode and check the degradation summary names each loss.
 from __future__ import annotations
 
 import random
+import tempfile
 from dataclasses import dataclass, field
 
 from repro.chaos.inject import (
@@ -87,6 +88,8 @@ class ChaosResult:
     expected_machines: list[str] = field(default_factory=list)
     #: machine name -> archive/salvage loss lines discovered on load.
     salvage_notes: dict[str, list[str]] = field(default_factory=dict)
+    #: Root of the snap vault the run drained into (vault scenarios).
+    vault_dir: str | None = None
 
     def reconstruct(self, strict: bool = False) -> DistributedTrace:
         """Reconstruct the damaged evidence (salvage mode by default)."""
@@ -319,6 +322,132 @@ def scenario_killed_callee(rng: random.Random) -> ChaosResult:
     )
 
 
+#: Crashing client for the vault scenarios: same RPC chain, then a
+#: divide-by-zero after the reply — the unhandled trigger that starts
+#: the group fan-out.
+CLIENT_CRASH_SRC = """
+int argbuf[1];
+int retbuf[1];
+int main() {
+    argbuf[0] = 20;
+    int status;
+    status = rpc_call(7, argbuf, 1, retbuf, 1);
+    print_int(status);
+    int z;
+    z = 1 / (retbuf[0] - retbuf[0]);
+    return 0;
+}
+"""
+
+
+def build_vault_run(
+    vault_root: str | None = None,
+    upload_chaos=None,
+    collector_options: dict | None = None,
+):
+    """The standard chain, crashing client, draining into a snap vault.
+
+    Every machine's service process is linked to the others, all three
+    processes form one snap group ("chain"), and a collector forwards
+    every snap into a :class:`~repro.fleet.store.SnapVault`.  Returns
+    ``(vault, collector, session)`` with the network parked right after
+    the crash's group fan-out has been uploaded — callers decide who to
+    kill next.
+    """
+    from repro.distributed.session import DistributedSession
+    from repro.fleet.store import SnapVault
+    from repro.runtime.runtime import RuntimeConfig
+    from repro.runtime.snap import SnapPolicy
+
+    reset_runtime_ids()
+    root = vault_root or tempfile.mkdtemp(prefix="tb-vault-")
+    vault = SnapVault(root, shards=4)
+    session = DistributedSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        )
+    )
+    machines = [
+        session.add_machine(name, clock_skew=skew)
+        for name, skew in zip(MACHINES, (0, 1_000_000, -500_000))
+    ]
+    options = dict(batch_size=2, queue_limit=8)
+    options.update(collector_options or {})
+    collector = session.attach_vault(vault, **options)
+    if upload_chaos is not None:
+        session.network.upload_chaos = upload_chaos
+    services = list(session.services.values())
+    for service in services:
+        service.configure_group("chain", ["client", "frontend", "backend"])
+    for i, a in enumerate(services):
+        for b in services[i + 1 :]:
+            a.link(b)
+    session.add_process(machines[0], "client", CLIENT_CRASH_SRC, start=True)
+    session.add_process(
+        machines[1], "frontend", FRONTEND_SRC, services={7: "handle"}
+    )
+    session.add_process(
+        machines[2], "backend", BACKEND_SRC, services={8: "handle"}
+    )
+    for handle in session.nodes.values():
+        if handle.entry_module is not None:
+            handle.process.start(handle.entry_module)
+    # Run until the crash has snapped and fanned out, then drain the
+    # uplink so the evidence is durably in the vault.
+    client_store = session.nodes["client"].runtime.snap_store
+    for _ in range(500):
+        total = sum(m.cycles for m in session.network.machines)
+        session.network.run(max_total_cycles=total + 2_000)
+        if client_store.snaps:
+            break
+    collector.drain()
+    return vault, collector, session
+
+
+def scenario_vault_machine_loss(rng: random.Random) -> ChaosResult:
+    """A machine is ``kill -9``'d mid-run *after* its group snap was
+    uploaded: the vault keeps the evidence the machine can no longer
+    produce, and the surviving group snap still reconstructs.
+
+    Uploads are also chaos-dropped with probability 1/3 (seeded), so
+    the run only passes because retry-with-backoff redelivers.
+    """
+
+    def upload_chaos(machine, snap, attempt):
+        return "drop" if rng.random() < (1 / 3) else None
+
+    vault, collector, session = build_vault_run(upload_chaos=upload_chaos)
+    uploaded_before_kill = len(vault)
+    # The frontend machine dies abruptly; its pre-uploaded snaps are
+    # the only evidence of it that will ever exist.
+    for process in session.nodes["frontend"].process.machine.processes:
+        process.kill()
+    session.network.run()
+    collector.drain()
+
+    entries = vault.select()
+    snaps = []
+    salvage_notes: dict[str, list[str]] = {}
+    for entry in entries:
+        snap, notes = vault.load(entry.digest, salvage=True)
+        snaps.append(snap)
+        if notes:
+            salvage_notes[entry.machine] = notes
+    return ChaosResult(
+        name="vault-machine-loss",
+        snaps=snaps,
+        mapfiles=session.mapfiles,
+        injected=[
+            "frontend machine killed after group-snap upload "
+            f"({uploaded_before_kill} snap(s) already in the vault)",
+            f"{collector.metrics.drops} upload(s) chaos-dropped in transit",
+        ],
+        expected_machines=list(MACHINES),
+        salvage_notes=salvage_notes,
+        vault_dir=vault.root,
+    )
+
+
 SCENARIOS = {
     "corrupt-buffer": scenario_corrupt_buffer,
     "torn-header": scenario_torn_header,
@@ -332,6 +461,7 @@ SCENARIOS = {
     "abrupt-kill": scenario_abrupt_kill,
     "stripped-sync-payload": scenario_stripped_sync_payload,
     "killed-callee": scenario_killed_callee,
+    "vault-machine-loss": scenario_vault_machine_loss,
 }
 
 

@@ -35,6 +35,11 @@ class Network:
         #: dies abruptly instead of answering) — or None for normal
         #: delivery.
         self.rpc_chaos = None
+        #: Optional fault hook for collector uploads
+        #: (``repro.fleet.collector``): called with ``(machine_name,
+        #: snap, attempt)``; any truthy return drops that transfer in
+        #: transit (the collector retries with backoff).
+        self.upload_chaos = None
 
     # ------------------------------------------------------------------
     def add_machine(

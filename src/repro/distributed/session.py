@@ -9,6 +9,7 @@ snaps every process, and reconstructs the master trace.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.distributed.network import Network
 from repro.instrument import InstrumentConfig, Mapfile, instrument_module
@@ -21,6 +22,10 @@ from repro.runtime import (
     TraceBackRuntime,
 )
 from repro.vm import Machine, Process
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.collector import Collector
+    from repro.fleet.store import SnapVault
 
 
 @dataclass
@@ -40,6 +45,8 @@ class DistributedResult:
     snaps: list[SnapFile]
     mapfiles: list[Mapfile]
     nodes: dict[str, NodeHandle] = field(default_factory=dict)
+    #: The collector the run drained into, when a vault was attached.
+    collector: "Collector | None" = None
 
     def reconstruct(self) -> DistributedTrace:
         """Stitch all snaps into the master trace (§5)."""
@@ -61,12 +68,38 @@ class DistributedSession:
         self.mapfiles: list[Mapfile] = []
         self.nodes: dict[str, NodeHandle] = {}
         self.services: dict[Machine, ServiceProcess] = {}
+        self.collector: "Collector | None" = None
+
+    # ------------------------------------------------------------------
+    def attach_vault(
+        self, vault: "SnapVault", **collector_options
+    ) -> "Collector":
+        """Drain this session's snaps into ``vault``.
+
+        Creates a :class:`~repro.fleet.collector.Collector` bound to
+        this session's network, registers every existing (and future)
+        machine's service process with it, and stores the session's
+        mapfiles in the vault so its snaps reconstruct standalone.
+        ``run()`` drains the collector when the network quiesces.
+        """
+        from repro.fleet.collector import Collector
+
+        self.collector = Collector(
+            vault, network=self.network, **collector_options
+        )
+        for service in self.services.values():
+            service.forward_to(self.collector)
+        for mapfile in self.mapfiles:
+            vault.put_mapfile(mapfile)
+        return self.collector
 
     # ------------------------------------------------------------------
     def add_machine(self, name: str, clock_skew: int = 0) -> Machine:
         """A machine with its own (skewed) clock and service process."""
         machine = self.network.add_machine(name, clock_skew=clock_skew)
         self.services[machine] = ServiceProcess(name=f"tb-service@{name}")
+        if self.collector is not None:
+            self.services[machine].forward_to(self.collector)
         return machine
 
     def add_process(
@@ -95,6 +128,8 @@ class DistributedSession:
                                   file_name=f"{module_name}.c")
         result = instrument_module(compiled, self.instrument_config)
         self.mapfiles.append(result.mapfile)
+        if self.collector is not None:
+            self.collector.vault.put_mapfile(result.mapfile)
         process.load_module(result.module)
         for service_id, func in (services or {}).items():
             process.register_rpc_service(service_id, func)
@@ -122,9 +157,12 @@ class DistributedSession:
                 )
             if snap is not None:
                 snaps.append(snap)
+        if self.collector is not None:
+            self.collector.drain()
         return DistributedResult(
             status=status,
             snaps=snaps,
             mapfiles=list(self.mapfiles),
             nodes=dict(self.nodes),
+            collector=self.collector,
         )

@@ -1,0 +1,41 @@
+"""``repro.fleet`` — the fleet snap vault (§3.6.1, §3.7.5 deployment).
+
+Four layers turn per-session snaps into durable, queryable evidence:
+
+* :mod:`repro.fleet.store` — sharded on-disk vault of TBSZ2 archives
+  (content-hash dedupe, atomic writes, JSON-lines manifests, a
+  rebuildable machine/process/reason/timestamp index);
+* :mod:`repro.fleet.collector` — the uplink service processes forward
+  snaps through (batching, bounded queue with back-pressure, seeded
+  retry-with-backoff over the simulated network);
+* :mod:`repro.fleet.query` — filters, lazy reconstruction, and
+  incident grouping (group-snap fan-outs and SYNC-linked snaps);
+* :mod:`repro.fleet.metrics` — the ingest/dedupe/retry/store counters
+  the CLI surfaces.
+"""
+
+from repro.fleet.collector import Collector, PendingUpload
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.query import Incident, VaultQuery
+from repro.fleet.store import (
+    SnapVault,
+    StoreResult,
+    VaultEntry,
+    VaultError,
+    content_digest,
+    mine_sync_ids,
+)
+
+__all__ = [
+    "Collector",
+    "FleetMetrics",
+    "Incident",
+    "PendingUpload",
+    "SnapVault",
+    "StoreResult",
+    "VaultEntry",
+    "VaultError",
+    "VaultQuery",
+    "content_digest",
+    "mine_sync_ids",
+]

@@ -1,0 +1,196 @@
+"""The snap collector: the uplink between service processes and the vault.
+
+Paper §3.6.1 / §3.7.5: every machine's service process notifies a
+central point of snaps.  :class:`Collector` is that uplink, built for
+the chaos the fleet actually serves up:
+
+* **registration** — ``ServiceProcess.forward_to(collector)`` makes a
+  machine's service forward every snap it hears about (its own
+  processes' triggers, group fan-outs, hang snaps) into the collector;
+* **batching** — snaps queue and ship in batches, amortising the
+  per-transfer latency the simulated :class:`~repro.distributed.network.Network`
+  charges;
+* **bounded queue + back-pressure** — the queue never grows past
+  ``queue_limit``; a full queue forces an inline flush (the producer
+  pays, evidence survives) before anything is evicted;
+* **seeded retry with backoff** — a transfer the network drops goes
+  back on the queue with an exponentially growing, deterministically
+  jittered delay; only after ``max_retries`` does it land in the
+  dead-letter list (still inspectable — evidence is never silently
+  discarded).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.store import SnapVault, StoreResult
+from repro.runtime.snap import SnapFile
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.distributed.network import Network
+
+#: Signature of an upload-chaos hook: (machine_name, snap, attempt) ->
+#: "drop" (or any truthy value) to lose this transfer, None/False to
+#: deliver.  Installed either directly on the collector or as
+#: ``Network.upload_chaos``.
+UploadChaos = Callable[[str, SnapFile, int], object]
+
+
+@dataclass
+class PendingUpload:
+    """One queued snap on its way to the vault."""
+
+    machine: str
+    snap: SnapFile
+    attempts: int = 0
+    #: Backoff delay (cycles) charged before each retry, for the record.
+    backoffs: list[int] = field(default_factory=list)
+
+
+class Collector:
+    """Receives snaps from service processes and ships them to a vault."""
+
+    def __init__(
+        self,
+        vault: SnapVault,
+        network: "Network | None" = None,
+        name: str = "tb-collector",
+        batch_size: int = 8,
+        queue_limit: int = 64,
+        max_retries: int = 5,
+        backoff_base: int = 1_000,
+        seed: int = 0,
+        metrics: FleetMetrics | None = None,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if queue_limit < 1:
+            raise ValueError("queue_limit must be >= 1")
+        self.vault = vault
+        self.network = network
+        self.name = name
+        self.batch_size = batch_size
+        self.queue_limit = queue_limit
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        #: Deterministic jitter source for retry backoff.
+        self.rng = random.Random(seed)
+        #: Shared with the vault unless explicitly overridden, so one
+        #: render covers the whole pipeline.
+        self.metrics = metrics or vault.metrics
+        self.queue: deque[PendingUpload] = deque()
+        #: Uploads that exhausted their retries — kept, not discarded.
+        self.dead: list[PendingUpload] = []
+        #: Store results in upload order (tests assert dedupe here).
+        self.results: list[StoreResult] = []
+        #: Collector-local chaos hook; ``network.upload_chaos`` also
+        #: applies when a network is attached.
+        self.upload_chaos: UploadChaos | None = None
+
+    # ------------------------------------------------------------------
+    # Intake
+    # ------------------------------------------------------------------
+    def submit(self, snap: SnapFile) -> None:
+        """A service process forwards one snap (the `forward_to` hook)."""
+        self.metrics.submitted += 1
+        if len(self.queue) >= self.queue_limit:
+            # Back-pressure: flush a batch inline rather than grow.
+            self.metrics.backpressure_flushes += 1
+            self.flush_batch()
+        if len(self.queue) >= self.queue_limit:
+            # Still full (everything bounced): evict the oldest entry.
+            self.queue.popleft()
+            self.metrics.evicted += 1
+        self.queue.append(
+            PendingUpload(machine=snap.machine_name, snap=snap)
+        )
+        self.metrics.queue_peak = max(self.metrics.queue_peak, len(self.queue))
+
+    def pending(self) -> int:
+        """Snaps queued but not yet durably stored."""
+        return len(self.queue)
+
+    # ------------------------------------------------------------------
+    # Transfer
+    # ------------------------------------------------------------------
+    def _chaos_verdict(self, item: PendingUpload) -> object:
+        hook = self.upload_chaos
+        if hook is None and self.network is not None:
+            hook = getattr(self.network, "upload_chaos", None)
+        if hook is None:
+            return None
+        return hook(item.machine, item.snap, item.attempts)
+
+    def _transfer(self, item: PendingUpload) -> bool:
+        """Ship one snap across the simulated network.
+
+        Charges the source machine's clock the wire latency (uploads
+        are real traffic) and consults the chaos hook; returns False
+        when the transfer is lost in transit.
+        """
+        item.attempts += 1
+        if self.network is not None:
+            for machine in self.network.machines:
+                if machine.name == item.machine:
+                    machine.cycles += self.network.rpc_latency
+                    break
+        if self._chaos_verdict(item):
+            self.metrics.drops += 1
+            return False
+        return True
+
+    def flush_batch(self) -> int:
+        """Upload one batch; returns how many snaps landed in the vault.
+
+        Failed transfers re-queue with seeded exponential backoff until
+        ``max_retries``, then dead-letter.
+        """
+        if not self.queue:
+            return 0
+        self.metrics.batches += 1
+        stored = 0
+        for _ in range(min(self.batch_size, len(self.queue))):
+            item = self.queue.popleft()
+            if self._transfer(item):
+                result = self.vault.put(item.snap)
+                self.results.append(result)
+                self.metrics.uploads += 1
+                stored += 1
+                continue
+            if item.attempts > self.max_retries:
+                self.dead.append(item)
+                self.metrics.dead_letters += 1
+                continue
+            backoff = self.backoff_base * (2 ** (item.attempts - 1))
+            backoff += self.rng.randrange(self.backoff_base)
+            item.backoffs.append(backoff)
+            self.metrics.backoff_cycles += backoff
+            self.metrics.retries += 1
+            self.queue.append(item)
+        return stored
+
+    def drain(self) -> int:
+        """Flush until the queue is empty; returns total snaps stored.
+
+        Terminates unconditionally: every pass either stores an item or
+        advances its attempt counter toward the dead-letter limit.
+        """
+        total = 0
+        while self.queue:
+            total += self.flush_batch()
+        return total
+
+    def requeue_dead(self) -> int:
+        """Give dead-lettered uploads a fresh round of retries."""
+        count = len(self.dead)
+        for item in self.dead:
+            item.attempts = 0
+            self.queue.append(item)
+        self.dead.clear()
+        self.metrics.queue_peak = max(self.metrics.queue_peak, len(self.queue))
+        return count

@@ -1,0 +1,86 @@
+"""Fleet counters: what the vault ingested, deduped, retried, stores.
+
+One :class:`FleetMetrics` instance is shared by a vault and the
+collector(s) feeding it, so a single render answers the operational
+questions §3.6.2 cares about ("useless snaps cost runtime, disk, and
+attention"): how much evidence arrived, how much was duplicate, how
+hard the uplink had to fight, and how big the store got.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FleetMetrics:
+    """Ingest / dedupe / retry / store-size counters."""
+
+    # -- collector uplink ----------------------------------------------
+    submitted: int = 0  # snaps handed to a collector
+    batches: int = 0  # upload batches flushed
+    uploads: int = 0  # upload attempts that reached the vault
+    drops: int = 0  # attempts lost in transit (chaos)
+    retries: int = 0  # re-queued after a drop
+    dead_letters: int = 0  # gave up after max retries
+    evicted: int = 0  # pushed out of a full queue
+    backpressure_flushes: int = 0  # inline flushes forced by a full queue
+    queue_peak: int = 0  # high-water mark of the bounded queue
+    backoff_cycles: int = 0  # seeded-backoff delay charged, total
+
+    # -- vault ---------------------------------------------------------
+    ingested: int = 0  # snaps durably stored
+    dedupe_hits: int = 0  # content-hash duplicates skipped
+    bytes_written: int = 0  # compressed container bytes on disk
+    manifest_lines: int = 0  # manifest records appended
+    index_rebuilds: int = 0
+
+    # -- query engine --------------------------------------------------
+    queries: int = 0
+    entries_scanned: int = 0
+    reconstructions: int = 0
+    incidents_built: int = 0
+
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def dedupe_rate(self) -> float:
+        """Fraction of arriving snaps that were duplicates."""
+        seen = self.ingested + self.dedupe_hits
+        return self.dedupe_hits / seen if seen else 0.0
+
+    def to_dict(self) -> dict:
+        d = {
+            k: v
+            for k, v in vars(self).items()
+            if k != "extra" and not k.startswith("_")
+        }
+        d["dedupe_rate"] = round(self.dedupe_rate, 4)
+        d.update(self.extra)
+        return d
+
+    def render(self) -> str:
+        """Multi-line operator summary (the CLI's metrics block)."""
+        lines = ["fleet metrics:"]
+        lines.append(
+            f"  uplink: {self.submitted} submitted, {self.batches} batches, "
+            f"{self.uploads} uploaded, {self.drops} dropped in transit, "
+            f"{self.retries} retried, {self.dead_letters} dead-lettered"
+        )
+        lines.append(
+            f"  queue: peak {self.queue_peak}, {self.evicted} evicted, "
+            f"{self.backpressure_flushes} back-pressure flushes, "
+            f"{self.backoff_cycles} backoff cycles"
+        )
+        lines.append(
+            f"  vault: {self.ingested} stored, {self.dedupe_hits} deduped "
+            f"({self.dedupe_rate:.0%}), {self.bytes_written} bytes, "
+            f"{self.index_rebuilds} index rebuilds"
+        )
+        lines.append(
+            f"  query: {self.queries} queries, {self.entries_scanned} entries "
+            f"scanned, {self.reconstructions} reconstructions, "
+            f"{self.incidents_built} incidents"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,229 @@
+"""The incident query engine over a snap vault.
+
+A support engineer's question is rarely "show me snap 0x4f2…"; it is
+"what happened around the petstore crash on machine-b last night?".
+This module turns vault manifest entries into *incidents*:
+
+* **co-triggered group snaps** — a group snap fan-out (§3.6.1) leaves
+  one snap per member process, every one tagged with the same
+  ``(group, initiator, initiator_reason)``; those, plus the
+  initiator's own triggering snap, are one incident, not N;
+* **SYNC-linked snaps** — snaps from different machines whose trace
+  buffers carry SYNC records of the same logical thread (§5.1) are
+  evidence about the same distributed control flow, so they merge into
+  the same incident even across machines that share no group.
+
+Reconstruction stays lazy: grouping works from manifest metadata alone
+(the SYNC logical ids are mined once, at ingest); archives are only
+read when an incident is actually reconstructed — strict or salvage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.store import SnapVault, VaultEntry
+from repro.instrument.mapfile import Mapfile
+from repro.reconstruct import DistributedTrace, ProcessTrace, Reconstructor
+
+
+@dataclass
+class Incident:
+    """A set of snaps that are evidence about one distributed fault."""
+
+    incident_id: int
+    entries: list[VaultEntry] = field(default_factory=list)
+    #: Why entries were linked: "group-snap" and/or "sync-link".
+    links: set[str] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    @property
+    def machines(self) -> list[str]:
+        return sorted({e.machine for e in self.entries})
+
+    @property
+    def processes(self) -> list[str]:
+        return sorted({e.process for e in self.entries})
+
+    @property
+    def reasons(self) -> list[str]:
+        return sorted({e.reason for e in self.entries})
+
+    @property
+    def groups(self) -> list[str]:
+        return sorted({e.group for e in self.entries if e.group})
+
+    def initiator(self) -> str | None:
+        """The process whose trigger started the fan-out, if known."""
+        for entry in self.entries:
+            if entry.initiator:
+                return entry.initiator
+        return None
+
+    def describe(self) -> str:
+        """One line for listings."""
+        parts = [
+            f"incident #{self.incident_id}:",
+            f"{len(self.entries)} snap(s)",
+            f"machines {','.join(self.machines)}",
+            f"reasons {','.join(self.reasons)}",
+        ]
+        initiator = self.initiator()
+        if initiator:
+            parts.append(f"initiator {initiator}")
+        if self.groups:
+            parts.append(f"group {','.join(self.groups)}")
+        parts.append(f"links {','.join(sorted(self.links)) or 'singleton'}")
+        return " ".join(parts)
+
+
+class VaultQuery:
+    """Filter, lazily reconstruct, and group a vault's snaps."""
+
+    def __init__(self, vault: SnapVault, metrics: FleetMetrics | None = None):
+        self.vault = vault
+        self.metrics = metrics or vault.metrics
+
+    # ------------------------------------------------------------------
+    # Filtering
+    # ------------------------------------------------------------------
+    def select(self, **filters) -> list[VaultEntry]:
+        """Manifest entries matching the filters (see SnapVault.select)."""
+        self.metrics.queries += 1
+        entries = self.vault.select(**filters)
+        self.metrics.entries_scanned += len(self.vault.index)
+        return entries
+
+    # ------------------------------------------------------------------
+    # Lazy reconstruction
+    # ------------------------------------------------------------------
+    def reconstruct_entry(
+        self,
+        entry: VaultEntry | str,
+        mapfiles: list[Mapfile] | None = None,
+        salvage: bool = False,
+    ) -> tuple[ProcessTrace, list[str]]:
+        """Load and reconstruct one stored snap on demand.
+
+        ``mapfiles`` defaults to the vault's stored mapfiles.  Returns
+        ``(trace, archive_notes)``; strict mode raises on damage.
+        """
+        digest = entry if isinstance(entry, str) else entry.digest
+        snap, notes = self.vault.load(digest, salvage=salvage)
+        if snap is None:
+            raise ValueError(
+                f"snap {digest} unrecoverable: {'; '.join(notes) or 'gone'}"
+            )
+        reconstructor = Reconstructor(mapfiles or self.vault.mapfiles())
+        self.metrics.reconstructions += 1
+        return reconstructor.reconstruct(snap, strict=not salvage), notes
+
+    def reconstruct_incident(
+        self,
+        incident: Incident,
+        mapfiles: list[Mapfile] | None = None,
+        salvage: bool = True,
+    ) -> DistributedTrace:
+        """Stitch one incident's snaps into a master trace (§5).
+
+        Salvage is the default here — incidents are exactly the snaps
+        that lived through faults, and a banner beats a traceback.
+        """
+        snaps = []
+        salvage_notes: dict[str, list[str]] = {}
+        for entry in incident.entries:
+            snap, notes = self.vault.load(entry.digest, salvage=salvage)
+            snaps.append(snap)
+            if notes:
+                salvage_notes.setdefault(entry.machine, []).extend(notes)
+        reconstructor = Reconstructor(mapfiles or self.vault.mapfiles())
+        self.metrics.reconstructions += len(incident.entries)
+        return reconstructor.reconstruct_distributed(
+            snaps,
+            strict=not salvage,
+            expected_machines=incident.machines,
+            salvage_notes=salvage_notes,
+        )
+
+    # ------------------------------------------------------------------
+    # Incident grouping
+    # ------------------------------------------------------------------
+    def incidents(
+        self,
+        entries: list[VaultEntry] | None = None,
+        window: int | None = None,
+    ) -> list[Incident]:
+        """Group entries into incidents (union-find over both links).
+
+        ``window`` bounds linking to entries within that many ingest
+        sequence numbers of each other — useful when one vault holds
+        many runs whose runtime ids (and hence SYNC logical ids) were
+        deliberately reset to identical values.
+        """
+        if entries is None:
+            entries = self.vault.select()
+        parent = list(range(len(entries)))
+        link_kinds: dict[int, set[str]] = {i: set() for i in parent}
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int, kind: str) -> None:
+            if window is not None and abs(entries[i].seq - entries[j].seq) > window:
+                return
+            ri, rj = find(i), find(j)
+            link_kinds[ri].add(kind)
+            link_kinds[rj].add(kind)
+            if ri != rj:
+                parent[rj] = ri
+                link_kinds[ri] |= link_kinds[rj]
+
+        # Link 1: co-triggered group snaps + the initiating snap.
+        by_fanout: dict[tuple, list[int]] = {}
+        for i, entry in enumerate(entries):
+            if entry.group and entry.initiator:
+                key = (entry.group, entry.initiator, entry.initiator_reason)
+                by_fanout.setdefault(key, []).append(i)
+        for (group, initiator, initiator_reason), members in by_fanout.items():
+            for a, b in zip(members, members[1:]):
+                union(a, b, "group-snap")
+            # The initiator's own snap carries no group tag; match it by
+            # (process, reason) — that pair is what the fan-out recorded.
+            for i, entry in enumerate(entries):
+                if (
+                    entry.process == initiator
+                    and entry.reason == initiator_reason
+                ):
+                    union(members[0], i, "group-snap")
+
+        # Link 2: shared SYNC logical-thread ids across snaps.
+        by_sync: dict[int, list[int]] = {}
+        for i, entry in enumerate(entries):
+            for logical_id in entry.sync_ids:
+                by_sync.setdefault(logical_id, []).append(i)
+        for members in by_sync.values():
+            for a, b in zip(members, members[1:]):
+                union(a, b, "sync-link")
+
+        clusters: dict[int, list[int]] = {}
+        for i in range(len(entries)):
+            clusters.setdefault(find(i), []).append(i)
+        incidents = []
+        for root, members in sorted(
+            clusters.items(), key=lambda kv: min(entries[m].seq for m in kv[1])
+        ):
+            incidents.append(
+                Incident(
+                    incident_id=len(incidents),
+                    entries=[entries[m] for m in sorted(
+                        members, key=lambda m: entries[m].seq
+                    )],
+                    links=set(link_kinds[root]),
+                )
+            )
+        self.metrics.incidents_built += len(incidents)
+        return incidents

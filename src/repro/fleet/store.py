@@ -1,0 +1,364 @@
+"""The snap vault: a sharded, indexed, on-disk store of TBSZ2 archives.
+
+The paper's deployment (§3.6.1, §3.7.5) forwards every machine's snaps
+to a central point where support engineers later query and reconstruct
+them.  This module is that central point's disk format:
+
+* **shards** — ``shard-00/ .. shard-NN/`` under the vault root; a snap
+  lands in the shard named by its content hash, so load spreads evenly
+  and shards can later be split across collectors;
+* **content-hash dedupe** — the digest of the snap's canonical JSON is
+  the blob filename; a group snap that fans out to N peers and arrives
+  N times is stored once (§3.6.2's suppression argument, applied at
+  the vault);
+* **atomic writes** — blobs and index files go through temp-file +
+  ``os.replace`` (:func:`repro.runtime.archive.write_atomic`), so the
+  abrupt kills ``repro.chaos`` injects can never tear a stored archive;
+* **JSON-lines manifest per shard** — ``manifest.jsonl``, append-only,
+  one line per stored snap with everything queries filter on (machine,
+  process, reason, clock, SYNC logical-thread ids, group-snap detail);
+  a torn trailing line (kill mid-append) is skipped on load;
+* **rebuildable index** — the in-memory index is derived purely from
+  the manifests, and the manifests themselves can be regenerated from
+  the archives via :meth:`SnapVault.rebuild_index`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.fleet.metrics import FleetMetrics
+from repro.instrument.mapfile import Mapfile
+from repro.reconstruct.recovery import recover_spans_salvage
+from repro.runtime.archive import (
+    compress_snap,
+    decompress_snap,
+    salvage_decompress,
+    write_atomic,
+)
+from repro.runtime.records import ExtKind, ExtRecord
+from repro.runtime.snap import SnapFile
+
+#: Blob filename suffix inside a shard.
+BLOB_SUFFIX = ".tbsz"
+
+#: Manifest filename inside each shard directory.
+MANIFEST = "manifest.jsonl"
+
+#: Subdirectory where module mapfiles ride along with the evidence.
+MAPFILE_DIR = "mapfiles"
+
+
+class VaultError(ValueError):
+    """The vault layout or a stored artifact is unusable."""
+
+
+def content_digest(snap: SnapFile) -> str:
+    """Content hash of a snap: sha256 over its canonical JSON.
+
+    Computed on the *uncompressed* canonical form, so the digest is
+    stable across compression levels and container versions.
+    """
+    canonical = json.dumps(snap.to_dict(), sort_keys=True).encode()
+    return hashlib.sha256(canonical).hexdigest()[:32]
+
+
+def mine_sync_ids(snap: SnapFile) -> list[int]:
+    """Logical-thread ids of every SYNC record surviving in ``snap``.
+
+    Mined with the salvage span recovery (never raises on damage), so
+    incident grouping works even for snaps whose buffers are hurt.
+    These ids are what link one machine's snap to its RPC partners'.
+    """
+    ids: set[int] = set()
+    try:
+        recovered = recover_spans_salvage(snap.buffers)
+    except Exception:  # noqa: BLE001 — mining is best-effort metadata
+        return []
+    for span in recovered.spans:
+        for record in span.records:
+            if isinstance(record, ExtRecord) and record.kind == ExtKind.SYNC:
+                if len(record.payload) >= 2:
+                    ids.add(record.payload[1])
+    return sorted(ids)
+
+
+@dataclass
+class VaultEntry:
+    """One manifest line: the queryable metadata of a stored snap."""
+
+    digest: str
+    seq: int  # vault-wide ingest sequence number
+    shard: int
+    machine: str
+    process: str
+    pid: int
+    reason: str
+    clock: int
+    size: int  # compressed container bytes
+    sync_ids: list[int] = field(default_factory=list)
+    #: Group-snap correlation (``detail`` of reason="group" snaps, and
+    #: the initiating snap's own reason for everyone else).
+    group: str | None = None
+    initiator: str | None = None
+    initiator_reason: str | None = None
+
+    def to_dict(self) -> dict:
+        return dict(vars(self))
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "VaultEntry":
+        return cls(**d)
+
+    @classmethod
+    def from_snap(
+        cls, snap: SnapFile, digest: str, seq: int, shard: int, size: int
+    ) -> "VaultEntry":
+        detail = snap.detail if isinstance(snap.detail, dict) else {}
+        return cls(
+            digest=digest,
+            seq=seq,
+            shard=shard,
+            machine=snap.machine_name,
+            process=snap.process_name,
+            pid=snap.pid,
+            reason=snap.reason,
+            clock=snap.clock,
+            size=size,
+            sync_ids=mine_sync_ids(snap),
+            group=detail.get("group"),
+            initiator=detail.get("initiator"),
+            initiator_reason=detail.get("initiator_reason"),
+        )
+
+
+@dataclass
+class StoreResult:
+    """Outcome of one :meth:`SnapVault.put`."""
+
+    digest: str
+    deduped: bool
+    entry: VaultEntry
+
+
+class SnapVault:
+    """A sharded snap store rooted at a directory."""
+
+    def __init__(
+        self,
+        root: str,
+        shards: int = 4,
+        metrics: FleetMetrics | None = None,
+        compress_level: int = 6,
+    ):
+        if shards < 1:
+            raise VaultError(f"shard count must be >= 1, got {shards}")
+        self.root = root
+        self.shards = shards
+        self.metrics = metrics or FleetMetrics()
+        self.compress_level = compress_level
+        #: digest -> entry, insertion-ordered by ingest sequence.
+        self.index: dict[str, VaultEntry] = {}
+        self._next_seq = 0
+        os.makedirs(root, exist_ok=True)
+        for shard in range(shards):
+            os.makedirs(self._shard_dir(shard), exist_ok=True)
+        os.makedirs(os.path.join(root, MAPFILE_DIR), exist_ok=True)
+        self._load_manifests()
+
+    # ------------------------------------------------------------------
+    # Layout
+    # ------------------------------------------------------------------
+    def _shard_dir(self, shard: int) -> str:
+        return os.path.join(self.root, f"shard-{shard:02d}")
+
+    def shard_of(self, digest: str) -> int:
+        """Content-addressed shard placement."""
+        return int(digest[:8], 16) % self.shards
+
+    def blob_path(self, digest: str) -> str:
+        return os.path.join(
+            self._shard_dir(self.shard_of(digest)), digest + BLOB_SUFFIX
+        )
+
+    # ------------------------------------------------------------------
+    # Manifest / index
+    # ------------------------------------------------------------------
+    def _load_manifests(self) -> None:
+        entries: list[VaultEntry] = []
+        for shard in range(self.shards):
+            path = os.path.join(self._shard_dir(shard), MANIFEST)
+            if not os.path.exists(path):
+                continue
+            with open(path) as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entries.append(VaultEntry.from_dict(json.loads(line)))
+                    except (json.JSONDecodeError, TypeError, KeyError):
+                        # A torn trailing line from a kill mid-append:
+                        # the blob write is atomic, so rebuild_index can
+                        # still restore this entry from the archive.
+                        continue
+        entries.sort(key=lambda e: e.seq)
+        for entry in entries:
+            self.index[entry.digest] = entry
+        if entries:
+            self._next_seq = max(e.seq for e in entries) + 1
+
+    def _append_manifest(self, entry: VaultEntry) -> None:
+        path = os.path.join(self._shard_dir(entry.shard), MANIFEST)
+        with open(path, "a") as fh:
+            fh.write(json.dumps(entry.to_dict()) + "\n")
+            fh.flush()
+        self.metrics.manifest_lines += 1
+
+    def rebuild_index(self) -> int:
+        """Regenerate every manifest from the stored archives.
+
+        The archives are the source of truth; manifests are derived
+        state.  Returns the number of entries recovered.  Sequence
+        numbers are reassigned in digest order (ingest order is lost
+        with the manifests — archives carry no vault timestamps).
+        """
+        self.index.clear()
+        self._next_seq = 0
+        self.metrics.index_rebuilds += 1
+        recovered = 0
+        for shard in range(self.shards):
+            shard_dir = self._shard_dir(shard)
+            lines = []
+            for name in sorted(os.listdir(shard_dir)):
+                if not name.endswith(BLOB_SUFFIX):
+                    continue
+                digest = name[: -len(BLOB_SUFFIX)]
+                path = os.path.join(shard_dir, name)
+                with open(path, "rb") as fh:
+                    data = fh.read()
+                snap, _notes = salvage_decompress(data)
+                if snap is None:
+                    continue
+                entry = VaultEntry.from_snap(
+                    snap, digest, seq=self._next_seq, shard=shard,
+                    size=len(data),
+                )
+                self._next_seq += 1
+                self.index[entry.digest] = entry
+                lines.append(json.dumps(entry.to_dict()))
+                recovered += 1
+            manifest = os.path.join(shard_dir, MANIFEST)
+            write_atomic(
+                ("\n".join(lines) + "\n" if lines else "").encode(), manifest
+            )
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Store / load
+    # ------------------------------------------------------------------
+    def put(self, snap: SnapFile) -> StoreResult:
+        """Store one snap; duplicates (by content hash) are skipped."""
+        digest = content_digest(snap)
+        if digest in self.index:
+            self.metrics.dedupe_hits += 1
+            return StoreResult(
+                digest=digest, deduped=True, entry=self.index[digest]
+            )
+        data = compress_snap(snap, self.compress_level)
+        shard = self.shard_of(digest)
+        write_atomic(data, self.blob_path(digest))
+        entry = VaultEntry.from_snap(
+            snap, digest, seq=self._next_seq, shard=shard, size=len(data)
+        )
+        self._next_seq += 1
+        self.index[entry.digest] = entry
+        self._append_manifest(entry)
+        self.metrics.ingested += 1
+        self.metrics.bytes_written += len(data)
+        return StoreResult(digest=digest, deduped=False, entry=entry)
+
+    def load(
+        self, digest: str, salvage: bool = False
+    ) -> tuple[SnapFile | None, list[str]]:
+        """Read one stored snap back; ``salvage`` tolerates damage."""
+        path = self.blob_path(digest)
+        with open(path, "rb") as fh:
+            data = fh.read()
+        if salvage:
+            return salvage_decompress(data)
+        return decompress_snap(data), []
+
+    # ------------------------------------------------------------------
+    # Query surface (the raw one; repro.fleet.query builds on this)
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        machine: str | None = None,
+        process: str | None = None,
+        reason: str | None = None,
+        since: int | None = None,
+        until: int | None = None,
+        group: str | None = None,
+    ) -> list[VaultEntry]:
+        """Manifest entries matching every given filter, ingest order.
+
+        ``since``/``until`` filter on the snap's machine-local clock
+        (inclusive), the index's timestamp key.
+        """
+        out = []
+        for entry in sorted(self.index.values(), key=lambda e: e.seq):
+            if machine is not None and entry.machine != machine:
+                continue
+            if process is not None and entry.process != process:
+                continue
+            if reason is not None and entry.reason != reason:
+                continue
+            if since is not None and entry.clock < since:
+                continue
+            if until is not None and entry.clock > until:
+                continue
+            if group is not None and entry.group != group:
+                continue
+            out.append(entry)
+        return out
+
+    def machines(self) -> list[str]:
+        """Machine names with at least one stored snap."""
+        return sorted({e.machine for e in self.index.values()})
+
+    def __len__(self) -> int:
+        return len(self.index)
+
+    def store_bytes(self) -> int:
+        """Total compressed bytes currently on disk."""
+        total = 0
+        for shard in range(self.shards):
+            shard_dir = self._shard_dir(shard)
+            for name in os.listdir(shard_dir):
+                if name.endswith(BLOB_SUFFIX):
+                    total += os.path.getsize(os.path.join(shard_dir, name))
+        return total
+
+    # ------------------------------------------------------------------
+    # Mapfiles (reconstruction needs them; they travel with the vault)
+    # ------------------------------------------------------------------
+    def put_mapfile(self, mapfile: Mapfile) -> str:
+        """Store a module mapfile, keyed by instrumented checksum."""
+        path = os.path.join(
+            self.root, MAPFILE_DIR, f"{mapfile.checksum}.map.json"
+        )
+        write_atomic(json.dumps(mapfile.to_dict()).encode(), path)
+        return path
+
+    def mapfiles(self) -> list[Mapfile]:
+        """Every mapfile stored alongside the snaps."""
+        out = []
+        directory = os.path.join(self.root, MAPFILE_DIR)
+        for name in sorted(os.listdir(directory)):
+            if name.endswith(".map.json"):
+                out.append(Mapfile.load(os.path.join(directory, name)))
+        return out

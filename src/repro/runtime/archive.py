@@ -27,6 +27,7 @@ or bit-flipped container instead of raising.
 from __future__ import annotations
 
 import json
+import os
 import struct
 import zlib
 
@@ -238,12 +239,140 @@ def compression_ratio(snap: SnapFile, level: int = 6) -> float:
 
 
 def save_compressed(snap: SnapFile, path: str, level: int = 6) -> None:
-    """Write a compressed snap container to disk."""
-    with open(path, "wb") as fh:
-        fh.write(compress_snap(snap, level))
+    """Write a compressed snap container to disk, atomically.
+
+    The bytes land in a sibling temp file first and are moved into
+    place with :func:`os.replace`, so an abrupt kill mid-write (the
+    exact tear ``repro.chaos`` injects) can never leave a torn
+    container at ``path``: readers see the old content or the new,
+    never a prefix.
+    """
+    data = compress_snap(snap, level)
+    write_atomic(data, path)
+
+
+def write_atomic(data: bytes, path: str) -> None:
+    """Write ``data`` to ``path`` via temp file + ``os.replace``."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
 
 
 def load_compressed(path: str) -> SnapFile:
     """Read a container written by :func:`save_compressed`."""
     with open(path, "rb") as fh:
         return decompress_snap(fh.read())
+
+
+def inspect_container(data: bytes) -> dict:
+    """Cheap structural report on a container, without reconstruction.
+
+    Backs ``tbtrace info``: version, body-length check, blob census and
+    per-blob CRC status, and the snap metadata (reason, process,
+    machine, clock, module/thread counts) straight from the header
+    JSON.  Never raises on damage — problems land in ``"problems"``.
+    """
+    info: dict = {
+        "version": None,
+        "size": len(data),
+        "length_ok": None,
+        "blobs": [],
+        "crc_ok": None,
+        "meta": None,
+        "problems": [],
+    }
+    if data.startswith(MAGIC_V1):
+        info["version"] = 1
+        compressed = data[len(MAGIC_V1):]
+        declared = None
+    elif data.startswith(MAGIC):
+        info["version"] = 2
+        if len(data) < len(MAGIC) + 4:
+            info["problems"].append("container truncated before the length word")
+            return info
+        (declared,) = struct.unpack("<I", data[len(MAGIC) : len(MAGIC) + 4])
+        compressed = data[len(MAGIC) + 4 :]
+    else:
+        info["problems"].append("not a compressed snap container")
+        return info
+    try:
+        body = zlib.decompress(compressed)
+    except zlib.error as exc:
+        info["problems"].append(f"deflate stream damaged: {exc}")
+        body = _inflate_partial(compressed)
+    if declared is not None:
+        info["length_ok"] = len(body) == declared
+        if not info["length_ok"]:
+            info["problems"].append(
+                f"length check failed: {len(body)}/{declared} bytes"
+            )
+    if len(body) < 4:
+        info["problems"].append("container body too short for a header")
+        return info
+    (header_len,) = struct.unpack("<I", body[:4])
+    if 4 + header_len > len(body):
+        info["problems"].append("container torn inside the metadata header")
+        return info
+    try:
+        payload = json.loads(body[4 : 4 + header_len])
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        info["problems"].append(f"metadata header unparseable: {exc}")
+        return info
+    info["meta"] = {
+        "reason": payload.get("reason"),
+        "detail": payload.get("detail"),
+        "process_name": payload.get("process_name"),
+        "machine_name": payload.get("machine_name"),
+        "clock": payload.get("clock"),
+        "modules": len(payload.get("modules", [])),
+        "threads": len(payload.get("threads", [])),
+        "buffers": len(payload.get("buffers", [])),
+    }
+    cursor = 4 + header_len
+    all_ok: bool | None = None
+    for buffer in payload.get("buffers", []):
+        marker = buffer.get("words")
+        if not (isinstance(marker, list) and marker and marker[0] == "blob"):
+            continue
+        size = marker[2]
+        crc = marker[3] if len(marker) > 3 else None
+        blob = body[cursor : cursor + size]
+        entry = {
+            "index": buffer.get("index"),
+            "bytes": size,
+            "present": len(blob),
+        }
+        if len(blob) < size:
+            entry["crc"] = "truncated"
+            all_ok = False
+            info["problems"].append(
+                f"buffer {buffer.get('index', '?')}: blob truncated "
+                f"({len(blob)}/{size} bytes)"
+            )
+        elif crc is None:
+            entry["crc"] = "absent"
+        else:
+            ok = zlib.crc32(blob) == crc
+            entry["crc"] = "ok" if ok else "mismatch"
+            if not ok:
+                info["problems"].append(
+                    f"buffer {buffer.get('index', '?')}: blob CRC mismatch"
+                )
+            if all_ok is None:
+                all_ok = ok
+            else:
+                all_ok = all_ok and ok
+        info["blobs"].append(entry)
+        cursor += size
+    info["crc_ok"] = all_ok
+    return info

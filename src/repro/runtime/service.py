@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.collector import Collector
     from repro.runtime.runtime import TraceBackRuntime
     from repro.runtime.snap import SnapFile
 
@@ -39,6 +40,10 @@ class ServiceProcess:
         self._in_group_snap = False
         self.hang_snaps = 0
         self.status_polls = 0
+        #: Fleet collector this service forwards snaps to (§3.6.1's
+        #: "notifying it of snaps" scaled to a central vault).
+        self.collector: "Collector | None" = None
+        self.forwarded_snaps = 0
 
     # ------------------------------------------------------------------
     def register(self, runtime: "TraceBackRuntime") -> None:
@@ -58,6 +63,16 @@ class ServiceProcess:
         if self not in peer.peers:
             peer.peers.append(self)
 
+    def forward_to(self, collector: "Collector | None") -> None:
+        """Forward every snap this service hears about to ``collector``.
+
+        Registration is idempotent and reversible (pass None).  The
+        forward happens synchronously at notify time — the collector's
+        own queue provides the buffering — so a snap taken even moments
+        before a ``kill -9`` is already on the uplink.
+        """
+        self.collector = collector
+
     # ------------------------------------------------------------------
     def notify_snap(self, source: "TraceBackRuntime", snap: "SnapFile") -> None:
         """A runtime snapped: trigger group snaps in its partners.
@@ -66,6 +81,11 @@ class ServiceProcess:
         practice" — here they run at the next hook boundary, which in
         the single-stepped VM means immediately and consistently.
         """
+        # Forward first: group-snap recursion re-enters this method with
+        # the guard set, and those snaps must reach the vault too.
+        if self.collector is not None:
+            self.collector.submit(snap)
+            self.forwarded_snaps += 1
         if self._in_group_snap:
             return  # group snaps do not cascade
         member_groups = [

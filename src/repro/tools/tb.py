@@ -34,6 +34,7 @@ from repro.reconstruct import (
     Reconstructor,
     RecoveryError,
     render_degradation,
+    render_distributed,
     render_flat,
     render_tree,
     select_view,
@@ -158,6 +159,195 @@ def cmd_view(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_info(args: argparse.Namespace) -> int:
+    """``tbtrace info <archive>``: structural report, no reconstruction."""
+    from repro.runtime.archive import inspect_container
+
+    try:
+        with open(args.archive, "rb") as fh:
+            data = fh.read()
+    except OSError as exc:
+        return _fail(f"cannot read {args.archive}: {exc}")
+    info = inspect_container(data)
+    if info["version"] is None:
+        return _fail(
+            f"{args.archive}: {'; '.join(info['problems']) or 'not a container'}"
+        )
+    print(f"archive: {args.archive}")
+    print(f"  container: TBSZ{info['version']}, {info['size']} bytes")
+    if info["length_ok"] is not None:
+        print(f"  length check: {'ok' if info['length_ok'] else 'FAILED'}")
+    crc = info["crc_ok"]
+    crc_text = "ok" if crc else "no checksums (v1)" if crc is None else "FAILED"
+    print(f"  blobs: {len(info['blobs'])}, CRC {crc_text}")
+    for blob in info["blobs"]:
+        print(
+            f"    buffer {blob['index']}: {blob['present']}/{blob['bytes']} "
+            f"bytes, crc {blob['crc']}"
+        )
+    meta = info["meta"]
+    if meta is not None:
+        print(
+            f"  snap: {meta['reason']} in {meta['process_name']} "
+            f"on {meta['machine_name']} at clock {meta['clock']}"
+        )
+        print(
+            f"  contents: {meta['modules']} module(s), "
+            f"{meta['threads']} thread(s), {meta['buffers']} buffer(s)"
+        )
+    for problem in info["problems"]:
+        print(f"  problem: {problem}")
+    return 0 if not info["problems"] else 1
+
+
+def _open_vault(args: argparse.Namespace):
+    from repro.fleet import SnapVault, VaultQuery
+
+    vault = SnapVault(args.vault)
+    return vault, VaultQuery(vault)
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    """``tbtrace collect``: run the three-machine incident demo into a
+    vault — crash, group fan-out, uploads (optionally chaos-dropped),
+    and a mid-run machine kill that the vault makes survivable."""
+    import random as random_mod
+
+    from repro.chaos.scenarios import build_vault_run
+
+    rng = random_mod.Random(args.seed)
+    upload_chaos = None
+    if args.drop_rate > 0:
+
+        def upload_chaos(machine, snap, attempt):
+            return "drop" if rng.random() < args.drop_rate else None
+
+    vault, collector, session = build_vault_run(
+        vault_root=args.vault,
+        upload_chaos=upload_chaos,
+        collector_options={
+            "batch_size": args.batch_size,
+            "queue_limit": args.queue_limit,
+            "seed": args.seed,
+        },
+    )
+    uploaded = len(vault)
+    if args.kill_machine:
+        killed = False
+        for machine in session.network.machines:
+            if machine.name == args.kill_machine:
+                for process in machine.processes:
+                    process.kill()
+                killed = True
+        if not killed:
+            return _fail(f"no machine named {args.kill_machine!r} in the run")
+        print(
+            f"killed {args.kill_machine} mid-run "
+            f"({uploaded} snap(s) already uploaded)"
+        )
+    session.network.run()
+    collector.drain()
+    print(f"vault {vault.root}: {len(vault)} snap(s) stored")
+    for entry in vault.select():
+        print(
+            f"  {entry.digest[:12]}  seq {entry.seq}  {entry.machine}/"
+            f"{entry.process}  {entry.reason}  clock {entry.clock}"
+        )
+    if collector.dead:
+        print(f"  {len(collector.dead)} upload(s) dead-lettered")
+    print()
+    print(vault.metrics.render())
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    """``tbtrace query``: filter the vault; --show reconstructs one."""
+    from repro.runtime import ArchiveError
+
+    try:
+        vault, query = _open_vault(args)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot open vault {args.vault}: {exc}")
+    if args.show:
+        matches = [
+            e for e in vault.index.values() if e.digest.startswith(args.show)
+        ]
+        if not matches:
+            return _fail(f"no stored snap matches digest {args.show!r}")
+        if len(matches) > 1:
+            return _fail(f"digest prefix {args.show!r} is ambiguous")
+        entry = matches[0]
+        try:
+            trace, notes = query.reconstruct_entry(
+                entry, salvage=args.salvage
+            )
+        except (RecoveryError, ArchiveError, ValueError, OSError) as exc:
+            return _fail(
+                f"reconstruction failed: {exc} (re-run with --salvage "
+                "to recover what survives)"
+            )
+        print(
+            f"snap: {entry.reason} in {entry.process} on {entry.machine} "
+            f"(digest {entry.digest})"
+        )
+        for note in notes + trace.notes:
+            print(f"note: {note}")
+        print()
+        print(select_view(trace))
+        return 0
+    entries = query.select(
+        machine=args.machine,
+        process=args.process,
+        reason=args.reason,
+        since=args.since,
+        until=args.until,
+        group=args.group,
+    )
+    print(f"{len(entries)} snap(s) match")
+    for entry in entries:
+        tags = []
+        if entry.group:
+            tags.append(f"group={entry.group} initiator={entry.initiator}")
+        if entry.sync_ids:
+            tags.append(f"{len(entry.sync_ids)} sync id(s)")
+        print(
+            f"  {entry.digest[:12]}  seq {entry.seq}  {entry.machine}/"
+            f"{entry.process}  {entry.reason}  clock {entry.clock}  "
+            f"{entry.size}B  {' '.join(tags)}"
+        )
+    return 0
+
+
+def cmd_incidents(args: argparse.Namespace) -> int:
+    """``tbtrace incidents``: group the vault's snaps and reconstruct."""
+    try:
+        vault, query = _open_vault(args)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot open vault {args.vault}: {exc}")
+    incidents = query.incidents(window=args.window)
+    print(f"{len(incidents)} incident(s) in {vault.root}")
+    for incident in incidents:
+        print(incident.describe())
+        for entry in incident.entries:
+            print(
+                f"    {entry.digest[:12]}  {entry.machine}/{entry.process}  "
+                f"{entry.reason}"
+            )
+        if args.list:
+            continue
+        try:
+            trace = query.reconstruct_incident(
+                incident, salvage=not args.strict
+            )
+        except (RecoveryError, ValueError) as exc:
+            print(f"    reconstruction failed: {exc}")
+            continue
+        if trace.degradation is not None and trace.degradation.degraded:
+            print(render_degradation(trace.degradation))
+        print(render_distributed(trace))
+    return 0
+
+
 def cmd_tile(args: argparse.Namespace) -> int:
     module = compile_source(_read(args.source), "app", file_name=args.source,
                             bounds_checks=(args.mode == "il"))
@@ -242,6 +432,61 @@ def build_parser() -> argparse.ArgumentParser:
     )
     view.set_defaults(fn=cmd_view)
 
+    info = sub.add_parser(
+        "info", help="archive version, blobs, CRC status, snap metadata"
+    )
+    info.add_argument("archive", help="TBSZ1/TBSZ2 compressed snap container")
+    info.set_defaults(fn=cmd_info)
+
+    collect = sub.add_parser(
+        "collect", help="run the fleet incident demo into a snap vault"
+    )
+    collect.add_argument("--vault", required=True, help="vault root directory")
+    collect.add_argument("--seed", type=int, default=0)
+    collect.add_argument(
+        "--drop-rate", type=float, default=0.0,
+        help="probability each upload is lost in transit (retried)",
+    )
+    collect.add_argument(
+        "--kill-machine", default="machine-b",
+        help="machine to kill -9 mid-run ('' to kill nobody)",
+    )
+    collect.add_argument("--batch-size", type=int, default=2)
+    collect.add_argument("--queue-limit", type=int, default=8)
+    collect.set_defaults(fn=cmd_collect)
+
+    query = sub.add_parser("query", help="filter stored snaps in a vault")
+    query.add_argument("--vault", required=True, help="vault root directory")
+    query.add_argument("--machine")
+    query.add_argument("--process")
+    query.add_argument("--reason")
+    query.add_argument("--since", type=int, help="min snap clock (inclusive)")
+    query.add_argument("--until", type=int, help="max snap clock (inclusive)")
+    query.add_argument("--group", help="group-snap fan-out name")
+    query.add_argument(
+        "--show", metavar="DIGEST",
+        help="reconstruct one stored snap (digest prefix ok)",
+    )
+    query.add_argument("--salvage", action="store_true")
+    query.set_defaults(fn=cmd_query)
+
+    incidents = sub.add_parser(
+        "incidents", help="group a vault's snaps into incidents"
+    )
+    incidents.add_argument("--vault", required=True, help="vault root directory")
+    incidents.add_argument(
+        "--window", type=int,
+        help="only link snaps within this many ingest sequence numbers",
+    )
+    incidents.add_argument(
+        "--list", action="store_true", help="list only, skip reconstruction"
+    )
+    incidents.add_argument(
+        "--strict", action="store_true",
+        help="strict reconstruction (default is salvage + banner)",
+    )
+    incidents.set_defaults(fn=cmd_incidents)
+
     tile_cmd = sub.add_parser("tile", help="show CFGs and DAG tiling")
     tile_cmd.add_argument("source")
     tile_cmd.add_argument("--mode", choices=["native", "il"], default="native")
@@ -267,7 +512,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # `tbtrace query ... | head` closes our stdout mid-print; die
+        # quietly like other Unix tools instead of dumping a traceback.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141
 
 
 if __name__ == "__main__":

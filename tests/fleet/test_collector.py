@@ -1,0 +1,187 @@
+"""The collector uplink: batching, back-pressure, seeded retry."""
+
+import pytest
+
+from repro.fleet import Collector, SnapVault
+from tests.fleet.test_store import make_snap
+
+
+@pytest.fixture
+def vault(tmp_path):
+    return SnapVault(str(tmp_path / "vault"))
+
+
+def collector_for(vault, **kw):
+    kw.setdefault("batch_size", 4)
+    kw.setdefault("queue_limit", 8)
+    return Collector(vault, **kw)
+
+
+# ----------------------------------------------------------------------
+# Batching
+# ----------------------------------------------------------------------
+def test_submit_queues_until_flush(vault):
+    collector = collector_for(vault)
+    for i in range(3):
+        collector.submit(make_snap(payload=i))
+    assert collector.pending() == 3
+    assert len(vault) == 0  # nothing durable yet
+    assert collector.flush_batch() == 3
+    assert collector.pending() == 0
+    assert len(vault) == 3
+
+
+def test_flush_respects_batch_size(vault):
+    collector = collector_for(vault, batch_size=2, queue_limit=16)
+    for i in range(5):
+        collector.submit(make_snap(payload=i))
+    assert collector.flush_batch() == 2
+    assert collector.pending() == 3
+    assert collector.drain() == 3
+    assert vault.metrics.batches == 3  # 2 + 2 + 1
+
+
+def test_drain_uploads_everything(vault):
+    collector = collector_for(vault, queue_limit=32)
+    for i in range(10):
+        collector.submit(make_snap(payload=i))
+    assert collector.drain() == 10
+    assert len(vault) == 10
+    assert vault.metrics.uploads == 10
+
+
+def test_duplicate_submissions_dedupe_at_the_vault(vault):
+    collector = collector_for(vault)
+    for _ in range(4):
+        collector.submit(make_snap(payload=42))
+    collector.drain()
+    assert len(vault) == 1
+    assert vault.metrics.dedupe_hits == 3
+    assert sum(1 for r in collector.results if r.deduped) == 3
+
+
+# ----------------------------------------------------------------------
+# Bounded queue / back-pressure
+# ----------------------------------------------------------------------
+def test_full_queue_forces_inline_flush_not_loss(vault):
+    collector = collector_for(vault, batch_size=2, queue_limit=4)
+    for i in range(12):
+        collector.submit(make_snap(payload=i))
+    collector.drain()
+    # Back-pressure flushed inline; every distinct snap survived.
+    assert len(vault) == 12
+    assert vault.metrics.backpressure_flushes > 0
+    assert vault.metrics.evicted == 0
+    assert vault.metrics.queue_peak <= 4
+
+
+def test_eviction_only_when_flush_cannot_free(vault):
+    # Every upload drops, so the inline flush can't free the queue:
+    # the oldest entry is evicted rather than growing without bound.
+    collector = collector_for(
+        vault, batch_size=2, queue_limit=2, max_retries=50
+    )
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    for i in range(6):
+        collector.submit(make_snap(payload=i))
+    assert collector.pending() <= 2
+    assert vault.metrics.evicted > 0
+
+
+# ----------------------------------------------------------------------
+# Retry with seeded backoff, dead-lettering
+# ----------------------------------------------------------------------
+def test_dropped_upload_retried_until_delivered(vault):
+    attempts = []
+
+    def chaos(machine, snap, attempt):
+        attempts.append(attempt)
+        return "drop" if attempt < 3 else None
+
+    collector = collector_for(vault, seed=5)
+    collector.upload_chaos = chaos
+    collector.submit(make_snap())
+    collector.drain()
+    assert len(vault) == 1
+    assert attempts == [1, 2, 3]
+    assert vault.metrics.drops == 2
+    assert vault.metrics.retries == 2
+    assert vault.metrics.dead_letters == 0
+
+
+def test_backoff_grows_and_is_seeded(vault):
+    def chaos(machine, snap, attempt):
+        return attempt < 4  # three drops, then deliver
+
+    runs = []
+    for _ in range(2):
+        v = SnapVault(str(vault.root) + f"-{len(runs)}")
+        collector = collector_for(v, seed=99)
+        collector.upload_chaos = chaos
+        collector.submit(make_snap())
+        collector.drain()
+        item = [r for r in collector.results][0]
+        runs.append(v.metrics.backoff_cycles)
+    assert runs[0] == runs[1]  # same seed -> identical jitter
+    assert runs[0] > 0
+
+
+def test_backoff_schedule_is_exponential(vault):
+    collector = collector_for(vault, seed=0, backoff_base=1000)
+    collector.upload_chaos = lambda m, s, attempt: attempt < 4
+    collector.submit(make_snap())
+    collector.drain()
+    # The pending item recorded its backoffs before final delivery.
+    assert vault.metrics.retries == 3
+    # base*1 + base*2 + base*4 plus jitter in [0, base) per retry.
+    assert 7000 <= vault.metrics.backoff_cycles < 7000 + 3 * 1000
+
+
+def test_dead_letter_after_max_retries_keeps_evidence(vault):
+    collector = collector_for(vault, max_retries=2)
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    collector.submit(make_snap())
+    collector.drain()
+    assert len(vault) == 0
+    assert len(collector.dead) == 1
+    assert vault.metrics.dead_letters == 1
+    # The evidence is still there: a healed uplink can requeue it.
+    collector.upload_chaos = None
+    assert collector.requeue_dead() == 1
+    collector.drain()
+    assert len(vault) == 1
+
+
+def test_network_charges_upload_latency(tmp_path):
+    from repro.distributed.network import Network
+
+    network = Network(rpc_latency=500)
+    machine = network.add_machine("m1")
+    vault = SnapVault(str(tmp_path / "v"))
+    collector = Collector(vault, network=network)
+    before = machine.cycles
+    collector.submit(make_snap(machine="m1"))
+    collector.drain()
+    assert machine.cycles == before + 500
+
+
+def test_network_upload_chaos_hook_applies(tmp_path):
+    from repro.distributed.network import Network
+
+    network = Network()
+    network.add_machine("m1")
+    verdicts = iter(["drop", None])
+    network.upload_chaos = lambda machine, snap, attempt: next(verdicts)
+    vault = SnapVault(str(tmp_path / "v"))
+    collector = Collector(vault, network=network)
+    collector.submit(make_snap(machine="m1"))
+    collector.drain()
+    assert len(vault) == 1
+    assert vault.metrics.drops == 1
+
+
+def test_bad_collector_options_rejected(vault):
+    with pytest.raises(ValueError):
+        collector_for(vault, batch_size=0)
+    with pytest.raises(ValueError):
+        collector_for(vault, queue_limit=0)

@@ -1,0 +1,180 @@
+"""Vault end-to-end: chaos run, machine loss, CLI, damaged blobs."""
+
+import pytest
+
+from repro.chaos import build_vault_run, run_scenario
+from repro.fleet import SnapVault, VaultQuery
+from repro.reconstruct import render_distributed
+from repro.runtime import ArchiveError
+from repro.tools.tb import main
+from tests.fleet.test_store import make_snap
+
+
+@pytest.fixture(scope="module")
+def demo_vault(tmp_path_factory):
+    """One finished three-machine incident run, drained into a vault."""
+    root = str(tmp_path_factory.mktemp("demo") / "vault")
+    vault, collector, session = build_vault_run(vault_root=root)
+    session.network.run()
+    collector.drain()
+    return root
+
+
+# ----------------------------------------------------------------------
+# The acceptance scenario: kill -9 a machine AFTER its snaps uploaded
+# ----------------------------------------------------------------------
+def test_vault_survives_machine_loss():
+    result = run_scenario("vault-machine-loss", seed=0)
+    assert result.vault_dir is not None
+    # The frontend machine is dead, but its group snap was uploaded
+    # first — the vault is the only remaining evidence, and has it.
+    vault = SnapVault(result.vault_dir)
+    frontend = vault.select(machine="machine-b")
+    assert frontend, "killed machine's pre-uploaded snaps must survive"
+    assert {e.machine for e in vault.select()} == {
+        "machine-a", "machine-b", "machine-c"
+    }
+    # Chaos dropped uploads in transit; retries redelivered every one.
+    assert any("chaos-dropped" in line for line in result.injected)
+    trace = result.reconstruct(strict=False)
+    text = render_distributed(trace)
+    for machine in ("machine-a", "machine-b", "machine-c"):
+        assert machine in text
+
+
+def test_vault_run_is_one_incident(demo_vault):
+    vault = SnapVault(demo_vault)  # fresh open: manifests reload
+    assert len(vault) == 3  # client trigger + frontend/backend fan-out
+    incidents = VaultQuery(vault).incidents()
+    assert len(incidents) == 1
+    incident = incidents[0]
+    assert incident.machines == ["machine-a", "machine-b", "machine-c"]
+    assert incident.initiator() == "client"
+    assert incident.links == {"group-snap", "sync-link"}
+
+
+def test_reconstruct_incident_from_vault_alone(demo_vault):
+    # Everything needed travels with the vault (blobs + mapfiles).
+    query = VaultQuery(SnapVault(demo_vault))
+    incident = query.incidents()[0]
+    trace = query.reconstruct_incident(incident)
+    text = render_distributed(trace)
+    for machine in ("machine-a", "machine-b", "machine-c"):
+        assert machine in text
+
+
+# ----------------------------------------------------------------------
+# Damaged stored blobs: strict fails loudly, salvage names the loss
+# ----------------------------------------------------------------------
+def test_damaged_blob_strict_vs_salvage(tmp_path):
+    vault = SnapVault(str(tmp_path / "v"))
+    digest = vault.put(make_snap()).digest
+    path = vault.blob_path(digest)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(data[: len(data) // 2])  # torn on disk
+    with pytest.raises(ArchiveError):
+        vault.load(digest)
+    snap, notes = vault.load(digest, salvage=True)
+    assert notes  # the damage is named, never hidden
+    if snap is None:
+        with pytest.raises(ValueError, match="unrecoverable"):
+            VaultQuery(vault).reconstruct_entry(digest, salvage=True)
+
+
+# ----------------------------------------------------------------------
+# The CLI: collect / query / incidents / info
+# ----------------------------------------------------------------------
+def test_cli_collect_kills_machine_after_upload(tmp_path, capsys):
+    root = str(tmp_path / "vault")
+    rc = main([
+        "collect", "--vault", root, "--seed", "1", "--drop-rate", "0.25",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "killed machine-b mid-run" in out
+    assert "snap(s) stored" in out
+    assert "dedupe" in out  # metrics render rides along
+    assert len(SnapVault(root)) >= 3
+
+
+def test_cli_collect_rejects_unknown_machine(tmp_path, capsys):
+    rc = main([
+        "collect", "--vault", str(tmp_path / "v"),
+        "--kill-machine", "no-such-box",
+    ])
+    assert rc == 1
+    assert "no machine named" in capsys.readouterr().err
+
+
+def test_cli_query_filters(demo_vault, capsys):
+    assert main(["query", "--vault", demo_vault]) == 0
+    out = capsys.readouterr().out
+    assert "3 snap(s) match" in out
+
+    assert main([
+        "query", "--vault", demo_vault, "--machine", "machine-a",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "1 snap(s) match" in out
+    assert "machine-a/client" in out
+    assert "machine-b" not in out
+
+
+def test_cli_query_show_reconstructs_one(demo_vault, capsys):
+    entry = SnapVault(demo_vault).select(machine="machine-a")[0]
+    rc = main([
+        "query", "--vault", demo_vault, "--show", entry.digest[:10],
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert f"snap: {entry.reason} in client on machine-a" in out
+
+    rc = main(["query", "--vault", demo_vault, "--show", "zzzz"])
+    assert rc == 1
+    assert "no stored snap matches" in capsys.readouterr().err
+
+
+def test_cli_incidents_groups_and_reconstructs(demo_vault, capsys):
+    rc = main(["incidents", "--vault", demo_vault])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "1 incident(s)" in out
+    assert "incident #0:" in out
+    assert "initiator client" in out
+    for machine in ("machine-a", "machine-b", "machine-c"):
+        assert machine in out
+
+
+def test_cli_incidents_list_only(demo_vault, capsys):
+    rc = main(["incidents", "--vault", demo_vault, "--list"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "incident #0:" in out
+    assert "thread" not in out  # no reconstruction output
+
+
+def test_cli_info_reports_stored_archive(demo_vault, capsys):
+    vault = SnapVault(demo_vault)
+    path = vault.blob_path(vault.select()[0].digest)
+    rc = main(["info", path])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "TBSZ" in out
+    assert "CRC ok" in out
+    assert "snap:" in out
+
+
+def test_cli_info_flags_damage(tmp_path, capsys):
+    vault = SnapVault(str(tmp_path / "v"))
+    digest = vault.put(make_snap()).digest
+    path = vault.blob_path(digest)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(data[:-4])  # lop off the tail
+    rc = main(["info", path])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "problem" in out

@@ -1,0 +1,198 @@
+"""Incident grouping: a fan-out is ONE incident, not N (§3.6.1)."""
+
+import pytest
+
+from repro.distributed import DistributedSession
+from repro.fleet import SnapVault, VaultEntry, VaultQuery
+from repro.runtime import RuntimeConfig, SnapPolicy
+from repro.runtime.sync import reset_runtime_ids
+
+CRASHER = """
+int main() {
+    sleep(20000);
+    int x;
+    x = 1 / 0;
+    return 0;
+}
+"""
+
+BYSTANDER = """
+int main() {
+    int i;
+    for (i = 0; i < 50; i = i + 1) {
+        sleep(2000);
+    }
+    return 0;
+}
+"""
+
+
+def run_two_peer_fanout(tmp_path, upload_chaos=None):
+    """Two linked service-process peers; the web crash fans out to db."""
+    reset_runtime_ids()
+    vault = SnapVault(str(tmp_path / "vault"))
+    session = DistributedSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        )
+    )
+    m1 = session.add_machine("front-box")
+    m2 = session.add_machine("back-box", clock_skew=1_000_000)
+    session.services[m1].link(session.services[m2])
+    for service in session.services.values():
+        service.configure_group("petstore", ["web", "db"])
+    session.attach_vault(vault, batch_size=2)
+    if upload_chaos is not None:
+        session.network.upload_chaos = upload_chaos
+    session.add_process(m1, "web", CRASHER, start=True)
+    session.add_process(m2, "db", BYSTANDER, start=True)
+    result = session.run()
+    return vault, result
+
+
+# ----------------------------------------------------------------------
+# The satellite: cross-peer fan-out collapses to one incident
+# ----------------------------------------------------------------------
+def test_cross_peer_fanout_is_one_incident(tmp_path):
+    vault, _result = run_two_peer_fanout(tmp_path)
+    assert len(vault) == 2  # web's trigger + db's group snap
+    query = VaultQuery(vault)
+    incidents = query.incidents()
+    assert len(incidents) == 1
+    incident = incidents[0]
+    assert len(incident.entries) == 2
+    assert incident.machines == ["back-box", "front-box"]
+    assert incident.initiator() == "web"
+    assert incident.groups == ["petstore"]
+    assert "group-snap" in incident.links
+    assert "#0" in incident.describe()
+
+
+def test_fanout_one_incident_despite_dropped_upload(tmp_path):
+    """The db peer's upload is chaos-dropped once; retry re-links it."""
+    dropped = []
+
+    def chaos(machine, snap, attempt):
+        if machine == "back-box" and attempt == 1:
+            dropped.append(snap.reason)
+            return "drop"
+        return None
+
+    vault, result = run_two_peer_fanout(tmp_path, upload_chaos=chaos)
+    assert dropped == ["group"]  # the fan-out snap itself was lost once
+    assert vault.metrics.drops == 1
+    assert vault.metrics.retries == 1
+    assert result.collector.dead == []
+    # Retry redelivered: still one incident spanning both peers.
+    assert len(vault) == 2
+    incidents = VaultQuery(vault).incidents()
+    assert len(incidents) == 1
+    assert incidents[0].machines == ["back-box", "front-box"]
+    assert "group-snap" in incidents[0].links
+
+
+def test_fanout_entries_carry_group_metadata(tmp_path):
+    vault, _result = run_two_peer_fanout(tmp_path)
+    group_entries = vault.select(reason="group")
+    assert len(group_entries) == 1
+    entry = group_entries[0]
+    assert entry.group == "petstore"
+    assert entry.initiator == "web"
+    assert entry.initiator_reason == "unhandled"
+    assert entry.machine == "back-box"
+
+
+# ----------------------------------------------------------------------
+# Union-find mechanics on synthetic manifest entries
+# ----------------------------------------------------------------------
+def entry(seq, machine="m", process="p", reason="api", sync_ids=(),
+          group=None, initiator=None, initiator_reason=None):
+    return VaultEntry(
+        digest=f"digest-{seq:04d}",
+        seq=seq,
+        shard=0,
+        machine=machine,
+        process=process,
+        pid=1,
+        reason=reason,
+        clock=seq * 100,
+        size=64,
+        sync_ids=list(sync_ids),
+        group=group,
+        initiator=initiator,
+        initiator_reason=initiator_reason,
+    )
+
+
+@pytest.fixture
+def query(tmp_path):
+    return VaultQuery(SnapVault(str(tmp_path / "empty-vault")))
+
+
+def test_initiators_own_snap_joins_the_fanout(query):
+    entries = [
+        entry(0, process="web", reason="unhandled"),  # the trigger
+        entry(1, machine="m2", process="db", reason="group",
+              group="g", initiator="web", initiator_reason="unhandled"),
+        entry(2, machine="m3", process="cache", reason="group",
+              group="g", initiator="web", initiator_reason="unhandled"),
+        entry(3, process="other", reason="api"),  # unrelated
+    ]
+    incidents = query.incidents(entries)
+    assert [len(i.entries) for i in incidents] == [3, 1]
+    assert incidents[0].links == {"group-snap"}
+    assert incidents[1].links == set()
+    assert "singleton" in incidents[1].describe()
+
+
+def test_sync_ids_link_snaps_across_machines(query):
+    entries = [
+        entry(0, machine="a", sync_ids=[11, 12]),
+        entry(1, machine="b", sync_ids=[12, 13]),
+        entry(2, machine="c", sync_ids=[13]),
+        entry(3, machine="d", sync_ids=[99]),
+    ]
+    incidents = query.incidents(entries)
+    assert [len(i.entries) for i in incidents] == [3, 1]
+    assert incidents[0].links == {"sync-link"}
+    assert incidents[0].machines == ["a", "b", "c"]
+
+
+def test_window_splits_cross_run_sync_collisions(query):
+    # Two runs in one vault: runtime ids were reset, so both runs carry
+    # logical thread 7.  A window keeps them apart.
+    entries = [
+        entry(0, machine="a", sync_ids=[7]),
+        entry(1, machine="b", sync_ids=[7]),
+        entry(50, machine="a", sync_ids=[7]),
+        entry(51, machine="b", sync_ids=[7]),
+    ]
+    assert len(query.incidents(entries)) == 1  # unwindowed: all merge
+    windowed = query.incidents(entries, window=10)
+    assert [len(i.entries) for i in windowed] == [2, 2]
+    assert all(i.links == {"sync-link"} for i in windowed)
+
+
+def test_group_and_sync_links_compose(query):
+    entries = [
+        entry(0, process="web", reason="unhandled", sync_ids=[5]),
+        entry(1, machine="m2", process="db", reason="group",
+              group="g", initiator="web", initiator_reason="unhandled"),
+        entry(2, machine="m3", process="api", sync_ids=[5]),
+    ]
+    incidents = query.incidents(entries)
+    assert len(incidents) == 1
+    assert incidents[0].links == {"group-snap", "sync-link"}
+
+
+def test_incidents_ordered_by_first_ingest(query):
+    entries = [
+        entry(0, machine="late", sync_ids=[1]),
+        entry(1, machine="early", sync_ids=[2]),
+        entry(2, machine="late", sync_ids=[1]),
+    ]
+    incidents = query.incidents(entries)
+    assert incidents[0].incident_id == 0
+    assert incidents[0].machines == ["late"]
+    assert incidents[1].machines == ["early"]
+    assert query.metrics.incidents_built == 2
