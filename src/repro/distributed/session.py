@@ -45,8 +45,11 @@ class DistributedResult:
     snaps: list[SnapFile]
     mapfiles: list[Mapfile]
     nodes: dict[str, NodeHandle] = field(default_factory=dict)
-    #: The collector the run drained into, when a vault was attached.
+    #: The collector the run drained into, when a vault was attached
+    #: (the first one, when several shared the load).
     collector: "Collector | None" = None
+    #: Every collector that fed the vault, in round-robin order.
+    collectors: list["Collector"] = field(default_factory=list)
 
     def reconstruct(self) -> DistributedTrace:
         """Stitch all snaps into the master trace (§5)."""
@@ -69,37 +72,56 @@ class DistributedSession:
         self.nodes: dict[str, NodeHandle] = {}
         self.services: dict[Machine, ServiceProcess] = {}
         self.collector: "Collector | None" = None
+        self.collectors: list["Collector"] = []
+        self._next_collector = 0
 
     # ------------------------------------------------------------------
     def attach_vault(
-        self, vault: "SnapVault", **collector_options
+        self, vault: "SnapVault", collectors: int = 1, **collector_options
     ) -> "Collector":
         """Drain this session's snaps into ``vault``.
 
-        Creates a :class:`~repro.fleet.collector.Collector` bound to
-        this session's network, registers every existing (and future)
-        machine's service process with it, and stores the session's
-        mapfiles in the vault so its snaps reconstruct standalone.
-        ``run()`` drains the collector when the network quiesces.
+        Creates ``collectors`` :class:`~repro.fleet.collector.Collector`
+        instances bound to this session's network (the vault's shard
+        locks make concurrent ingest safe), spreads every existing (and
+        future) machine's service process over them round-robin, and
+        stores the session's mapfiles in the vault so its snaps
+        reconstruct standalone.  ``run()`` drains every collector when
+        the network quiesces.  Returns the first collector; the full
+        set is ``self.collectors``.
         """
+        if collectors < 1:
+            raise ValueError("collectors must be >= 1")
         from repro.fleet.collector import Collector
 
-        self.collector = Collector(
-            vault, network=self.network, **collector_options
-        )
+        self.collectors = [
+            Collector(
+                vault,
+                network=self.network,
+                name=f"tb-collector-{i}",
+                **collector_options,
+            )
+            for i in range(collectors)
+        ]
+        self.collector = self.collectors[0]
         for service in self.services.values():
-            service.forward_to(self.collector)
+            service.forward_to(self._assign_collector())
         for mapfile in self.mapfiles:
             vault.put_mapfile(mapfile)
         return self.collector
+
+    def _assign_collector(self) -> "Collector":
+        collector = self.collectors[self._next_collector % len(self.collectors)]
+        self._next_collector += 1
+        return collector
 
     # ------------------------------------------------------------------
     def add_machine(self, name: str, clock_skew: int = 0) -> Machine:
         """A machine with its own (skewed) clock and service process."""
         machine = self.network.add_machine(name, clock_skew=clock_skew)
         self.services[machine] = ServiceProcess(name=f"tb-service@{name}")
-        if self.collector is not None:
-            self.services[machine].forward_to(self.collector)
+        if self.collectors:
+            self.services[machine].forward_to(self._assign_collector())
         return machine
 
     def add_process(
@@ -157,12 +179,13 @@ class DistributedSession:
                 )
             if snap is not None:
                 snaps.append(snap)
-        if self.collector is not None:
-            self.collector.drain()
+        for collector in self.collectors:
+            collector.drain()
         return DistributedResult(
             status=status,
             snaps=snaps,
             mapfiles=list(self.mapfiles),
             nodes=dict(self.nodes),
             collector=self.collector,
+            collectors=list(self.collectors),
         )

@@ -1,41 +1,56 @@
 """``repro.fleet`` — the fleet snap vault (§3.6.1, §3.7.5 deployment).
 
-Four layers turn per-session snaps into durable, queryable evidence:
+Five layers turn per-session snaps into durable, queryable evidence:
 
 * :mod:`repro.fleet.store` — sharded on-disk vault of TBSZ2 archives
   (content-hash dedupe, atomic writes, JSON-lines manifests, a
-  rebuildable machine/process/reason/timestamp index);
+  rebuildable machine/process/reason/timestamp index); concurrent
+  multi-collector ingest under shard-level single-writer locks, with
+  the CPU-heavy per-snap work factored into :func:`prepare_snap` for
+  worker pools;
 * :mod:`repro.fleet.collector` — the uplink service processes forward
   snaps through (batching, bounded queue with back-pressure, seeded
-  retry-with-backoff over the simulated network);
+  retry-with-backoff over the simulated network, pipelined
+  preparation overlapping transfer);
+* :mod:`repro.fleet.index` — the persisted, incrementally-maintained
+  incident index (``incidents.idx``): correlation moves to ingest
+  time, queries read a precomputed partition;
 * :mod:`repro.fleet.query` — filters, lazy reconstruction, and
-  incident grouping (group-snap fan-outs and SYNC-linked snaps);
+  incident grouping (group-snap fan-outs and SYNC-linked snaps),
+  O(result) through the index;
 * :mod:`repro.fleet.metrics` — the ingest/dedupe/retry/store counters
   the CLI surfaces.
 """
 
 from repro.fleet.collector import Collector, PendingUpload
+from repro.fleet.index import IncidentIndex, batch_group
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.query import Incident, VaultQuery
 from repro.fleet.store import (
+    PreparedSnap,
     SnapVault,
     StoreResult,
     VaultEntry,
     VaultError,
     content_digest,
     mine_sync_ids,
+    prepare_snap,
 )
 
 __all__ = [
     "Collector",
     "FleetMetrics",
     "Incident",
+    "IncidentIndex",
     "PendingUpload",
+    "PreparedSnap",
     "SnapVault",
     "StoreResult",
     "VaultEntry",
     "VaultError",
     "VaultQuery",
+    "batch_group",
     "content_digest",
     "mine_sync_ids",
+    "prepare_snap",
 ]

@@ -17,18 +17,29 @@ the chaos the fleet actually serves up:
   back on the queue with an exponentially growing, deterministically
   jittered delay; only after ``max_retries`` does it land in the
   dead-letter list (still inspectable — evidence is never silently
-  discarded).
+  discarded);
+* **pipelined preparation** — with a worker pool attached, the
+  CPU-heavy per-snap work (content digest, TBSZ2 compression, SYNC-id
+  mining — :func:`repro.fleet.store.prepare_snap`) starts the moment a
+  snap is submitted, so digesting overlaps the network transfer, and
+  duplicates the vault already knows are caught *before* they are
+  compressed at all.
+
+Multiple collectors may feed one vault concurrently — the vault's
+index lock and per-shard manifest locks make that safe — but each
+collector instance belongs to a single ingest thread.
 """
 
 from __future__ import annotations
 
 import random
 from collections import deque
+from concurrent.futures import Executor, Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.fleet.metrics import FleetMetrics
-from repro.fleet.store import SnapVault, StoreResult
+from repro.fleet.store import PreparedSnap, SnapVault, StoreResult, prepare_snap
 from repro.runtime.snap import SnapFile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -50,6 +61,9 @@ class PendingUpload:
     attempts: int = 0
     #: Backoff delay (cycles) charged before each retry, for the record.
     backoffs: list[int] = field(default_factory=list)
+    #: In-flight or finished preparation (worker-pool stage); reused
+    #: across retries so a redelivered snap is never re-compressed.
+    prepared: "Future | PreparedSnap | None" = None
 
 
 class Collector:
@@ -66,11 +80,16 @@ class Collector:
         backoff_base: int = 1_000,
         seed: int = 0,
         metrics: FleetMetrics | None = None,
+        workers: int = 0,
+        executor: "Executor | None" = None,
+        pipelined: bool = True,
     ):
         if batch_size < 1:
             raise ValueError("batch_size must be >= 1")
         if queue_limit < 1:
             raise ValueError("queue_limit must be >= 1")
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
         self.vault = vault
         self.network = network
         self.name = name
@@ -91,25 +110,52 @@ class Collector:
         #: Collector-local chaos hook; ``network.upload_chaos`` also
         #: applies when a network is attached.
         self.upload_chaos: UploadChaos | None = None
+        #: ``pipelined=False`` restores the PR 3 wire behavior exactly:
+        #: one ``vault.put`` (with its own fsync and manifest line) per
+        #: delivered snap.  It exists for the benchmark baseline and
+        #: for bisecting pipeline regressions.
+        self.pipelined = pipelined
+        self._own_executor = workers > 0
+        self.executor: Executor | None = executor
+        if workers > 0:
+            if executor is not None:
+                raise ValueError("pass either workers or executor, not both")
+            self.executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix=f"{name}-prep"
+            )
+
+    def close(self) -> None:
+        """Shut down a collector-owned worker pool (idempotent)."""
+        if self._own_executor and self.executor is not None:
+            self.executor.shutdown(wait=True)
+            self.executor = None
+            self._own_executor = False
 
     # ------------------------------------------------------------------
     # Intake
     # ------------------------------------------------------------------
     def submit(self, snap: SnapFile) -> None:
         """A service process forwards one snap (the `forward_to` hook)."""
-        self.metrics.submitted += 1
+        self.metrics.bump(submitted=1)
         if len(self.queue) >= self.queue_limit:
             # Back-pressure: flush a batch inline rather than grow.
-            self.metrics.backpressure_flushes += 1
+            self.metrics.bump(backpressure_flushes=1)
             self.flush_batch()
         if len(self.queue) >= self.queue_limit:
             # Still full (everything bounced): evict the oldest entry.
             self.queue.popleft()
-            self.metrics.evicted += 1
-        self.queue.append(
-            PendingUpload(machine=snap.machine_name, snap=snap)
-        )
-        self.metrics.queue_peak = max(self.metrics.queue_peak, len(self.queue))
+            self.metrics.bump(evicted=1)
+        item = PendingUpload(machine=snap.machine_name, snap=snap)
+        if self.pipelined and self.executor is not None:
+            # Start digesting now; it overlaps the upcoming transfer.
+            item.prepared = self.executor.submit(
+                prepare_snap,
+                snap,
+                self.vault.compress_level,
+                self.vault.contains,
+            )
+        self.queue.append(item)
+        self.metrics.bump_peak("queue_peak", len(self.queue))
 
     def pending(self) -> int:
         """Snaps queued but not yet durably stored."""
@@ -140,49 +186,67 @@ class Collector:
                     machine.cycles += self.network.rpc_latency
                     break
         if self._chaos_verdict(item):
-            self.metrics.drops += 1
+            self.metrics.bump(drops=1)
             return False
         return True
+
+    def _prepared(self, item: PendingUpload) -> PreparedSnap:
+        """The item's preparation result, computing inline if needed."""
+        if isinstance(item.prepared, Future):
+            item.prepared = item.prepared.result()
+        if item.prepared is None:
+            item.prepared = prepare_snap(
+                item.snap, self.vault.compress_level, self.vault.contains
+            )
+        return item.prepared
 
     def flush_batch(self) -> int:
         """Upload one batch; returns how many snaps landed in the vault.
 
         Failed transfers re-queue with seeded exponential backoff until
-        ``max_retries``, then dead-letter.
+        ``max_retries``, then dead-letter.  Delivered snaps commit to
+        the vault as one batch (one manifest append per touched shard).
         """
         if not self.queue:
             return 0
-        self.metrics.batches += 1
-        stored = 0
+        self.metrics.bump(batches=1)
+        delivered: list[PendingUpload] = []
         for _ in range(min(self.batch_size, len(self.queue))):
             item = self.queue.popleft()
             if self._transfer(item):
-                result = self.vault.put(item.snap)
-                self.results.append(result)
-                self.metrics.uploads += 1
-                stored += 1
+                delivered.append(item)
                 continue
             if item.attempts > self.max_retries:
                 self.dead.append(item)
-                self.metrics.dead_letters += 1
+                self.metrics.bump(dead_letters=1)
                 continue
             backoff = self.backoff_base * (2 ** (item.attempts - 1))
             backoff += self.rng.randrange(self.backoff_base)
             item.backoffs.append(backoff)
-            self.metrics.backoff_cycles += backoff
-            self.metrics.retries += 1
+            self.metrics.bump(backoff_cycles=backoff, retries=1)
             self.queue.append(item)
-        return stored
+        if not delivered:
+            return 0
+        if self.pipelined:
+            self.results.extend(
+                self.vault.put_batch([self._prepared(i) for i in delivered])
+            )
+        else:
+            self.results.extend(self.vault.put(i.snap) for i in delivered)
+        self.metrics.bump(uploads=len(delivered))
+        return len(delivered)
 
     def drain(self) -> int:
         """Flush until the queue is empty; returns total snaps stored.
 
         Terminates unconditionally: every pass either stores an item or
         advances its attempt counter toward the dead-letter limit.
+        Checkpoints the vault's incident index once the queue is dry.
         """
         total = 0
         while self.queue:
             total += self.flush_batch()
+        self.vault.flush_index()
         return total
 
     def requeue_dead(self) -> int:
@@ -192,5 +256,5 @@ class Collector:
             item.attempts = 0
             self.queue.append(item)
         self.dead.clear()
-        self.metrics.queue_peak = max(self.metrics.queue_peak, len(self.queue))
+        self.metrics.bump_peak("queue_peak", len(self.queue))
         return count

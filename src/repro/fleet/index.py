@@ -1,0 +1,465 @@
+"""The persisted incident index: ingest-time correlation, O(result) queries.
+
+PR 3's :meth:`VaultQuery.incidents` re-ran union-find over the whole
+manifest on every query — fine at 1k snaps, quadratic-feeling at 100k.
+Like Magpie's online event correlation (PAPERS.md), this module moves
+the correlation work to *ingest time*:
+
+* every stored :class:`~repro.fleet.store.VaultEntry` is fed to
+  :meth:`IncidentIndex.add` (in ingest-sequence order, under the
+  vault's index lock), which applies exactly the link rules the batch
+  grouper used — group-snap fan-outs, initiator matching, shared SYNC
+  logical-thread ids — incrementally, as union-find edges;
+* the resulting partition is checkpointed to ``incidents.idx`` at the
+  vault root (atomic replace, torn-write tolerant), and **rebuildable
+  from the manifests alone**: replaying every manifest entry in
+  sequence order reproduces the file bit-identically, because the
+  serialization is a pure, canonical function of the partition — never
+  of parent-pointer shapes or query history;
+* secondary indexes (machine / process / reason / group / SYNC id →
+  entry digests) make filtered incident queries and single-incident
+  lookups O(result) instead of O(vault).
+
+The edge rules replicate :func:`batch_group` (the original algorithm,
+kept both as the explicit-``window``/ad-hoc-entry-list path and as the
+differential-testing oracle): chains link consecutive members, the
+fan-out's *first* member anchors initiator matches, and an optional
+``window`` bounds every edge by ingest-sequence distance so one vault
+holding many runs with reset runtime ids does not cross-link them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.fleet.store import VaultEntry
+from repro.runtime.archive import write_atomic
+
+#: Filename of the persisted index, directly under the vault root.
+INDEX_FILE = "incidents.idx"
+
+SCHEMA = "tb-incident-index/1"
+
+
+# ----------------------------------------------------------------------
+# The original batch grouper (explicit windows, ad-hoc entry lists, and
+# the oracle the incremental index is differentially tested against).
+# ----------------------------------------------------------------------
+def batch_group(
+    entries: list[VaultEntry], window: int | None = None
+) -> tuple[list[list[int]], dict[int, set[str]]]:
+    """Union-find over ``entries``; returns (clusters, kinds-per-cluster).
+
+    Clusters are lists of indexes into ``entries`` sorted by seq, the
+    cluster list itself ordered by first-ingest seq.  The kinds dict is
+    keyed by cluster position.
+    """
+    parent = list(range(len(entries)))
+    link_kinds: dict[int, set[str]] = {i: set() for i in parent}
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    def union(i: int, j: int, kind: str) -> None:
+        if window is not None and abs(entries[i].seq - entries[j].seq) > window:
+            return
+        ri, rj = find(i), find(j)
+        link_kinds[ri].add(kind)
+        link_kinds[rj].add(kind)
+        if ri != rj:
+            parent[rj] = ri
+            link_kinds[ri] |= link_kinds[rj]
+
+    # Link 1: co-triggered group snaps + the initiating snap.
+    by_fanout: dict[tuple, list[int]] = {}
+    for i, entry in enumerate(entries):
+        if entry.group and entry.initiator:
+            key = (entry.group, entry.initiator, entry.initiator_reason)
+            by_fanout.setdefault(key, []).append(i)
+    for (group, initiator, initiator_reason), members in by_fanout.items():
+        for a, b in zip(members, members[1:]):
+            union(a, b, "group-snap")
+        # The initiator's own snap carries no group tag; match it by
+        # (process, reason) — that pair is what the fan-out recorded.
+        for i, entry in enumerate(entries):
+            if (
+                entry.process == initiator
+                and entry.reason == initiator_reason
+            ):
+                union(members[0], i, "group-snap")
+
+    # Link 2: shared SYNC logical-thread ids across snaps.
+    by_sync: dict[int, list[int]] = {}
+    for i, entry in enumerate(entries):
+        for logical_id in entry.sync_ids:
+            by_sync.setdefault(logical_id, []).append(i)
+    for members in by_sync.values():
+        for a, b in zip(members, members[1:]):
+            union(a, b, "sync-link")
+
+    clusters: dict[int, list[int]] = {}
+    for i in range(len(entries)):
+        clusters.setdefault(find(i), []).append(i)
+    ordered = sorted(
+        clusters.items(), key=lambda kv: min(entries[m].seq for m in kv[1])
+    )
+    out_clusters = []
+    out_kinds = {}
+    for position, (root, members) in enumerate(ordered):
+        out_clusters.append(sorted(members, key=lambda m: entries[m].seq))
+        out_kinds[position] = set(link_kinds[root])
+    return out_clusters, out_kinds
+
+
+# ----------------------------------------------------------------------
+# The incremental index
+# ----------------------------------------------------------------------
+@dataclass
+class IndexedIncident:
+    """One component of the incident partition, by digest."""
+
+    digests: list[str]  # sorted by ingest seq
+    kinds: set[str] = field(default_factory=set)
+    min_seq: int = 0
+
+
+class IncidentIndex:
+    """Incrementally-maintained union-find over vault entries.
+
+    ``add()`` must be called in ingest-sequence order (the vault holds
+    its index lock across seq assignment and ``add``, which guarantees
+    it even under concurrent multi-collector ingest); replaying the
+    manifests in seq order therefore reproduces this object — and its
+    serialized form — exactly.
+    """
+
+    def __init__(self, window: int | None = None):
+        self.window = window
+        #: digest -> ingest seq (the window metric and sort key).
+        self.seq: dict[str, int] = {}
+        #: Union-find parent pointers, by digest.
+        self._parent: dict[str, str] = {}
+        #: root digest -> members (unsorted; sorted at query time).
+        self._members: dict[str, list[str]] = {}
+        #: root digest -> link kinds attempted on this component.
+        self._kinds: dict[str, set[str]] = {}
+        #: root digest -> smallest member seq.
+        self._min_seq: dict[str, int] = {}
+        # -- chain state replicating batch_group's edge set ------------
+        self._fanout_prev: dict[tuple, str] = {}
+        self._fanout_anchor: dict[tuple, str] = {}
+        self._sync_prev: dict[int, str] = {}
+        #: (process, reason) -> digests, ingest order.
+        self._by_proc_reason: dict[tuple, list[str]] = {}
+        #: (initiator, initiator_reason) -> anchor digests, ingest order.
+        self._anchors_by_pair: dict[tuple, list[str]] = {}
+        # -- secondary indexes (rebuilt from entries at load) ----------
+        self.by_machine: dict[str, list[str]] = {}
+        self.by_process: dict[str, list[str]] = {}
+        self.by_reason: dict[str, list[str]] = {}
+        self.by_group: dict[str, list[str]] = {}
+        self.by_sync: dict[int, list[str]] = {}
+        #: Adds since the last persist (the vault checkpoints on flush).
+        self.dirty = 0
+
+    def __len__(self) -> int:
+        return len(self.seq)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self.seq
+
+    # ------------------------------------------------------------------
+    # Union-find core
+    # ------------------------------------------------------------------
+    def find(self, digest: str) -> str:
+        parent = self._parent
+        root = digest
+        while parent[root] != root:
+            root = parent[root]
+        while parent[digest] != root:  # path compression
+            parent[digest], digest = root, parent[digest]
+        return root
+
+    def _union(self, a: str, b: str, kind: str) -> None:
+        if (
+            self.window is not None
+            and abs(self.seq[a] - self.seq[b]) > self.window
+        ):
+            return
+        ra, rb = self.find(a), self.find(b)
+        self._kinds[ra].add(kind)
+        self._kinds[rb].add(kind)
+        if ra == rb:
+            return
+        # Small-into-large keeps member-merging near-linear overall.
+        if len(self._members[ra]) < len(self._members[rb]):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._members[ra].extend(self._members.pop(rb))
+        self._kinds[ra] |= self._kinds.pop(rb)
+        self._min_seq[ra] = min(self._min_seq[ra], self._min_seq.pop(rb))
+
+    # ------------------------------------------------------------------
+    # Ingest-time maintenance
+    # ------------------------------------------------------------------
+    def add(self, entry: VaultEntry) -> None:
+        """Fold one just-stored entry into the partition.
+
+        Replicates :func:`batch_group`'s edges exactly: chain to the
+        previous fan-out member / previous SYNC carrier, anchor the
+        fan-out's first member against every (process, reason) match —
+        past matches now, future matches as they arrive.
+        """
+        digest = entry.digest
+        if digest in self.seq:
+            return
+        self.seq[digest] = entry.seq
+        self._parent[digest] = digest
+        self._members[digest] = [digest]
+        self._kinds[digest] = set()
+        self._min_seq[digest] = entry.seq
+
+        self.by_machine.setdefault(entry.machine, []).append(digest)
+        self.by_process.setdefault(entry.process, []).append(digest)
+        self.by_reason.setdefault(entry.reason, []).append(digest)
+        if entry.group:
+            self.by_group.setdefault(entry.group, []).append(digest)
+
+        # Link 1a: this entry is a fan-out member.
+        if entry.group and entry.initiator:
+            key = (entry.group, entry.initiator, entry.initiator_reason)
+            prev = self._fanout_prev.get(key)
+            if prev is None:
+                # First member: it anchors every initiator match.
+                self._fanout_anchor[key] = digest
+                pair = (entry.initiator, entry.initiator_reason)
+                self._anchors_by_pair.setdefault(pair, []).append(digest)
+                for match in self._by_proc_reason.get(pair, ()):
+                    self._union(digest, match, "group-snap")
+            else:
+                self._union(prev, digest, "group-snap")
+            self._fanout_prev[key] = digest
+
+        # Link 1b: this entry matches an existing fan-out's initiator.
+        pair = (entry.process, entry.reason)
+        self._by_proc_reason.setdefault(pair, []).append(digest)
+        for anchor in self._anchors_by_pair.get(pair, ()):
+            if anchor != digest:
+                self._union(anchor, digest, "group-snap")
+
+        # Link 2: shared SYNC logical-thread ids.
+        for logical_id in entry.sync_ids:
+            self.by_sync.setdefault(logical_id, []).append(digest)
+            prev = self._sync_prev.get(logical_id)
+            if prev is not None:
+                self._union(prev, digest, "sync-link")
+            self._sync_prev[logical_id] = digest
+
+        self.dirty += 1
+
+    # ------------------------------------------------------------------
+    # Queries (O(result), never O(vault))
+    # ------------------------------------------------------------------
+    def component_of(self, digest: str) -> IndexedIncident | None:
+        """The full component containing ``digest``, or None."""
+        if digest not in self.seq:
+            return None
+        root = self.find(digest)
+        members = sorted(self._members[root], key=self.seq.__getitem__)
+        return IndexedIncident(
+            digests=members,
+            kinds=set(self._kinds[root]),
+            min_seq=self._min_seq[root],
+        )
+
+    def components(
+        self, digests: list[str] | None = None
+    ) -> list[IndexedIncident]:
+        """Distinct components, ordered by first-ingest seq.
+
+        With ``digests`` given, only components touching those digests
+        are materialized — O(matching), not O(vault).
+        """
+        if digests is None:
+            roots = list(self._members)
+        else:
+            roots = list({self.find(d) for d in digests if d in self.seq})
+        roots.sort(key=self._min_seq.__getitem__)
+        return [
+            IndexedIncident(
+                digests=sorted(self._members[r], key=self.seq.__getitem__),
+                kinds=set(self._kinds[r]),
+                min_seq=self._min_seq[r],
+            )
+            for r in roots
+        ]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @staticmethod
+    def checksum(digests) -> str:
+        """Order-independent identity of the indexed entry set."""
+        joined = "\n".join(sorted(digests)).encode()
+        return hashlib.sha256(joined).hexdigest()[:32]
+
+    def to_bytes(self) -> bytes:
+        """Canonical serialization: a pure function of the partition.
+
+        Components are keyed by (min seq, first digest) and members
+        sorted by seq, so the bytes depend only on *what is grouped
+        with what* — not on parent-pointer shapes, path-compression
+        history, or arrival interleavings that produce the same
+        partition.  That is what makes `rebuild from manifests alone`
+        bit-identical.
+        """
+        components = []
+        for inc in self.components():
+            components.append(
+                {
+                    "members": [[self.seq[d], d] for d in inc.digests],
+                    "kinds": sorted(inc.kinds),
+                }
+            )
+        doc = {
+            "schema": SCHEMA,
+            "window": self.window,
+            "entries": len(self.seq),
+            "checksum": self.checksum(self.seq),
+            "components": components,
+        }
+        return (json.dumps(doc, sort_keys=True) + "\n").encode()
+
+    def persist(self, root_dir: str) -> str:
+        """Checkpoint to ``<vault>/incidents.idx`` atomically."""
+        path = os.path.join(root_dir, INDEX_FILE)
+        write_atomic(self.to_bytes(), path)
+        self.dirty = 0
+        return path
+
+    # ------------------------------------------------------------------
+    # Load / rebuild
+    # ------------------------------------------------------------------
+    @classmethod
+    def rebuild(
+        cls, entries: list[VaultEntry], window: int | None = None
+    ) -> "IncidentIndex":
+        """Replay manifest entries (seq order) into a fresh index."""
+        index = cls(window=window)
+        for entry in sorted(entries, key=lambda e: e.seq):
+            index.add(entry)
+        return index
+
+    @classmethod
+    def load(
+        cls,
+        root_dir: str,
+        entries: list[VaultEntry],
+        window: int | None = None,
+    ) -> tuple["IncidentIndex", str]:
+        """Open the persisted index against the vault's live entries.
+
+        Returns ``(index, how)`` where ``how`` is one of:
+
+        * ``"loaded"`` — checkpoint covers exactly the manifest set;
+        * ``"caught-up"`` — checkpoint was a strict prefix (ingest ran
+          past the last flush, or a kill landed between a manifest
+          append and the checkpoint); the missing entries, all newer
+          than the checkpoint, were replayed on top;
+        * ``"rebuilt"`` — no checkpoint, a torn/garbled one, a window
+          mismatch, or a checkpoint that disagrees with the manifests
+          (e.g. after `rebuild_index()` reassigned seqs): replayed from
+          the manifests alone.
+
+        Every path ends in the same state the incremental maintenance
+        would have produced — the checkpoint is an accelerator, never
+        an authority the manifests cannot overrule.
+        """
+        entries = sorted(entries, key=lambda e: e.seq)
+        path = os.path.join(root_dir, INDEX_FILE)
+        doc = None
+        try:
+            with open(path, "rb") as fh:
+                doc = json.loads(fh.read())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            doc = None
+        if (
+            not isinstance(doc, dict)
+            or doc.get("schema") != SCHEMA
+            or doc.get("window", "missing") != window
+            or not isinstance(doc.get("components"), list)
+        ):
+            return cls.rebuild(entries, window=window), "rebuilt"
+
+        by_digest = {e.digest: e for e in entries}
+        idx_digests: set[str] = set()
+        max_idx_seq = -1
+        consistent = True
+        for component in doc["components"]:
+            for item in component.get("members", ()):
+                if not (isinstance(item, list) and len(item) == 2):
+                    consistent = False
+                    break
+                seq, digest = item
+                entry = by_digest.get(digest)
+                if entry is None or entry.seq != seq:
+                    consistent = False
+                    break
+                idx_digests.add(digest)
+                max_idx_seq = max(max_idx_seq, seq)
+            if not consistent:
+                break
+        if not consistent or doc.get("checksum") != cls.checksum(idx_digests):
+            return cls.rebuild(entries, window=window), "rebuilt"
+        missing = [e for e in entries if e.digest not in idx_digests]
+        if any(e.seq <= max_idx_seq for e in missing):
+            # The checkpoint is not a clean prefix of the manifests;
+            # replay order would diverge.  Manifests win.
+            return cls.rebuild(entries, window=window), "rebuilt"
+
+        index = cls(window=window)
+        # Rebuild chain + secondary state by scanning the covered
+        # entries in seq order (no unions — the partition is adopted
+        # from the checkpoint below, so this is a cheap linear pass).
+        for entry in entries:
+            if entry.digest not in idx_digests:
+                continue
+            digest = entry.digest
+            index.seq[digest] = entry.seq
+            index.by_machine.setdefault(entry.machine, []).append(digest)
+            index.by_process.setdefault(entry.process, []).append(digest)
+            index.by_reason.setdefault(entry.reason, []).append(digest)
+            if entry.group:
+                index.by_group.setdefault(entry.group, []).append(digest)
+            if entry.group and entry.initiator:
+                key = (entry.group, entry.initiator, entry.initiator_reason)
+                if key not in index._fanout_anchor:
+                    index._fanout_anchor[key] = digest
+                    pair = (entry.initiator, entry.initiator_reason)
+                    index._anchors_by_pair.setdefault(pair, []).append(digest)
+                index._fanout_prev[key] = digest
+            pair = (entry.process, entry.reason)
+            index._by_proc_reason.setdefault(pair, []).append(digest)
+            for logical_id in entry.sync_ids:
+                index.by_sync.setdefault(logical_id, []).append(digest)
+                index._sync_prev[logical_id] = digest
+        # Adopt the partition: flat parents under a canonical root.
+        for component in doc["components"]:
+            members = [d for _seq, d in component["members"]]
+            root = members[0]
+            for digest in members:
+                index._parent[digest] = root
+            index._members[root] = list(members)
+            index._kinds[root] = set(component.get("kinds", ()))
+            index._min_seq[root] = min(index.seq[d] for d in members)
+        if not missing:
+            return index, "loaded"
+        for entry in missing:
+            index.add(entry)
+        return index, "caught-up"

@@ -5,10 +5,16 @@ collector(s) feeding it, so a single render answers the operational
 questions §3.6.2 cares about ("useless snaps cost runtime, disk, and
 attention"): how much evidence arrived, how much was duplicate, how
 hard the uplink had to fight, and how big the store got.
+
+With the parallel ingest pipeline several collector threads share one
+metrics object, so shared counters go through :meth:`FleetMetrics.bump`
+(a small lock) instead of bare ``+=``.  The vault's own counters are
+already serialized under the vault's index lock.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -31,9 +37,20 @@ class FleetMetrics:
     # -- vault ---------------------------------------------------------
     ingested: int = 0  # snaps durably stored
     dedupe_hits: int = 0  # content-hash duplicates skipped
+    early_dedupe_hits: int = 0  # duplicates caught before compression
+    manifest_heals: int = 0  # orphan blobs re-registered in a manifest
     bytes_written: int = 0  # compressed container bytes on disk
     manifest_lines: int = 0  # manifest records appended
+    manifest_batches: int = 0  # shard manifest flushes (batched appends)
+    group_commits: int = 0  # batch-durability sync points
+    sync_coalesced: int = 0  # batches made durable by another's sync
     index_rebuilds: int = 0
+
+    # -- incident index ------------------------------------------------
+    index_persists: int = 0  # incidents.idx checkpoints written
+    index_loads: int = 0  # incidents.idx adopted as-is at open
+    index_catchups: int = 0  # entries replayed on top of a checkpoint
+    incident_lookups: int = 0  # O(result) indexed incident queries
 
     # -- query engine --------------------------------------------------
     queries: int = 0
@@ -42,6 +59,24 @@ class FleetMetrics:
     incidents_built: int = 0
 
     extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        # Plain attribute (not a dataclass field): excluded from
+        # to_dict/vars-based rendering by the underscore convention.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def bump(self, **counters: int) -> None:
+        """Atomically increment counters shared across threads."""
+        with self._lock:
+            for name, delta in counters.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    def bump_peak(self, name: str, value: int) -> None:
+        """Atomically raise a high-water-mark counter to ``value``."""
+        with self._lock:
+            if value > getattr(self, name):
+                setattr(self, name, value)
 
     # ------------------------------------------------------------------
     @property
@@ -75,8 +110,14 @@ class FleetMetrics:
         )
         lines.append(
             f"  vault: {self.ingested} stored, {self.dedupe_hits} deduped "
-            f"({self.dedupe_rate:.0%}), {self.bytes_written} bytes, "
+            f"({self.dedupe_rate:.0%}, {self.early_dedupe_hits} early), "
+            f"{self.manifest_heals} healed, {self.bytes_written} bytes, "
             f"{self.index_rebuilds} index rebuilds"
+        )
+        lines.append(
+            f"  incident index: {self.index_persists} persists, "
+            f"{self.index_loads} loads, {self.index_catchups} catch-up "
+            f"entries, {self.incident_lookups} indexed lookups"
         )
         lines.append(
             f"  query: {self.queries} queries, {self.entries_scanned} entries "

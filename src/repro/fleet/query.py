@@ -16,16 +16,31 @@ This module turns vault manifest entries into *incidents*:
 Reconstruction stays lazy: grouping works from manifest metadata alone
 (the SYNC logical ids are mined once, at ingest); archives are only
 read when an incident is actually reconstructed — strict or salvage.
+
+Since the parallel-ingest PR, the grouping itself is also done once,
+at ingest: the vault maintains a persisted
+:class:`~repro.fleet.index.IncidentIndex`, so the default
+:meth:`VaultQuery.incidents` call reads a precomputed partition
+(O(result)) instead of re-running union-find over the whole manifest
+(O(vault)), and :meth:`VaultQuery.incident_of` answers "what happened
+around *this* snap" in time proportional to that one incident.  The
+original batch grouper remains for ad-hoc entry lists and explicit
+``window`` overrides.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.fleet.index import batch_group
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.store import SnapVault, VaultEntry
 from repro.instrument.mapfile import Mapfile
 from repro.reconstruct import DistributedTrace, ProcessTrace, Reconstructor
+
+#: Sentinel for "use whatever window the vault's persisted index was
+#: built with" — distinct from an explicit ``window=None`` (unbounded).
+USE_INDEX_WINDOW = object()
 
 
 @dataclass
@@ -76,6 +91,20 @@ class Incident:
             parts.append(f"group {','.join(self.groups)}")
         parts.append(f"links {','.join(sorted(self.links)) or 'singleton'}")
         return " ".join(parts)
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``tbtrace incidents --json``)."""
+        return {
+            "incident_id": self.incident_id,
+            "snaps": len(self.entries),
+            "machines": self.machines,
+            "processes": self.processes,
+            "reasons": self.reasons,
+            "groups": self.groups,
+            "initiator": self.initiator(),
+            "links": sorted(self.links),
+            "entries": [e.digest for e in self.entries],
+        }
 
 
 class VaultQuery:
@@ -152,77 +181,135 @@ class VaultQuery:
     def incidents(
         self,
         entries: list[VaultEntry] | None = None,
-        window: int | None = None,
+        window=USE_INDEX_WINDOW,
+        machine: str | None = None,
+        process: str | None = None,
+        reason: str | None = None,
+        group: str | None = None,
+        sync_id: int | None = None,
     ) -> list[Incident]:
-        """Group entries into incidents (union-find over both links).
+        """Group snaps into incidents.
 
-        ``window`` bounds linking to entries within that many ingest
-        sequence numbers of each other — useful when one vault holds
-        many runs whose runtime ids (and hence SYNC logical ids) were
-        deliberately reset to identical values.
+        The default call (no ``entries``, no explicit ``window``) reads
+        the vault's persisted incident index: the partition was built
+        incrementally at ingest, so only the requested incidents are
+        materialized.  The ``machine``/``process``/``reason``/
+        ``group``/``sync_id`` filters narrow via the index's secondary
+        maps — O(matching entries), not O(vault) — and return every
+        incident *touching* a matching snap (the whole incident, not
+        just its matching members: the bystander evidence is the
+        point).
+
+        Passing an explicit ``entries`` list, or a ``window`` other
+        than the one the vault's index was built with, falls back to
+        the original one-shot union-find (``window`` bounds linking to
+        entries within that many ingest sequence numbers — useful when
+        one vault holds many runs whose runtime ids were deliberately
+        reset to identical values).
         """
+        index = getattr(self.vault, "incident_index", None)
+        use_index = (
+            entries is None
+            and index is not None
+            and (window is USE_INDEX_WINDOW or window == index.window)
+        )
+        if use_index:
+            return self._incidents_indexed(
+                index,
+                machine=machine,
+                process=process,
+                reason=reason,
+                group=group,
+                sync_id=sync_id,
+            )
+        if window is USE_INDEX_WINDOW:
+            window = None
         if entries is None:
             entries = self.vault.select()
-        parent = list(range(len(entries)))
-        link_kinds: dict[int, set[str]] = {i: set() for i in parent}
+        entries = [
+            e
+            for e in entries
+            if (machine is None or e.machine == machine)
+            and (process is None or e.process == process)
+            and (reason is None or e.reason == reason)
+            and (group is None or e.group == group)
+            and (sync_id is None or sync_id in e.sync_ids)
+        ]
+        return self._incidents_batch(entries, window)
 
-        def find(i: int) -> int:
-            while parent[i] != i:
-                parent[i] = parent[parent[i]]
-                i = parent[i]
-            return i
+    def incident_of(self, digest_or_entry: VaultEntry | str) -> Incident | None:
+        """The one incident containing this snap — O(incident).
 
-        def union(i: int, j: int, kind: str) -> None:
-            if window is not None and abs(entries[i].seq - entries[j].seq) > window:
-                return
-            ri, rj = find(i), find(j)
-            link_kinds[ri].add(kind)
-            link_kinds[rj].add(kind)
-            if ri != rj:
-                parent[rj] = ri
-                link_kinds[ri] |= link_kinds[rj]
+        ``incident_id`` here is the incident's first ingest sequence
+        number (stable across vault growth), unlike the positional ids
+        of a full listing.
+        """
+        digest = (
+            digest_or_entry
+            if isinstance(digest_or_entry, str)
+            else digest_or_entry.digest
+        )
+        component = self.vault.incident_index.component_of(digest)
+        self.metrics.incident_lookups += 1
+        if component is None:
+            return None
+        return Incident(
+            incident_id=component.min_seq,
+            entries=[self.vault.index[d] for d in component.digests],
+            links=component.kinds,
+        )
 
-        # Link 1: co-triggered group snaps + the initiating snap.
-        by_fanout: dict[tuple, list[int]] = {}
-        for i, entry in enumerate(entries):
-            if entry.group and entry.initiator:
-                key = (entry.group, entry.initiator, entry.initiator_reason)
-                by_fanout.setdefault(key, []).append(i)
-        for (group, initiator, initiator_reason), members in by_fanout.items():
-            for a, b in zip(members, members[1:]):
-                union(a, b, "group-snap")
-            # The initiator's own snap carries no group tag; match it by
-            # (process, reason) — that pair is what the fan-out recorded.
-            for i, entry in enumerate(entries):
-                if (
-                    entry.process == initiator
-                    and entry.reason == initiator_reason
-                ):
-                    union(members[0], i, "group-snap")
-
-        # Link 2: shared SYNC logical-thread ids across snaps.
-        by_sync: dict[int, list[int]] = {}
-        for i, entry in enumerate(entries):
-            for logical_id in entry.sync_ids:
-                by_sync.setdefault(logical_id, []).append(i)
-        for members in by_sync.values():
-            for a, b in zip(members, members[1:]):
-                union(a, b, "sync-link")
-
-        clusters: dict[int, list[int]] = {}
-        for i in range(len(entries)):
-            clusters.setdefault(find(i), []).append(i)
-        incidents = []
-        for root, members in sorted(
-            clusters.items(), key=lambda kv: min(entries[m].seq for m in kv[1])
+    def _incidents_indexed(
+        self,
+        index,
+        machine=None,
+        process=None,
+        reason=None,
+        group=None,
+        sync_id=None,
+    ) -> list[Incident]:
+        candidates: list[str] | None = None
+        for filter_value, secondary in (
+            (machine, index.by_machine),
+            (process, index.by_process),
+            (reason, index.by_reason),
+            (group, index.by_group),
+            (sync_id, index.by_sync),
         ):
+            if filter_value is None:
+                continue
+            matching = secondary.get(filter_value, [])
+            if candidates is None:
+                candidates = list(matching)
+            else:
+                keep = set(matching)
+                candidates = [d for d in candidates if d in keep]
+        if candidates is not None:
+            self.metrics.incident_lookups += 1
+        incidents = []
+        for position, component in enumerate(index.components(candidates)):
             incidents.append(
                 Incident(
-                    incident_id=len(incidents),
-                    entries=[entries[m] for m in sorted(
-                        members, key=lambda m: entries[m].seq
-                    )],
-                    links=set(link_kinds[root]),
+                    incident_id=position,
+                    entries=[self.vault.index[d] for d in component.digests],
+                    links=component.kinds,
+                )
+            )
+        self.metrics.incidents_built += len(incidents)
+        return incidents
+
+    def _incidents_batch(
+        self, entries: list[VaultEntry], window: int | None
+    ) -> list[Incident]:
+        """The original one-shot union-find grouper."""
+        clusters, kinds = batch_group(entries, window)
+        incidents = []
+        for position, members in enumerate(clusters):
+            incidents.append(
+                Incident(
+                    incident_id=position,
+                    entries=[entries[m] for m in members],
+                    links=kinds[position],
                 )
             )
         self.metrics.incidents_built += len(incidents)

@@ -21,6 +21,25 @@ them.  This module is that central point's disk format:
 * **rebuildable index** — the in-memory index is derived purely from
   the manifests, and the manifests themselves can be regenerated from
   the archives via :meth:`SnapVault.rebuild_index`.
+
+Concurrency model (the multi-collector ingest pipeline):
+
+* the CPU-heavy per-snap work — canonical-JSON digest, TBSZ2
+  compression, SYNC-id salvage mining — lives in :func:`prepare_snap`,
+  which collectors run in a worker pool so digesting overlaps network
+  transfer;
+* one **index lock** serializes dedupe checks, sequence assignment,
+  and incident-index maintenance (so incident edges are applied in
+  ingest-sequence order even under concurrent collectors);
+* one **lock per shard** owns that shard's manifest: a batch's lines
+  are appended with a single ``os.write``, so a kill mid-batch tears
+  at most the final line of one append — which loading skips;
+* under ``durability="batch"``, blobs are written without per-file
+  fsync and one group sync point covers the whole batch *before* any
+  manifest line records it (group commit): a crash can lose at most
+  the un-manifested tail of one batch, and the blobs that did land are
+  healed back into a manifest on the next duplicate arrival or
+  ``rebuild_index()``.
 """
 
 from __future__ import annotations
@@ -28,6 +47,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 
 from repro.fleet.metrics import FleetMetrics
@@ -73,6 +93,8 @@ def mine_sync_ids(snap: SnapFile) -> list[int]:
     incident grouping works even for snaps whose buffers are hurt.
     These ids are what link one machine's snap to its RPC partners'.
     """
+    if not snap.buffers:
+        return []
     ids: set[int] = set()
     try:
         recovered = recover_spans_salvage(snap.buffers)
@@ -115,7 +137,13 @@ class VaultEntry:
 
     @classmethod
     def from_snap(
-        cls, snap: SnapFile, digest: str, seq: int, shard: int, size: int
+        cls,
+        snap: SnapFile,
+        digest: str,
+        seq: int,
+        shard: int,
+        size: int,
+        sync_ids: list[int] | None = None,
     ) -> "VaultEntry":
         detail = snap.detail if isinstance(snap.detail, dict) else {}
         return cls(
@@ -128,7 +156,7 @@ class VaultEntry:
             reason=snap.reason,
             clock=snap.clock,
             size=size,
-            sync_ids=mine_sync_ids(snap),
+            sync_ids=mine_sync_ids(snap) if sync_ids is None else sync_ids,
             group=detail.get("group"),
             initiator=detail.get("initiator"),
             initiator_reason=detail.get("initiator_reason"),
@@ -144,8 +172,67 @@ class StoreResult:
     entry: VaultEntry
 
 
+@dataclass
+class PreparedSnap:
+    """The CPU-heavy half of a store, done off the ingest hot path.
+
+    Collectors run :func:`prepare_snap` in a worker pool while the
+    (simulated) network transfer is in flight; the vault's commit then
+    only touches disk and dictionaries.  ``data is None`` marks an
+    early dedupe: the digest was already known when preparation ran,
+    so compression and SYNC mining were skipped.
+    """
+
+    snap: SnapFile
+    digest: str
+    sync_ids: list[int] | None = None
+    data: bytes | None = None
+    early_deduped: bool = False
+
+    def ensure_sync_ids(self) -> list[int]:
+        if self.sync_ids is None:
+            self.sync_ids = mine_sync_ids(self.snap)
+        return self.sync_ids
+
+    def ensure_data(self, compress_level: int) -> bytes:
+        if self.data is None:
+            self.data = compress_snap(self.snap, compress_level)
+        return self.data
+
+
+def prepare_snap(
+    snap: SnapFile,
+    compress_level: int = 6,
+    known=None,
+) -> PreparedSnap:
+    """Digest, mine, and compress one snap (worker-pool stage).
+
+    ``known`` is an optional ``digest -> bool`` predicate (typically
+    :meth:`SnapVault.contains`): when it already knows the digest, the
+    expensive compression and mining are skipped and the commit path
+    records an early dedupe.  The check is advisory — the vault
+    re-checks under its lock, so a stale verdict only costs work,
+    never correctness.
+    """
+    digest = content_digest(snap)
+    if known is not None and known(digest):
+        return PreparedSnap(snap=snap, digest=digest, early_deduped=True)
+    return PreparedSnap(
+        snap=snap,
+        digest=digest,
+        sync_ids=mine_sync_ids(snap),
+        data=compress_snap(snap, compress_level),
+    )
+
+
 class SnapVault:
-    """A sharded snap store rooted at a directory."""
+    """A sharded snap store rooted at a directory.
+
+    Safe for concurrent ``put``/``put_batch`` from multiple collector
+    threads: dedupe + sequence assignment + incident-index maintenance
+    run under one index lock, blob writes are atomic renames, and each
+    shard's manifest has a single-writer lock.
+    """
 
     def __init__(
         self,
@@ -153,21 +240,48 @@ class SnapVault:
         shards: int = 4,
         metrics: FleetMetrics | None = None,
         compress_level: int = 6,
+        link_window: int | None = None,
+        durability: str = "strict",
     ):
         if shards < 1:
             raise VaultError(f"shard count must be >= 1, got {shards}")
+        if durability not in ("strict", "batch"):
+            raise VaultError(
+                f"durability must be 'strict' or 'batch', got {durability!r}"
+            )
         self.root = root
         self.shards = shards
         self.metrics = metrics or FleetMetrics()
         self.compress_level = compress_level
+        self.link_window = link_window
+        self.durability = durability
         #: digest -> entry, insertion-ordered by ingest sequence.
         self.index: dict[str, VaultEntry] = {}
         self._next_seq = 0
+        self._lock = threading.RLock()
+        self._shard_locks = [threading.Lock() for _ in range(shards)]
+        # Group-commit sync coalescing (durability="batch"): a batch is
+        # durable once ANY os.sync() that started after its blob writes
+        # completed finishes, so concurrent batches share sync points
+        # instead of each paying for their own.
+        self._sync_cond = threading.Condition()
+        self._write_epoch = 0
+        self._synced_epoch = 0
+        self._sync_in_progress = False
         os.makedirs(root, exist_ok=True)
         for shard in range(shards):
             os.makedirs(self._shard_dir(shard), exist_ok=True)
         os.makedirs(os.path.join(root, MAPFILE_DIR), exist_ok=True)
         self._load_manifests()
+        #: Digests durably recorded in a manifest (preloaded at open so
+        #: duplicate submissions into a reopened vault still register
+        #: as dedupe hits).
+        self._digests: set[str] = set(self.index)
+        #: Blobs on disk (a superset after a kill between a blob write
+        #: and its manifest line — those orphans are healed on the next
+        #: duplicate arrival instead of being stored twice).
+        self._blob_digests: set[str] = self._scan_blobs()
+        self._load_incident_index()
 
     # ------------------------------------------------------------------
     # Layout
@@ -183,6 +297,19 @@ class SnapVault:
         return os.path.join(
             self._shard_dir(self.shard_of(digest)), digest + BLOB_SUFFIX
         )
+
+    def contains(self, digest: str) -> bool:
+        """Is this content already durably recorded?  (Advisory: the
+        commit path re-checks under the index lock.)"""
+        return digest in self._digests
+
+    def _scan_blobs(self) -> set[str]:
+        found: set[str] = set()
+        for shard in range(self.shards):
+            for name in os.listdir(self._shard_dir(shard)):
+                if name.endswith(BLOB_SUFFIX):
+                    found.add(name[: -len(BLOB_SUFFIX)])
+        return found
 
     # ------------------------------------------------------------------
     # Manifest / index
@@ -211,12 +338,56 @@ class SnapVault:
         if entries:
             self._next_seq = max(e.seq for e in entries) + 1
 
-    def _append_manifest(self, entry: VaultEntry) -> None:
-        path = os.path.join(self._shard_dir(entry.shard), MANIFEST)
-        with open(path, "a") as fh:
-            fh.write(json.dumps(entry.to_dict()) + "\n")
-            fh.flush()
-        self.metrics.manifest_lines += 1
+    def _load_incident_index(self) -> None:
+        from repro.fleet.index import IncidentIndex
+
+        self.incident_index, how = IncidentIndex.load(
+            self.root, list(self.index.values()), window=self.link_window
+        )
+        if how == "loaded":
+            self.metrics.index_loads += 1
+        elif how == "caught-up":
+            self.metrics.index_loads += 1
+            self.metrics.index_catchups += self.incident_index.dirty
+
+    def flush_index(self) -> str | None:
+        """Checkpoint the incident index to ``incidents.idx``.
+
+        Collectors call this when a drain completes; it is cheap to
+        skip when nothing changed.  The checkpoint is an accelerator:
+        anything not flushed is replayed from the manifests at the
+        next open.
+        """
+        with self._lock:
+            if not self.incident_index.dirty and os.path.exists(
+                os.path.join(self.root, self.incident_index_path())
+            ):
+                return None
+            path = self.incident_index.persist(self.root)
+            self.metrics.index_persists += 1
+            return path
+
+    @staticmethod
+    def incident_index_path() -> str:
+        from repro.fleet.index import INDEX_FILE
+
+        return INDEX_FILE
+
+    def _manifest_lines(self, shard: int, lines: list[str]) -> None:
+        """Append a batch's manifest lines with a single ``os.write``.
+
+        One write syscall per shard per batch: a kill mid-batch can
+        tear at most the *final* line of the append, which manifest
+        loading already skips — never a line in the middle.
+        """
+        path = os.path.join(self._shard_dir(shard), MANIFEST)
+        payload = ("\n".join(lines) + "\n").encode()
+        with self._shard_locks[shard]:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, payload)
+            finally:
+                os.close(fd)
 
     def rebuild_index(self) -> int:
         """Regenerate every manifest from the stored archives.
@@ -225,61 +396,194 @@ class SnapVault:
         state.  Returns the number of entries recovered.  Sequence
         numbers are reassigned in digest order (ingest order is lost
         with the manifests — archives carry no vault timestamps).
+        The incident index is rebuilt and re-persisted from the fresh
+        manifests in the same pass.
         """
-        self.index.clear()
-        self._next_seq = 0
-        self.metrics.index_rebuilds += 1
-        recovered = 0
-        for shard in range(self.shards):
-            shard_dir = self._shard_dir(shard)
-            lines = []
-            for name in sorted(os.listdir(shard_dir)):
-                if not name.endswith(BLOB_SUFFIX):
-                    continue
-                digest = name[: -len(BLOB_SUFFIX)]
-                path = os.path.join(shard_dir, name)
-                with open(path, "rb") as fh:
-                    data = fh.read()
-                snap, _notes = salvage_decompress(data)
-                if snap is None:
-                    continue
-                entry = VaultEntry.from_snap(
-                    snap, digest, seq=self._next_seq, shard=shard,
-                    size=len(data),
+        from repro.fleet.index import IncidentIndex
+
+        with self._lock:
+            self.index.clear()
+            self._next_seq = 0
+            self.metrics.index_rebuilds += 1
+            recovered = 0
+            for shard in range(self.shards):
+                shard_dir = self._shard_dir(shard)
+                lines = []
+                for name in sorted(os.listdir(shard_dir)):
+                    if not name.endswith(BLOB_SUFFIX):
+                        continue
+                    digest = name[: -len(BLOB_SUFFIX)]
+                    path = os.path.join(shard_dir, name)
+                    with open(path, "rb") as fh:
+                        data = fh.read()
+                    snap, _notes = salvage_decompress(data)
+                    if snap is None:
+                        continue
+                    entry = VaultEntry.from_snap(
+                        snap, digest, seq=self._next_seq, shard=shard,
+                        size=len(data),
+                    )
+                    self._next_seq += 1
+                    self.index[entry.digest] = entry
+                    lines.append(json.dumps(entry.to_dict()))
+                    recovered += 1
+                manifest = os.path.join(shard_dir, MANIFEST)
+                write_atomic(
+                    ("\n".join(lines) + "\n" if lines else "").encode(),
+                    manifest,
                 )
-                self._next_seq += 1
-                self.index[entry.digest] = entry
-                lines.append(json.dumps(entry.to_dict()))
-                recovered += 1
-            manifest = os.path.join(shard_dir, MANIFEST)
-            write_atomic(
-                ("\n".join(lines) + "\n" if lines else "").encode(), manifest
+            self._digests = set(self.index)
+            self._blob_digests = self._scan_blobs()
+            self.incident_index = IncidentIndex.rebuild(
+                list(self.index.values()), window=self.link_window
             )
-        return recovered
+            self.incident_index.persist(self.root)
+            self.metrics.index_persists += 1
+            return recovered
 
     # ------------------------------------------------------------------
     # Store / load
     # ------------------------------------------------------------------
     def put(self, snap: SnapFile) -> StoreResult:
-        """Store one snap; duplicates (by content hash) are skipped."""
-        digest = content_digest(snap)
-        if digest in self.index:
-            self.metrics.dedupe_hits += 1
-            return StoreResult(
-                digest=digest, deduped=True, entry=self.index[digest]
+        """Store one snap; duplicates (by content hash) are skipped.
+
+        The single-snap path keeps strict per-blob durability (fsync
+        before the manifest line) regardless of the vault's batch
+        setting — group commit only pays off with company.
+        """
+        return self.put_batch([prepare_snap(snap, self.compress_level)])[0]
+
+    def put_batch(self, items: list[PreparedSnap]) -> list[StoreResult]:
+        """Commit a batch of prepared snaps; returns one result each.
+
+        Three phases:
+
+        1. under the index lock — dedupe (including intra-batch
+           duplicates and orphan-blob heals), sequence assignment,
+           in-memory index + incident-index updates;
+        2. no lock — blob writes (atomic renames; per-blob fsync under
+           strict durability, one group sync point under batch);
+        3. per-shard lock — manifest lines appended in one write per
+           shard, only after the blobs they describe are durable.
+        """
+        results: list[StoreResult | None] = [None] * len(items)
+        fresh: list[tuple[int, PreparedSnap, VaultEntry]] = []
+        healed: list[VaultEntry] = []
+        with self._lock:
+            staged: dict[str, VaultEntry] = {}
+            for pos, item in enumerate(items):
+                digest = item.digest
+                entry = self.index.get(digest) or staged.get(digest)
+                if entry is not None:
+                    self.metrics.dedupe_hits += 1
+                    if item.early_deduped:
+                        self.metrics.early_dedupe_hits += 1
+                    results[pos] = StoreResult(digest, True, entry)
+                    continue
+                if digest in self._blob_digests:
+                    # Orphan blob: it landed durably but its manifest
+                    # line was lost (kill between blob and manifest).
+                    # Heal: re-register it instead of re-storing.
+                    entry = VaultEntry.from_snap(
+                        item.snap,
+                        digest,
+                        seq=self._next_seq,
+                        shard=self.shard_of(digest),
+                        size=os.path.getsize(self.blob_path(digest)),
+                        sync_ids=item.ensure_sync_ids(),
+                    )
+                    self._next_seq += 1
+                    self._register(entry, staged)
+                    healed.append(entry)
+                    self.metrics.dedupe_hits += 1
+                    self.metrics.manifest_heals += 1
+                    results[pos] = StoreResult(digest, True, entry)
+                    continue
+                data = item.ensure_data(self.compress_level)
+                entry = VaultEntry.from_snap(
+                    item.snap,
+                    digest,
+                    seq=self._next_seq,
+                    shard=self.shard_of(digest),
+                    size=len(data),
+                    sync_ids=item.ensure_sync_ids(),
+                )
+                self._next_seq += 1
+                self._register(entry, staged)
+                fresh.append((pos, item, entry))
+                results[pos] = StoreResult(digest, False, entry)
+
+        group_commit = self.durability == "batch" and len(fresh) > 1
+        written = 0
+        for _pos, item, entry in fresh:
+            write_atomic(
+                item.data, self.blob_path(entry.digest),
+                fsync=not group_commit,
             )
-        data = compress_snap(snap, self.compress_level)
-        shard = self.shard_of(digest)
-        write_atomic(data, self.blob_path(digest))
-        entry = VaultEntry.from_snap(
-            snap, digest, seq=self._next_seq, shard=shard, size=len(data)
-        )
-        self._next_seq += 1
+            written += len(item.data)
+        if group_commit:
+            self._group_sync()
+
+        by_shard: dict[int, list[str]] = {}
+        for entry in [e for _p, _i, e in fresh] + healed:
+            by_shard.setdefault(entry.shard, []).append(
+                json.dumps(entry.to_dict())
+            )
+        for shard, lines in sorted(by_shard.items()):
+            self._manifest_lines(shard, lines)
+
+        with self._lock:
+            for _pos, _item, entry in fresh:
+                self._blob_digests.add(entry.digest)
+            if group_commit:
+                self.metrics.group_commits += 1
+            self.metrics.ingested += len(fresh)
+            self.metrics.bytes_written += written
+            self.metrics.manifest_lines += sum(
+                len(lines) for lines in by_shard.values()
+            )
+            self.metrics.manifest_batches += len(by_shard)
+        return results  # type: ignore[return-value]
+
+    def _group_sync(self) -> None:
+        """Make every blob this thread has written durable, sharing
+        sync points with concurrent batches.
+
+        ``os.sync()`` flushes the whole filesystem, so a sync that
+        *starts* after our writes completed covers them — like WAL
+        group commit, N concurrent batches need one or two syncs, not
+        N.  The epoch counter orders "my writes are done" against
+        "that sync started"; a thread either rides a sync that will
+        cover it, or becomes the next syncer itself.
+        """
+        with self._sync_cond:
+            self._write_epoch += 1
+            my_epoch = self._write_epoch
+            while True:
+                if self._synced_epoch >= my_epoch:
+                    # A sync that started after our writes already
+                    # finished: we are durable for free.
+                    self.metrics.bump(sync_coalesced=1)
+                    return
+                if not self._sync_in_progress:
+                    break
+                self._sync_cond.wait()
+            self._sync_in_progress = True
+            covers = self._write_epoch  # writes completed before we start
+        os.sync()
+        with self._sync_cond:
+            self._synced_epoch = max(self._synced_epoch, covers)
+            self._sync_in_progress = False
+            self._sync_cond.notify_all()
+
+    def _register(self, entry: VaultEntry, staged: dict) -> None:
+        """Index-lock-held bookkeeping for a newly-assigned entry."""
         self.index[entry.digest] = entry
-        self._append_manifest(entry)
-        self.metrics.ingested += 1
-        self.metrics.bytes_written += len(data)
-        return StoreResult(digest=digest, deduped=False, entry=entry)
+        self._digests.add(entry.digest)
+        staged[entry.digest] = entry
+        # Incident edges must be applied in ingest-sequence order; the
+        # caller holds the index lock across seq assignment and here.
+        self.incident_index.add(entry)
 
     def load(
         self, digest: str, salvage: bool = False
@@ -310,7 +614,9 @@ class SnapVault:
         (inclusive), the index's timestamp key.
         """
         out = []
-        for entry in sorted(self.index.values(), key=lambda e: e.seq):
+        with self._lock:
+            entries = sorted(self.index.values(), key=lambda e: e.seq)
+        for entry in entries:
             if machine is not None and entry.machine != machine:
                 continue
             if process is not None and entry.process != process:
@@ -328,7 +634,8 @@ class SnapVault:
 
     def machines(self) -> list[str]:
         """Machine names with at least one stored snap."""
-        return sorted({e.machine for e in self.index.values()})
+        with self._lock:
+            return sorted({e.machine for e in self.index.values()})
 
     def __len__(self) -> int:
         return len(self.index)

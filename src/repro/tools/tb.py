@@ -18,6 +18,7 @@ engineer reconstructs them.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.analysis import build_all_cfgs
@@ -303,6 +304,10 @@ def cmd_query(args: argparse.Namespace) -> int:
         until=args.until,
         group=args.group,
     )
+    if args.json:
+        for entry in entries:
+            print(json.dumps(entry.to_dict(), sort_keys=True))
+        return 0
     print(f"{len(entries)} snap(s) match")
     for entry in entries:
         tags = []
@@ -324,7 +329,16 @@ def cmd_incidents(args: argparse.Namespace) -> int:
         vault, query = _open_vault(args)
     except (OSError, ValueError) as exc:
         return _fail(f"cannot open vault {args.vault}: {exc}")
-    incidents = query.incidents(window=args.window)
+    if args.window is None:
+        # No explicit window: serve straight from the persisted
+        # incident index (O(result), built at ingest).
+        incidents = query.incidents()
+    else:
+        incidents = query.incidents(window=args.window)
+    if args.json:
+        for incident in incidents:
+            print(json.dumps(incident.to_dict(), sort_keys=True))
+        return 0
     print(f"{len(incidents)} incident(s) in {vault.root}")
     for incident in incidents:
         print(incident.describe())
@@ -468,6 +482,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="reconstruct one stored snap (digest prefix ok)",
     )
     query.add_argument("--salvage", action="store_true")
+    query.add_argument(
+        "--json", action="store_true",
+        help="one JSON object per matching snap (JSON lines)",
+    )
     query.set_defaults(fn=cmd_query)
 
     incidents = sub.add_parser(
@@ -484,6 +502,10 @@ def build_parser() -> argparse.ArgumentParser:
     incidents.add_argument(
         "--strict", action="store_true",
         help="strict reconstruction (default is salvage + banner)",
+    )
+    incidents.add_argument(
+        "--json", action="store_true",
+        help="one JSON object per incident (JSON lines), no reconstruction",
     )
     incidents.set_defaults(fn=cmd_incidents)
 

@@ -155,6 +155,62 @@ def test_cli_incidents_list_only(demo_vault, capsys):
     assert "thread" not in out  # no reconstruction output
 
 
+def test_cli_query_json_lines(demo_vault, capsys):
+    import json
+
+    assert main(["query", "--vault", demo_vault, "--json"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 3
+    rows = [json.loads(line) for line in lines]
+    assert {row["machine"] for row in rows} == {
+        "machine-a", "machine-b", "machine-c"
+    }
+    assert all("digest" in row and "seq" in row for row in rows)
+
+    assert main([
+        "query", "--vault", demo_vault, "--machine", "machine-a", "--json",
+    ]) == 0
+    rows = [
+        json.loads(line)
+        for line in capsys.readouterr().out.strip().splitlines()
+    ]
+    assert [row["machine"] for row in rows] == ["machine-a"]
+
+
+def test_cli_incidents_json_lines(demo_vault, capsys):
+    import json
+
+    assert main(["incidents", "--vault", demo_vault, "--json"]) == 0
+    out = capsys.readouterr().out
+    lines = out.strip().splitlines()
+    assert len(lines) == 1  # one incident, one JSON line, no prose
+    incident = json.loads(lines[0])
+    assert incident["snaps"] == 3
+    assert incident["machines"] == ["machine-a", "machine-b", "machine-c"]
+    assert len(incident["entries"]) == 3
+    assert "group-snap" in incident["links"]
+
+
+def test_session_multi_collector_round_robin(tmp_path):
+    from repro.chaos import build_vault_run
+
+    root = str(tmp_path / "vault")
+    vault, collector, session = build_vault_run(
+        vault_root=root, collector_options={"collectors": 2}
+    )
+    assert len(session.collectors) == 2
+    assert collector is session.collectors[0]
+    session.network.run()
+    for c in session.collectors:
+        c.drain()
+    assert {e.machine for e in vault.select()} == {
+        "machine-a", "machine-b", "machine-c"
+    }
+    # Both collectors actually carried traffic.
+    assert sum(bool(c.results) for c in session.collectors) == 2
+    assert len(VaultQuery(vault).incidents()) == 1
+
+
 def test_cli_info_reports_stored_archive(demo_vault, capsys):
     vault = SnapVault(demo_vault)
     path = vault.blob_path(vault.select()[0].digest)

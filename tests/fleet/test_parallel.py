@@ -1,0 +1,281 @@
+"""Concurrent multi-collector ingest: equivalence, crash-safety, healing.
+
+The parallel pipeline must never trade correctness for throughput:
+
+* interleaved ingest from several collector threads yields exactly the
+  manifest set (order-normalized) and incident partition that a single
+  serial collector produces;
+* a kill -9 mid-batch tears at most the *final* line of each shard's
+  manifest (single ``os.write`` per shard per batch), loading skips it,
+  and ``rebuild_index()`` restores the torn entry from its blob;
+* reopening a vault preloads the manifest digest set, so duplicates
+  arriving after a restart dedupe (including the early, pre-compression
+  check), and an orphaned blob (durable blob, lost manifest line) heals
+  in place on its next arrival.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.fleet import (
+    Collector,
+    SnapVault,
+    VaultQuery,
+    content_digest,
+    prepare_snap,
+)
+from repro.fleet.store import BLOB_SUFFIX, MANIFEST
+
+from tests.fleet.test_store import make_snap
+
+
+def fleet_snaps(count):
+    """Distinct snaps with some group fan-outs for incident linkage."""
+    snaps = []
+    for i in range(count):
+        snap = make_snap(
+            machine=f"m{i % 3}",
+            process=["web", "db", "cache"][i % 3],
+            reason="group" if i % 7 == 1 else ["api", "unhandled"][i % 2],
+            clock=100 + i,
+            payload=i,
+        )
+        if snap.reason == "group":
+            snap.detail = {
+                "group": f"g{i // 7}",
+                "initiator": "web",
+                "initiator_reason": "unhandled",
+            }
+        snaps.append(snap)
+    return snaps
+
+
+# ----------------------------------------------------------------------
+# Interleaved == serial
+# ----------------------------------------------------------------------
+def test_parallel_ingest_matches_serial(tmp_path):
+    snaps = fleet_snaps(90)
+    # Every collector's stream also re-submits some duplicates, so the
+    # dedupe races (intra-batch, cross-collector) are exercised too.
+    streams = [
+        snaps[0::3] + snaps[10:20],
+        snaps[1::3] + snaps[30:40],
+        snaps[2::3] + snaps[50:60],
+    ]
+
+    serial = SnapVault(str(tmp_path / "serial"), shards=4)
+    collector = Collector(serial, batch_size=8)
+    for stream in streams:
+        for snap in stream:
+            collector.submit(snap)
+    collector.drain()
+
+    parallel = SnapVault(str(tmp_path / "parallel"), shards=4,
+                         durability="batch")
+    collectors = [
+        Collector(parallel, batch_size=8, name=f"c{i}") for i in range(3)
+    ]
+
+    def feed(c, stream):
+        for snap in stream:
+            c.submit(snap)
+        c.drain()
+
+    threads = [
+        threading.Thread(target=feed, args=(c, s))
+        for c, s in zip(collectors, streams)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(parallel) == len(serial) == 90
+
+    def normalized(vault):
+        return {
+            digest: (e.machine, e.process, e.reason, e.clock, e.size,
+                     tuple(e.sync_ids), e.group, e.initiator,
+                     e.initiator_reason, e.shard)
+            for digest, e in vault.index.items()
+        }
+
+    assert normalized(parallel) == normalized(serial)
+    # Both vaults assigned a dense seq range (order may differ).
+    assert sorted(e.seq for e in parallel.index.values()) == list(range(90))
+
+    def partition(vault):
+        return sorted(
+            sorted(e.digest for e in i.entries)
+            for i in VaultQuery(vault).incidents()
+        )
+
+    assert partition(parallel) == partition(serial)
+
+    # Reopening the parallel vault reproduces the same index state.
+    reopened = SnapVault(str(tmp_path / "parallel"), shards=4,
+                         durability="batch")
+    assert normalized(reopened) == normalized(serial)
+    assert partition(reopened) == partition(serial)
+
+
+# ----------------------------------------------------------------------
+# Kill -9 mid-batch
+# ----------------------------------------------------------------------
+KILL_SCRIPT = """
+import sys, threading
+from repro.fleet import Collector, SnapVault
+from tests.fleet.test_parallel import fleet_snaps
+
+vault = SnapVault(sys.argv[1], shards=4, durability="batch")
+collectors = [Collector(vault, batch_size=16, name=f"c{i}") for i in range(2)]
+
+def feed(c, offset):
+    i = offset
+    while True:  # run until killed
+        for snap in fleet_snaps(4000)[i : i + 50]:
+            c.submit(snap)
+        c.drain()
+        i = (i + 50) % 3000
+        print("batch", i, flush=True)
+
+threads = [
+    threading.Thread(target=feed, args=(c, n * 1500), daemon=True)
+    for n, c in enumerate(collectors)
+]
+for t in threads:
+    t.start()
+for t in threads:
+    t.join()
+"""
+
+
+def test_kill_mid_batch_tears_at_most_last_line(tmp_path):
+    root = str(tmp_path / "vault")
+    script = tmp_path / "ingest_forever.py"
+    script.write_text(KILL_SCRIPT)
+    env = dict(os.environ)
+    repo = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(repo, "src"), repo]
+    )
+    proc = subprocess.Popen(
+        [sys.executable, str(script), root],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+    )
+    # Wait until ingest is demonstrably mid-flight, then kill -9.
+    assert proc.stdout.readline().startswith(b"batch")
+    time.sleep(0.15)
+    proc.send_signal(signal.SIGKILL)
+    proc.wait(timeout=30)
+
+    valid = 0
+    for shard in range(4):
+        path = os.path.join(root, f"shard-{shard:02d}", MANIFEST)
+        if not os.path.exists(path):
+            continue
+        raw = open(path, "rb").read().split(b"\n")
+        if raw and raw[-1] == b"":
+            raw.pop()
+        for lineno, line in enumerate(raw):
+            try:
+                json.loads(line)
+                valid += 1
+            except ValueError:
+                # Only the final line of a shard may be torn.
+                assert lineno == len(raw) - 1, (shard, lineno)
+    assert valid > 0
+
+    vault = SnapVault(root, shards=4)
+    assert len(vault) == valid  # torn tails skipped, everything else up
+
+    # Every manifest entry's blob is present and loadable (manifest
+    # lines commit only after their blobs are durable).
+    for digest in list(vault.index)[:20]:
+        snap, notes = vault.load(digest)
+        assert snap is not None and notes == []
+
+    # Blobs may exist without manifest lines (killed between blob and
+    # manifest append); rebuild_index restores them from the archives.
+    blobs = sum(
+        name.endswith(BLOB_SUFFIX)
+        for shard in range(4)
+        for name in os.listdir(os.path.join(root, f"shard-{shard:02d}"))
+    )
+    assert blobs >= valid
+    recovered = vault.rebuild_index()
+    assert recovered == blobs
+    assert len(vault) == blobs
+
+
+# ----------------------------------------------------------------------
+# Reopen dedupe + orphan healing (the regression satellite)
+# ----------------------------------------------------------------------
+def test_reopen_dedupes_resubmitted_snaps(tmp_path):
+    root = str(tmp_path / "vault")
+    snaps = fleet_snaps(12)
+    vault = SnapVault(root, shards=4)
+    for snap in snaps:
+        vault.put(snap)
+
+    reopened = SnapVault(root, shards=4)
+    assert reopened.metrics.dedupe_hits == 0
+    results = [reopened.put(snap) for snap in snaps]
+    assert all(r.deduped for r in results)
+    assert len(reopened) == 12
+    assert reopened.metrics.dedupe_hits == 12
+    assert reopened.metrics.ingested == 0
+
+
+def test_reopen_early_dedupe_skips_compression(tmp_path):
+    root = str(tmp_path / "vault")
+    snaps = fleet_snaps(6)
+    vault = SnapVault(root, shards=4)
+    for snap in snaps:
+        vault.put(snap)
+
+    reopened = SnapVault(root, shards=4)
+    # The pipelined path asks contains() before compressing: a reopened
+    # vault must answer from the preloaded manifest digest set.
+    prepared = [
+        prepare_snap(s, reopened.compress_level, reopened.contains)
+        for s in snaps
+    ]
+    assert all(p.early_deduped and p.data is None for p in prepared)
+    results = reopened.put_batch(prepared)
+    assert all(r.deduped for r in results)
+    assert reopened.metrics.early_dedupe_hits == 6
+    assert reopened.metrics.dedupe_hits == 6
+
+
+def test_orphan_blob_heals_on_redelivery(tmp_path):
+    root = str(tmp_path / "vault")
+    snap = make_snap(payload=42)
+    vault = SnapVault(root, shards=4)
+    digest = vault.put(snap).digest
+
+    # Simulate a kill between blob write and manifest append: blob on
+    # disk, manifest line gone.
+    entry = vault.index[digest]
+    manifest = os.path.join(root, f"shard-{entry.shard:02d}", MANIFEST)
+    os.unlink(manifest)
+    idx = os.path.join(root, SnapVault.incident_index_path())
+    if os.path.exists(idx):
+        os.unlink(idx)
+
+    reopened = SnapVault(root, shards=4)
+    assert len(reopened) == 0
+    assert reopened.contains(digest) is False  # not in any manifest
+    result = reopened.put(snap)
+    assert result.deduped  # healed, not re-stored
+    assert reopened.metrics.manifest_heals == 1
+    assert len(reopened) == 1
+    loaded, notes = reopened.load(digest)
+    assert loaded is not None and notes == []
+    # The healed manifest line is durable: a fresh open sees it.
+    assert len(SnapVault(root, shards=4)) == 1
