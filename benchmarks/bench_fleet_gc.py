@@ -1,0 +1,297 @@
+"""Fleet vault GC benchmark: reclaim rate + ingest under compaction.
+
+The compaction PR's operational claims, measured:
+
+* **reclaim rate** — a compact() pass over a vault where an age budget
+  expires roughly half the store: reclaimed bytes per second of wall
+  clock (tombstone append + blob unlinks + manifest rewrites + index
+  re-persist all included);
+* **ingest under compaction** — the same parallel-collector ingest the
+  ingest benchmark runs, but with repeated compact() passes racing it
+  from another thread.  Compaction holds each shard lock only briefly,
+  so concurrent ingest must retain most of its clean-run throughput
+  (the recorded ratio is informational; the assertion is an ordinal
+  floor).
+
+Results merge into the ``gc`` section of ``BENCH_fleet.json`` —
+inside both ``latest`` and the newest ``history`` entry, so the
+ingest benchmark's own ``--check`` comparison across history entries
+keeps working unchanged::
+
+    PYTHONPATH=src python benchmarks/bench_fleet_gc.py          # measure
+    PYTHONPATH=src python benchmarks/bench_fleet_gc.py --check  # guard
+
+``--check`` compares ``gc.reclaimed_bytes_per_sec`` between the two
+most recent history entries that carry a ``gc`` section and fails on a
+>25% regression; fewer than two such entries is not an error (the
+section is new).
+
+Also runs in the slow pytest lane.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+
+# Importable both as benchmarks.bench_fleet_gc (pytest, repo root on
+# sys.path) and as a direct script (only benchmarks/ on sys.path).
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.bench_fleet_ingest import (  # noqa: E402
+    OUTPUT_PATH,
+    PARALLEL_COLLECTORS,
+    _load_report,
+    _make_snap,
+)
+from repro.fleet import Collector, RetentionPolicy, SnapVault
+from repro.workloads.harness import format_table
+
+#: Snaps in the reclaim-rate vault; an age horizon at the midpoint
+#: clock expires roughly half of them.
+GC_VAULT_SNAPS = 4_000
+
+#: Snaps ingested while compaction passes race the collectors.
+INGEST_SNAPS = 3_000
+
+#: ``--check`` tolerance on reclaimed bytes/sec.
+REGRESSION_TOLERANCE = 0.25
+
+
+def _fill_vault(root: str, count: int, **vault_options) -> SnapVault:
+    vault = SnapVault(root, shards=8, durability="batch", **vault_options)
+    collectors = [
+        Collector(vault, batch_size=64, queue_limit=512, name=f"fill-{i}")
+        for i in range(PARALLEL_COLLECTORS)
+    ]
+    snaps = [_make_snap(i) for i in range(count)]
+    chunks = [
+        snaps[i :: PARALLEL_COLLECTORS] for i in range(PARALLEL_COLLECTORS)
+    ]
+
+    def feed(collector, chunk):
+        for snap in chunk:
+            collector.submit(snap)
+        collector.drain()
+
+    threads = [
+        threading.Thread(target=feed, args=(c, chunk), daemon=True)
+        for c, chunk in zip(collectors, chunks)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    for collector in collectors:
+        collector.close()
+    return vault
+
+
+def _reclaim_rate() -> dict:
+    """Time one compact() pass that expires ~half the vault."""
+    root = tempfile.mkdtemp(prefix="tb-bench-gc-")
+    try:
+        vault = _fill_vault(root, GC_VAULT_SNAPS)
+        stored = len(vault)
+        store_bytes = vault.store_bytes()
+        # Clocks are 1000*i: a horizon at the midpoint halves the vault
+        # (group-snap pins rescue a few old incident members).
+        policy = RetentionPolicy(
+            max_age=(GC_VAULT_SNAPS // 2) * 1_000,
+            pin_open_incidents=True,
+        )
+        start = time.perf_counter()
+        plan = vault.compact(policy=policy)
+        seconds = time.perf_counter() - start
+        reclaimed = vault.metrics.reclaimed_bytes
+        assert reclaimed > 0, "compaction reclaimed nothing"
+        assert len(vault) == stored - len(plan.victims)
+        return {
+            "stored": stored,
+            "store_bytes": store_bytes,
+            "victims": len(plan.victims),
+            "pins_honored": len(plan.pinned),
+            "reclaimed_bytes": reclaimed,
+            "seconds": round(seconds, 4),
+            "reclaimed_bytes_per_sec": round(reclaimed / seconds, 1),
+            "entries_per_sec": round(len(plan.victims) / seconds, 1),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _ingest_rate(compact_concurrently: bool) -> dict:
+    """Parallel-collector ingest, optionally with racing GC passes."""
+    root = tempfile.mkdtemp(prefix="tb-bench-gc-ingest-")
+    try:
+        # Pre-populate with old snaps so the racing GC has victims.
+        vault = _fill_vault(root, 1_000)
+        snaps = [_make_snap(100_000 + i) for i in range(INGEST_SNAPS)]
+        collectors = [
+            Collector(vault, batch_size=32, queue_limit=256, name=f"c{i}")
+            for i in range(PARALLEL_COLLECTORS)
+        ]
+        chunks = [
+            snaps[i :: PARALLEL_COLLECTORS]
+            for i in range(PARALLEL_COLLECTORS)
+        ]
+
+        def feed(collector, chunk):
+            for snap in chunk:
+                collector.submit(snap)
+            collector.drain()
+
+        stop = threading.Event()
+        gc_passes = [0]
+
+        def gc_loop():
+            now = 0
+            while not stop.is_set():
+                # Expire everything older than the newest pre-filled
+                # clock; freshly-ingested snaps are far newer.
+                vault.compact(
+                    policy=RetentionPolicy(
+                        max_age=1, pin_open_incidents=False
+                    ),
+                    now=now,
+                )
+                now += 1_000
+                gc_passes[0] += 1
+
+        threads = [
+            threading.Thread(target=feed, args=(c, chunk), daemon=True)
+            for c, chunk in zip(collectors, chunks)
+        ]
+        gc_thread = threading.Thread(target=gc_loop, daemon=True)
+        start = time.perf_counter()
+        if compact_concurrently:
+            gc_thread.start()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        seconds = time.perf_counter() - start
+        stop.set()
+        if compact_concurrently:
+            gc_thread.join()
+        # Nothing ingested during the run was lost to the racing GC.
+        for collector in collectors:
+            assert not collector.dead
+        result = {
+            "seconds": round(seconds, 4),
+            "snaps_per_sec": round(len(snaps) / seconds, 1),
+        }
+        if compact_concurrently:
+            result["gc_passes"] = gc_passes[0]
+        return result
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def run_benchmark() -> dict:
+    reclaim = _reclaim_rate()
+    clean = _ingest_rate(compact_concurrently=False)
+    racing = _ingest_rate(compact_concurrently=True)
+    ratio = round(
+        racing["snaps_per_sec"] / clean["snaps_per_sec"], 3
+    )
+    entry = {
+        "reclaim": reclaim,
+        "ingest_clean": clean,
+        "ingest_during_compaction": racing,
+        "ingest_retention_ratio": ratio,
+        "reclaimed_bytes": reclaim["reclaimed_bytes"],
+        "reclaimed_bytes_per_sec": reclaim["reclaimed_bytes_per_sec"],
+    }
+    report = _load_report()
+    if not report:
+        # No ingest benchmark has run yet: start a minimal report the
+        # ingest benchmark will extend.
+        report = {"schema": "tb-fleet-ingest-bench/2", "latest": {},
+                  "history": [{}]}
+    report.setdefault("latest", {})["gc"] = entry
+    history = report.setdefault("history", [])
+    if not history:
+        history.append({})
+    history[-1]["gc"] = entry
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return entry
+
+
+def check_regression() -> int:
+    """Exit 1 when the reclaim rate regressed >25% between the two most
+    recent history entries that have a gc section."""
+    history = _load_report().get("history", [])
+    rates = [
+        h["gc"]["reclaimed_bytes_per_sec"]
+        for h in history
+        if isinstance(h.get("gc"), dict)
+        and h["gc"].get("reclaimed_bytes_per_sec")
+    ]
+    if len(rates) < 2:
+        print(f"bench_fleet_gc --check: {len(rates)} gc history "
+              "entr(ies) in BENCH_fleet.json, nothing to compare")
+        return 0
+    prev, last = rates[-2], rates[-1]
+    if last < prev * (1 - REGRESSION_TOLERANCE):
+        print(
+            f"bench_fleet_gc --check: FAIL — reclaim rate "
+            f"{last:,.0f} B/s is down {(1 - last / prev):.0%} from "
+            f"previous {prev:,.0f} B/s "
+            f"(tolerance {REGRESSION_TOLERANCE:.0%})"
+        )
+        return 1
+    print(
+        f"bench_fleet_gc --check: ok — reclaim rate {last:,.0f} B/s "
+        f"vs previous {prev:,.0f} B/s"
+    )
+    return 0
+
+
+def _render(entry: dict) -> str:
+    reclaim = entry["reclaim"]
+    rows = [
+        ("vault before GC", f"{reclaim['stored']:,} snaps, "
+                            f"{reclaim['store_bytes']:,} B"),
+        ("victims / pins honored",
+         f"{reclaim['victims']:,} / {reclaim['pins_honored']:,}"),
+        ("reclaimed", f"{reclaim['reclaimed_bytes']:,} B in "
+                      f"{reclaim['seconds']:.2f}s"),
+        ("reclaim rate", f"{reclaim['reclaimed_bytes_per_sec']:,.0f} B/s "
+                         f"({reclaim['entries_per_sec']:,.0f} entries/s)"),
+        ("ingest, clean",
+         f"{entry['ingest_clean']['snaps_per_sec']:,.0f} snaps/s"),
+        ("ingest, GC racing",
+         f"{entry['ingest_during_compaction']['snaps_per_sec']:,.0f} "
+         f"snaps/s "
+         f"({entry['ingest_during_compaction']['gc_passes']} passes)"),
+        ("throughput retained", f"{entry['ingest_retention_ratio']:.0%}"),
+    ]
+    return format_table(
+        rows,
+        headers=["metric", "value"],
+        title="Fleet vault: compaction reclaim + ingest under GC",
+    )
+
+
+def test_fleet_gc(report):
+    entry = run_benchmark()
+    report.append(_render(entry))
+    assert entry["reclaimed_bytes"] > 0
+    # GC must not starve ingest: an ordinal floor, not a tight bound
+    # (shard locks are held per-batch; scheduler noise is real).
+    assert entry["ingest_retention_ratio"] >= 0.15, (
+        f"ingest kept only {entry['ingest_retention_ratio']:.0%} of its "
+        "throughput under compaction"
+    )
+
+
+if __name__ == "__main__":
+    if "--check" in sys.argv[1:]:
+        raise SystemExit(check_regression())
+    print(_render(run_benchmark()))

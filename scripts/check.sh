@@ -13,11 +13,18 @@
 #                                incident/index/parallel tests plus the
 #                                vault ingest benchmark; writes
 #                                BENCH_fleet.json
-#   scripts/check.sh bench       interpreter + fleet-ingest benchmarks;
-#                                writes BENCH_interpreter.json and
-#                                BENCH_fleet.json, then fails if fleet
-#                                ingest regressed >25% vs the previous
-#                                BENCH_fleet.json history entry
+#   scripts/check.sh gc          retention/compaction subsystem: the
+#                                policy + pin tests, the crash-injection
+#                                fuzz sweep (200+ seeded kills), and the
+#                                GC benchmark (reclaim rate + ingest
+#                                throughput under compaction) merged
+#                                into BENCH_fleet.json
+#   scripts/check.sh bench       interpreter + fleet-ingest + fleet-GC
+#                                benchmarks; writes BENCH_interpreter.json
+#                                and BENCH_fleet.json, then fails if fleet
+#                                ingest or GC reclaim regressed >25% vs
+#                                the previous BENCH_fleet.json history
+#                                entry
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -37,13 +44,21 @@ case "${1:-test-fast}" in
     python -m pytest -q tests/fleet -m "slow or not slow"
     exec python benchmarks/bench_fleet_ingest.py
     ;;
+  gc)
+    python -m pytest -q tests/fleet/test_retention.py \
+      tests/fleet/test_gc_fuzz.py -m "slow or not slow"
+    python benchmarks/bench_fleet_gc.py
+    exec python benchmarks/bench_fleet_gc.py --check
+    ;;
   bench)
     python benchmarks/bench_interpreter.py
     python benchmarks/bench_fleet_ingest.py
-    exec python benchmarks/bench_fleet_ingest.py --check
+    python benchmarks/bench_fleet_gc.py
+    python benchmarks/bench_fleet_ingest.py --check
+    exec python benchmarks/bench_fleet_gc.py --check
     ;;
   *)
-    echo "usage: $0 {test-fast|test-all|chaos|fleet|bench}" >&2
+    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|bench}" >&2
     exit 2
     ;;
 esac

@@ -19,13 +19,23 @@ Five layers turn per-session snaps into durable, queryable evidence:
   incident grouping (group-snap fan-outs and SYNC-linked snaps),
   O(result) through the index;
 * :mod:`repro.fleet.metrics` — the ingest/dedupe/retry/store counters
-  the CLI surfaces.
+  the CLI surfaces;
+* :mod:`repro.fleet.retention` — declarative retention policies and
+  compaction planning: ``tbtrace gc`` prints the plan,
+  :meth:`SnapVault.compact` applies it crash-safely (tombstone commit
+  points, redo-at-open, pins for open incidents and dead letters).
 """
 
 from repro.fleet.collector import Collector, PendingUpload
 from repro.fleet.index import IncidentIndex, batch_group
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.query import Incident, VaultQuery
+from repro.fleet.retention import (
+    CompactionPlan,
+    RetentionError,
+    RetentionPolicy,
+    plan_compaction,
+)
 from repro.fleet.store import (
     PreparedSnap,
     SnapVault,
@@ -39,11 +49,14 @@ from repro.fleet.store import (
 
 __all__ = [
     "Collector",
+    "CompactionPlan",
     "FleetMetrics",
     "Incident",
     "IncidentIndex",
     "PendingUpload",
     "PreparedSnap",
+    "RetentionError",
+    "RetentionPolicy",
     "SnapVault",
     "StoreResult",
     "VaultEntry",
@@ -52,5 +65,6 @@ __all__ = [
     "batch_group",
     "content_digest",
     "mine_sync_ids",
+    "plan_compaction",
     "prepare_snap",
 ]

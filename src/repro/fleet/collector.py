@@ -18,6 +18,13 @@ the chaos the fleet actually serves up:
   jittered delay; only after ``max_retries`` does it land in the
   dead-letter list (still inspectable — evidence is never silently
   discarded);
+* **GC pin protocol** — the collector registers its queued +
+  dead-lettered digests as a vault pin source, so retention compaction
+  (:meth:`~repro.fleet.store.SnapVault.compact`) never deletes content
+  an outstanding upload still references;
+* **deterministic close** — :meth:`Collector.close` flushes what it
+  can and dead-letters the rest; a close racing an in-flight drain can
+  never silently drop an accepted snap;
 * **pipelined preparation** — with a worker pool attached, the
   CPU-heavy per-snap work (content digest, TBSZ2 compression, SYNC-id
   mining — :func:`repro.fleet.store.prepare_snap`) starts the moment a
@@ -39,7 +46,13 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.fleet.metrics import FleetMetrics
-from repro.fleet.store import PreparedSnap, SnapVault, StoreResult, prepare_snap
+from repro.fleet.store import (
+    PreparedSnap,
+    SnapVault,
+    StoreResult,
+    content_digest,
+    prepare_snap,
+)
 from repro.runtime.snap import SnapFile
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -64,6 +77,18 @@ class PendingUpload:
     #: In-flight or finished preparation (worker-pool stage); reused
     #: across retries so a redelivered snap is never re-compressed.
     prepared: "Future | PreparedSnap | None" = None
+    #: Cached content digest (the GC pin protocol asks for it).
+    _digest: str | None = None
+
+    def digest(self) -> str:
+        """Content digest of the queued snap, computed once."""
+        if self._digest is None:
+            prepared = self.prepared
+            if isinstance(prepared, PreparedSnap):
+                self._digest = prepared.digest
+            else:
+                self._digest = content_digest(self.snap)
+        return self._digest
 
 
 class Collector:
@@ -123,9 +148,49 @@ class Collector:
             self.executor = ThreadPoolExecutor(
                 max_workers=workers, thread_name_prefix=f"{name}-prep"
             )
+        self._closed = False
+        # The GC pin protocol: content this collector still holds
+        # (queued or dead-lettered) must not be collected out of the
+        # vault — a redelivery would otherwise re-store evidence the
+        # engineer believed was already safe, or worse, arrive to find
+        # its incident's other members gone.
+        vault.add_pin_source(self.pinned_digests)
 
-    def close(self) -> None:
-        """Shut down a collector-owned worker pool (idempotent)."""
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def pinned_digests(self) -> set[str]:
+        """Digests of every queued + dead-lettered snap (pin protocol)."""
+        return {
+            item.digest() for item in list(self.queue) + list(self.dead)
+        }
+
+    def close(self, flush: bool = True) -> None:
+        """Shut down deterministically: flush or dead-letter, never drop.
+
+        Every snap still queued at close time either lands in the vault
+        (``flush=True`` gives it a final delivery run, retries and all)
+        or moves to the dead-letter list (``close_dead_letters`` counts
+        them) — closing can never silently lose an accepted snap, even
+        when it races an in-flight :meth:`drain` from another thread.
+        Also shuts down a collector-owned worker pool.  Idempotent;
+        submissions after close dead-letter immediately.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if flush:
+            # Final delivery run.  flush_batch terminates the same way
+            # drain does: every pass stores an item or advances it
+            # toward the dead-letter limit.
+            while self.queue:
+                self.flush_batch()
+            self.vault.flush_index()
+        while self.queue:
+            item = self.queue.popleft()
+            self.dead.append(item)
+            self.metrics.bump(dead_letters=1, close_dead_letters=1)
         if self._own_executor and self.executor is not None:
             self.executor.shutdown(wait=True)
             self.executor = None
@@ -137,6 +202,15 @@ class Collector:
     def submit(self, snap: SnapFile) -> None:
         """A service process forwards one snap (the `forward_to` hook)."""
         self.metrics.bump(submitted=1)
+        if self._closed:
+            # A closed collector accepts nothing new onto the wire, but
+            # evidence is never silently discarded: straight to the
+            # dead-letter list, inspectable and requeue-able elsewhere.
+            self.dead.append(
+                PendingUpload(machine=snap.machine_name, snap=snap)
+            )
+            self.metrics.bump(dead_letters=1, close_dead_letters=1)
+            return
         if len(self.queue) >= self.queue_limit:
             # Back-pressure: flush a batch inline rather than grow.
             self.metrics.bump(backpressure_flushes=1)
@@ -250,11 +324,25 @@ class Collector:
         return total
 
     def requeue_dead(self) -> int:
-        """Give dead-lettered uploads a fresh round of retries."""
-        count = len(self.dead)
-        for item in self.dead:
+        """Give dead-lettered uploads a fresh round of retries.
+
+        Respects the queue bound: only as many dead letters as the
+        queue has room for are admitted (oldest first — they have
+        waited longest), the rest stay dead-lettered, and the *actual*
+        admitted count is returned.  Overfilling the queue here used to
+        make the next ``submit`` evict live entries to make room for
+        previously-failed ones.  Metrics move exactly once per
+        transition: ``dead_letters`` counted the entry into the list,
+        ``dead_requeued`` counts the exit, so ``dead_letters -
+        dead_requeued`` is always the current net dead-letter total.
+        """
+        admitted = 0
+        while self.dead and len(self.queue) < self.queue_limit:
+            item = self.dead.pop(0)
             item.attempts = 0
             self.queue.append(item)
-        self.dead.clear()
+            admitted += 1
+        if admitted:
+            self.metrics.bump(dead_requeued=admitted)
         self.metrics.bump_peak("queue_peak", len(self.queue))
-        return count
+        return admitted

@@ -28,7 +28,9 @@ class FleetMetrics:
     uploads: int = 0  # upload attempts that reached the vault
     drops: int = 0  # attempts lost in transit (chaos)
     retries: int = 0  # re-queued after a drop
-    dead_letters: int = 0  # gave up after max retries
+    dead_letters: int = 0  # transitions into the dead-letter list
+    dead_requeued: int = 0  # transitions back out (requeue_dead admissions)
+    close_dead_letters: int = 0  # dead-lettered by close() instead of dropped
     evicted: int = 0  # pushed out of a full queue
     backpressure_flushes: int = 0  # inline flushes forced by a full queue
     queue_peak: int = 0  # high-water mark of the bounded queue
@@ -45,6 +47,15 @@ class FleetMetrics:
     group_commits: int = 0  # batch-durability sync points
     sync_coalesced: int = 0  # batches made durable by another's sync
     index_rebuilds: int = 0
+
+    # -- retention / compaction (the GC pass) ---------------------------
+    compactions: int = 0  # compact() passes that ran to completion
+    entries_compacted: int = 0  # manifest entries removed by compaction
+    blobs_deleted: int = 0  # TBSZ2 blobs unlinked by compaction
+    reclaimed_bytes: int = 0  # compressed bytes freed by compaction
+    pins_honored: int = 0  # expired entries kept by a pin rule
+    tombstones_written: int = 0  # dead-entry markers appended to manifests
+    gc_redo_deletes: int = 0  # interrupted deletions finished at open
 
     # -- incident index ------------------------------------------------
     index_persists: int = 0  # incidents.idx checkpoints written
@@ -113,6 +124,13 @@ class FleetMetrics:
             f"({self.dedupe_rate:.0%}, {self.early_dedupe_hits} early), "
             f"{self.manifest_heals} healed, {self.bytes_written} bytes, "
             f"{self.index_rebuilds} index rebuilds"
+        )
+        lines.append(
+            f"  gc: {self.compactions} compactions, "
+            f"{self.entries_compacted} entries compacted, "
+            f"{self.blobs_deleted} blobs deleted, "
+            f"{self.reclaimed_bytes} bytes reclaimed, "
+            f"{self.pins_honored} pins honored"
         )
         lines.append(
             f"  incident index: {self.index_persists} persists, "

@@ -253,9 +253,20 @@ class VaultQuery:
         self.metrics.incident_lookups += 1
         if component is None:
             return None
+        # .get(): a compaction racing this lookup may have dropped a
+        # member between the component read and here; serve the
+        # members that still exist rather than KeyError on a digest
+        # the next index swap will forget.
+        entries = [
+            e
+            for e in (self.vault.index.get(d) for d in component.digests)
+            if e is not None
+        ]
+        if not entries:
+            return None
         return Incident(
             incident_id=component.min_seq,
-            entries=[self.vault.index[d] for d in component.digests],
+            entries=entries,
             links=component.kinds,
         )
 
@@ -288,10 +299,17 @@ class VaultQuery:
             self.metrics.incident_lookups += 1
         incidents = []
         for position, component in enumerate(index.components(candidates)):
+            entries = [
+                e
+                for e in (self.vault.index.get(d) for d in component.digests)
+                if e is not None
+            ]
+            if not entries:
+                continue  # every member compacted away mid-listing
             incidents.append(
                 Incident(
                     incident_id=position,
-                    entries=[self.vault.index[d] for d in component.digests],
+                    entries=entries,
                     links=component.kinds,
                 )
             )

@@ -1,0 +1,222 @@
+"""Retention policy and compaction planning for the snap vault.
+
+TraceBack's premise is that evidence of a first fault survives until a
+human reads it (§2: buffers outlive the process) — but the vault is
+append-only, so dead-lettered evidence, superseded incidents, and old
+runs accumulate forever.  This module is the declarative half of the
+GC: a :class:`RetentionPolicy` says what may go, and
+:func:`plan_compaction` turns it into an exact, inspectable
+:class:`CompactionPlan` that ``tbtrace gc --dry-run`` prints and
+:meth:`SnapVault.compact` then applies verbatim.
+
+Budgets are **per shard** (shards are the unit of manifest rewrite and
+of cross-collector load spreading):
+
+* ``max_age`` — entries whose snap clock is older than ``now -
+  max_age`` expire (``now`` defaults to the newest clock in the vault,
+  so a vault nobody writes to does not silently age out);
+* ``max_entries_per_shard`` — keep the newest N entries of each shard
+  (by ingest seq), expire the rest;
+* ``max_bytes_per_shard`` — keep the newest entries of each shard
+  while their compressed blob bytes fit the budget.
+
+Pins override budgets — evidence a human (or the uplink) still needs
+never goes, no matter how over-budget the shard is:
+
+* **open incidents** (``pin_open_incidents``, on by default): the GC
+  unit is the incident, never the snap.  An incident is *open* while
+  any of its member snaps is individually retained; compaction either
+  keeps a whole incident or collects a whole incident, so it can never
+  split the evidence of one distributed fault (and a freshly-arrived
+  snap keeps the entire history of its incident alive);
+* **dead-letter / uplink pins** (``pin_dead_letters``): every
+  registered pin source (collectors register their queued and
+  dead-lettered digests — see ``Collector.pinned_digests``) keeps the
+  vault's copy of that content: a dead letter may redeliver, and
+  deleting the stored twin would turn that redelivery into a re-store
+  of evidence the engineer believed was already safe;
+* ``pin_digests`` — explicit, caller-supplied pins.
+
+Every entry kept *only* because a pin overrode its expiry bumps
+``pins_honored``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.fleet.index import IncidentIndex
+    from repro.fleet.store import VaultEntry
+
+
+class RetentionError(ValueError):
+    """The retention policy is not executable as written."""
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Declarative budgets + pin rules for one compaction pass.
+
+    A policy with no budget set retains everything (an explicit no-op:
+    ``tbtrace gc`` refuses it rather than guessing).
+    """
+
+    #: Expire entries older than this many clock ticks (None = no age
+    #: budget).  Age is measured against ``now`` at plan time.
+    max_age: int | None = None
+    #: Keep at most this many entries per shard, newest first.
+    max_entries_per_shard: int | None = None
+    #: Keep at most this many compressed blob bytes per shard.
+    max_bytes_per_shard: int | None = None
+    #: Never collect an incident that still has a retained member.
+    pin_open_incidents: bool = True
+    #: Honor registered pin sources (collector queues / dead letters).
+    pin_dead_letters: bool = True
+    #: Explicit digests that must be retained regardless of budgets.
+    pin_digests: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        for name in ("max_age", "max_entries_per_shard",
+                     "max_bytes_per_shard"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise RetentionError(f"{name} must be >= 0, got {value}")
+
+    @property
+    def bounded(self) -> bool:
+        """Does any budget actually expire anything?"""
+        return (
+            self.max_age is not None
+            or self.max_entries_per_shard is not None
+            or self.max_bytes_per_shard is not None
+        )
+
+
+@dataclass
+class CompactionPlan:
+    """The exact outcome of applying a policy to a vault snapshot.
+
+    ``compact()`` applies a plan verbatim; ``--dry-run`` prints one and
+    stops.  The two therefore always agree on the victim set (the plan
+    is computed under the vault's index lock, so it is a consistent
+    snapshot; entries ingested after planning are untouched either way).
+    """
+
+    policy: RetentionPolicy
+    now: int
+    #: Entries to delete, ingest order.
+    victims: list["VaultEntry"] = field(default_factory=list)
+    #: Entries kept, ingest order (pins included).
+    retained: list["VaultEntry"] = field(default_factory=list)
+    #: Digests kept only because a pin overrode their expiry.
+    pinned: list[str] = field(default_factory=list)
+    #: Compressed bytes the victims' blobs occupy.
+    reclaimed_bytes: int = 0
+
+    @property
+    def victim_digests(self) -> set[str]:
+        return {e.digest for e in self.victims}
+
+    def to_dict(self) -> dict:
+        """Machine-readable form (``tbtrace gc --json``)."""
+        return {
+            "now": self.now,
+            "victims": [e.digest for e in self.victims],
+            "retained": len(self.retained),
+            "pins_honored": len(self.pinned),
+            "reclaimed_bytes": self.reclaimed_bytes,
+        }
+
+    def describe(self) -> list[str]:
+        """The documented ``tbtrace gc`` plan listing, one line each."""
+        lines = [
+            f"plan: delete {len(self.victims)} snap(s), reclaim "
+            f"{self.reclaimed_bytes} bytes, keep {len(self.retained)}, "
+            f"{len(self.pinned)} pin(s) honored"
+        ]
+        for entry in self.victims:
+            lines.append(
+                f"  {entry.digest[:12]}  seq {entry.seq}  "
+                f"{entry.machine}/{entry.process}  {entry.reason}  "
+                f"clock {entry.clock}  {entry.size}B"
+            )
+        return lines
+
+
+def _expired_by_budgets(
+    entries: list["VaultEntry"], policy: RetentionPolicy, now: int
+) -> set[str]:
+    """Digests the budgets alone would expire (before any pin rule)."""
+    expired: set[str] = set()
+    if policy.max_age is not None:
+        horizon = now - policy.max_age
+        expired.update(e.digest for e in entries if e.clock < horizon)
+    by_shard: dict[int, list["VaultEntry"]] = {}
+    for entry in entries:
+        by_shard.setdefault(entry.shard, []).append(entry)
+    for members in by_shard.values():
+        members.sort(key=lambda e: e.seq, reverse=True)  # newest first
+        if policy.max_entries_per_shard is not None:
+            expired.update(
+                e.digest for e in members[policy.max_entries_per_shard:]
+            )
+        if policy.max_bytes_per_shard is not None:
+            spent = 0
+            for entry in members:
+                spent += entry.size
+                if spent > policy.max_bytes_per_shard:
+                    expired.add(entry.digest)
+    return expired
+
+
+def plan_compaction(
+    entries: list["VaultEntry"],
+    policy: RetentionPolicy,
+    incident_index: "IncidentIndex | None" = None,
+    pin_sources: Iterable = (),
+    now: int | None = None,
+) -> CompactionPlan:
+    """Apply a policy to a consistent entry snapshot.
+
+    Pure function of its inputs — callers (``SnapVault.compact``, the
+    dry-run CLI) hold whatever locks make the snapshot consistent.
+    """
+    if not policy.bounded:
+        raise RetentionError(
+            "retention policy sets no budget; refusing to plan a no-op "
+            "(set max_age, max_entries_per_shard, or max_bytes_per_shard)"
+        )
+    entries = sorted(entries, key=lambda e: e.seq)
+    if now is None:
+        now = max((e.clock for e in entries), default=0)
+
+    expired = _expired_by_budgets(entries, policy, now)
+    pins: set[str] = set(policy.pin_digests)
+    if policy.pin_dead_letters:
+        for source in pin_sources:
+            try:
+                pins.update(source())
+            except Exception:  # noqa: BLE001 — a dying pin source must
+                continue  # never block GC; its pins just lapse.
+    live = {e.digest for e in entries} - expired | pins
+
+    pinned: set[str] = pins & expired
+    if policy.pin_open_incidents and incident_index is not None:
+        # Incident atomicity: any retained member keeps the whole
+        # component alive (the incident is still open).
+        for component in incident_index.components():
+            members = set(component.digests)
+            if members & live:
+                pinned |= (members & expired) - pins
+                live |= members
+    victims = [e for e in entries if e.digest not in live]
+    return CompactionPlan(
+        policy=policy,
+        now=now,
+        victims=victims,
+        retained=[e for e in entries if e.digest in live],
+        pinned=sorted(pinned),
+        reclaimed_bytes=sum(e.size for e in victims),
+    )

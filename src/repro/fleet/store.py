@@ -40,6 +40,31 @@ Concurrency model (the multi-collector ingest pipeline):
   the un-manifested tail of one batch, and the blobs that did land are
   healed back into a manifest on the next duplicate arrival or
   ``rebuild_index()``.
+
+Retention + compaction (the GC pass; see :mod:`repro.fleet.retention`):
+
+* :meth:`SnapVault.compact` applies a :class:`RetentionPolicy` plan.
+  Per shard, under that shard's single-writer lock: one **tombstone
+  line** (a single JSON line naming every victim digest, one
+  ``os.write``) is appended first — that line is the shard's commit
+  point, after which loading yields exactly the post-compaction view
+  (a torn tombstone is skipped and yields exactly the pre-compaction
+  view; there is no in-between) — then victim blobs are unlinked, then
+  the manifest is atomically rewritten without dead entries or
+  tombstones (temp + ``os.replace``);
+* a kill -9 anywhere in that sequence loses no live snap: blob
+  deletion is a *redo* of what the tombstone already committed, and
+  opening a vault finishes any interrupted deletions
+  (``gc_redo_deletes``) so no orphan blob survives a crash-interrupted
+  compaction;
+* the ``incidents.idx`` checkpoint is invalidated before the first
+  manifest mutation and rebuilt from the surviving entries afterwards,
+  so a crash can never leave a checkpoint that outlives the manifests
+  it summarized;
+* compaction runs concurrently with multi-collector ingest: a
+  re-arrival of content being collected re-stores it as a fresh entry
+  (its manifest line lands after the tombstone, and per-shard
+  last-writer-wins loading resurrects it).
 """
 
 from __future__ import annotations
@@ -67,6 +92,11 @@ BLOB_SUFFIX = ".tbsz"
 
 #: Manifest filename inside each shard directory.
 MANIFEST = "manifest.jsonl"
+
+#: Key of a dead-entry marker line in a manifest: ``{"tomb": [digests]}``.
+#: One tombstone line lists every victim of one compaction pass in that
+#: shard, so its single append is the shard's atomic commit point.
+TOMBSTONE_KEY = "tomb"
 
 #: Subdirectory where module mapfiles ride along with the evidence.
 MAPFILE_DIR = "mapfiles"
@@ -260,6 +290,14 @@ class SnapVault:
         self._next_seq = 0
         self._lock = threading.RLock()
         self._shard_locks = [threading.Lock() for _ in range(shards)]
+        #: One compaction / manifest-regeneration pass at a time.
+        self._compact_lock = threading.Lock()
+        #: ``digest -> set()`` callables whose results pin content
+        #: against GC (collectors register their queues/dead letters).
+        self._pin_sources: list = []
+        #: Crash-injection hook for the GC fuzz tests: called with a
+        #: label at every point a kill -9 could land mid-compaction.
+        self._crash_hook = None
         # Group-commit sync coalescing (durability="batch"): a batch is
         # durable once ANY os.sync() that started after its blob writes
         # completed finishes, so concurrent batches share sync points
@@ -277,10 +315,16 @@ class SnapVault:
         #: duplicate submissions into a reopened vault still register
         #: as dedupe hits).
         self._digests: set[str] = set(self.index)
+        #: Digests whose manifest line is durably on disk — the only
+        #: entries compaction may victimize (an entry mid-commit has no
+        #: durable line yet; tombstoning it would let its own append
+        #: resurrect a deleted blob).
+        self._manifested: set[str] = set(self.index)
         #: Blobs on disk (a superset after a kill between a blob write
         #: and its manifest line — those orphans are healed on the next
         #: duplicate arrival instead of being stored twice).
         self._blob_digests: set[str] = self._scan_blobs()
+        self._finish_interrupted_gc()
         self._load_incident_index()
 
     # ------------------------------------------------------------------
@@ -314,29 +358,84 @@ class SnapVault:
     # ------------------------------------------------------------------
     # Manifest / index
     # ------------------------------------------------------------------
+    @staticmethod
+    def _read_manifest(path: str) -> tuple[dict[str, "VaultEntry"], set[str]]:
+        """Parse one shard manifest with last-writer-wins semantics.
+
+        Returns ``(live, dead)``: live entries keyed by digest in file
+        order, and digests whose *final* state is a tombstone.  A
+        tombstone line kills every entry that precedes it; a later
+        entry line resurrects the digest (re-ingest after compaction).
+        Unparseable lines — a torn tail from a kill mid-append — are
+        skipped, which is exactly the pre-write view.
+        """
+        live: dict[str, VaultEntry] = {}
+        dead: set[str] = set()
+        if not os.path.exists(path):
+            return live, dead
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and TOMBSTONE_KEY in record:
+                    victims = record[TOMBSTONE_KEY]
+                    if isinstance(victims, str):
+                        victims = [victims]
+                    for digest in victims:
+                        live.pop(digest, None)
+                        dead.add(digest)
+                    continue
+                try:
+                    entry = VaultEntry.from_dict(record)
+                except (TypeError, KeyError):
+                    # A torn trailing line from a kill mid-append:
+                    # the blob write is atomic, so rebuild_index can
+                    # still restore this entry from the archive.
+                    continue
+                # Re-insert so a resurrected digest sorts after its
+                # tombstone in file order.
+                live.pop(entry.digest, None)
+                live[entry.digest] = entry
+                dead.discard(entry.digest)
+        return live, dead
+
     def _load_manifests(self) -> None:
         entries: list[VaultEntry] = []
+        max_seen = -1
+        self._tombstoned_dead: set[str] = set()
         for shard in range(self.shards):
             path = os.path.join(self._shard_dir(shard), MANIFEST)
-            if not os.path.exists(path):
-                continue
-            with open(path) as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        entries.append(VaultEntry.from_dict(json.loads(line)))
-                    except (json.JSONDecodeError, TypeError, KeyError):
-                        # A torn trailing line from a kill mid-append:
-                        # the blob write is atomic, so rebuild_index can
-                        # still restore this entry from the archive.
-                        continue
+            live, dead = self._read_manifest(path)
+            entries.extend(live.values())
+            self._tombstoned_dead |= dead
         entries.sort(key=lambda e: e.seq)
         for entry in entries:
             self.index[entry.digest] = entry
-        if entries:
-            self._next_seq = max(e.seq for e in entries) + 1
+            max_seen = max(max_seen, entry.seq)
+        self._next_seq = max_seen + 1
+
+    def _finish_interrupted_gc(self) -> None:
+        """Redo blob deletions a killed compaction left unfinished.
+
+        A tombstone is the durable commitment that its digests are
+        dead; unlinking their blobs is idempotent redo.  Running it at
+        open restores the invariant that every blob on disk is either
+        manifested or a heal-pending ingest orphan — never a deleted
+        snap's leftover that ``rebuild_index()`` would resurrect.
+        """
+        for digest in self._tombstoned_dead:
+            if digest in self._blob_digests:
+                try:
+                    os.unlink(self.blob_path(digest))
+                except OSError:
+                    continue
+                self._blob_digests.discard(digest)
+                self.metrics.gc_redo_deletes += 1
 
     def _load_incident_index(self) -> None:
         from repro.fleet.index import IncidentIndex
@@ -397,11 +496,17 @@ class SnapVault:
         numbers are reassigned in digest order (ingest order is lost
         with the manifests — archives carry no vault timestamps).
         The incident index is rebuilt and re-persisted from the fresh
-        manifests in the same pass.
+        manifests in the same pass; the on-disk checkpoint is
+        invalidated *before* the first manifest is touched, so a kill
+        anywhere mid-rebuild can never leave a pre-rebuild checkpoint
+        next to post-rebuild manifests — reopening rebuilds from the
+        manifests instead of serving stale groupings.
         """
         from repro.fleet.index import IncidentIndex
 
-        with self._lock:
+        with self._compact_lock, self._lock:
+            self._invalidate_incident_checkpoint()
+            self._gc_point("rebuild-checkpoint-invalidated")
             self.index.clear()
             self._next_seq = 0
             self.metrics.index_rebuilds += 1
@@ -432,14 +537,200 @@ class SnapVault:
                     ("\n".join(lines) + "\n" if lines else "").encode(),
                     manifest,
                 )
+                self._gc_point(f"rebuild-manifest-{shard:02d}")
             self._digests = set(self.index)
+            self._manifested = set(self.index)
+            self._tombstoned_dead = set()
             self._blob_digests = self._scan_blobs()
             self.incident_index = IncidentIndex.rebuild(
                 list(self.index.values()), window=self.link_window
             )
+            self._gc_point("rebuild-index-rebuilt")
             self.incident_index.persist(self.root)
             self.metrics.index_persists += 1
             return recovered
+
+    # ------------------------------------------------------------------
+    # Retention / compaction (the GC pass)
+    # ------------------------------------------------------------------
+    def add_pin_source(self, source) -> None:
+        """Register a ``() -> set[str]`` of digests GC must retain.
+
+        Collectors register their in-flight queue + dead-letter digests
+        here (the pin protocol): content a dead letter may redeliver is
+        never collected out from under it.
+        """
+        with self._lock:
+            if source not in self._pin_sources:
+                self._pin_sources.append(source)
+
+    def remove_pin_source(self, source) -> None:
+        with self._lock:
+            if source in self._pin_sources:
+                self._pin_sources.remove(source)
+
+    def _invalidate_incident_checkpoint(self) -> None:
+        """Drop ``incidents.idx`` before mutating what it summarizes."""
+        try:
+            os.unlink(os.path.join(self.root, self.incident_index_path()))
+        except OSError:
+            pass
+
+    def _gc_point(self, label: str) -> None:
+        """A point where the GC fuzz tests may simulate a kill -9."""
+        hook = self._crash_hook
+        if hook is not None:
+            hook(label)
+
+    def plan_compaction(self, policy, now: int | None = None):
+        """What :meth:`compact` would delete — the ``--dry-run`` view.
+
+        Computed under the index lock against the durably-manifested
+        entry set, so the plan is a consistent snapshot: applying it
+        deletes exactly this set (entries ingested after planning are
+        untouched either way).
+        """
+        from repro.fleet.retention import plan_compaction
+
+        with self._lock:
+            entries = [
+                e for e in self.index.values() if e.digest in self._manifested
+            ]
+            return plan_compaction(
+                entries,
+                policy,
+                incident_index=self.incident_index,
+                pin_sources=list(self._pin_sources),
+                now=now,
+            )
+
+    def compact(self, policy=None, plan=None, now: int | None = None):
+        """Apply a retention policy: tombstone, delete, rewrite, reindex.
+
+        Crash-safe by construction — per shard, under that shard's
+        single-writer lock:
+
+        1. one tombstone line naming every victim is appended with a
+           single ``os.write`` (the commit point: torn = pre view,
+           landed = post view, nothing in between);
+        2. victims leave the in-memory index, so a concurrent
+           re-arrival of the same content re-stores it fresh;
+        3. victim blobs are unlinked (idempotent redo of what the
+           tombstone committed; a kill here is finished at next open);
+        4. the manifest is atomically rewritten without dead entries
+           or tombstones.
+
+        The ``incidents.idx`` checkpoint is invalidated before step 1
+        and rebuilt from the survivors after the last shard.  Safe to
+        run concurrently with multi-collector ingest; one compaction
+        pass at a time.  Returns the applied
+        :class:`~repro.fleet.retention.CompactionPlan`.
+        """
+        if (policy is None) == (plan is None):
+            raise VaultError("pass exactly one of policy= or plan=")
+        with self._compact_lock:
+            if plan is None:
+                plan = self.plan_compaction(policy, now=now)
+            if not plan.victims:
+                with self._lock:
+                    self.metrics.compactions += 1
+                    self.metrics.pins_honored += len(plan.pinned)
+                return plan
+            # The checkpoint must never outlive the manifests it was
+            # computed from: drop it before the first mutation.
+            self._invalidate_incident_checkpoint()
+            self._gc_point("checkpoint-invalidated")
+            by_shard: dict[int, list[VaultEntry]] = {}
+            for entry in plan.victims:
+                by_shard.setdefault(entry.shard, []).append(entry)
+            removed = blobs_deleted = reclaimed = 0
+            for shard, victims in sorted(by_shard.items()):
+                with self._shard_locks[shard]:
+                    # Leave the in-memory view first: from here on a
+                    # re-arrival of victim content re-stores it fresh
+                    # (and resurrects it, since its manifest line lands
+                    # after our tombstone) instead of dedup-hitting an
+                    # entry that is about to die.
+                    with self._lock:
+                        for entry in victims:
+                            if self.index.pop(entry.digest, None) is not None:
+                                removed += 1
+                            self._digests.discard(entry.digest)
+                            self._manifested.discard(entry.digest)
+                    self._append_tombstone(
+                        shard, [e.digest for e in victims]
+                    )
+                    with self._lock:
+                        self.metrics.tombstones_written += 1
+                    self._gc_point(f"tombstoned-{shard:02d}")
+                    for entry in victims:
+                        # Unlink under the index lock: a concurrent
+                        # re-ingest registers (phase 1, locked) before
+                        # it writes its blob, so either we see the
+                        # registration and keep the blob, or our unlink
+                        # strictly precedes its fresh write.
+                        with self._lock:
+                            if entry.digest in self._digests:
+                                continue  # resurrected by re-ingest
+                            try:
+                                path = self.blob_path(entry.digest)
+                                size = os.path.getsize(path)
+                                os.unlink(path)
+                            except OSError:
+                                continue  # already gone (earlier redo)
+                            self._blob_digests.discard(entry.digest)
+                            blobs_deleted += 1
+                            reclaimed += size
+                        self._gc_point(f"unlinked-{entry.digest[:8]}")
+                    self._rewrite_manifest(shard)
+                    self._gc_point(f"rewritten-{shard:02d}")
+            with self._lock:
+                from repro.fleet.index import IncidentIndex
+
+                self.incident_index = IncidentIndex.rebuild(
+                    list(self.index.values()), window=self.link_window
+                )
+                self._gc_point("index-rebuilt")
+                self.incident_index.persist(self.root)
+                self.metrics.index_persists += 1
+                self.metrics.compactions += 1
+                self.metrics.entries_compacted += removed
+                self.metrics.blobs_deleted += blobs_deleted
+                self.metrics.reclaimed_bytes += reclaimed
+                self.metrics.pins_honored += len(plan.pinned)
+            return plan
+
+    def _append_tombstone(self, shard: int, digests: list[str]) -> None:
+        """One dead-marker line, one ``os.write`` — the commit point.
+
+        Caller holds the shard lock.  All of one pass's victims for the
+        shard ride one line, so a torn write drops them all (pre view)
+        and a landed write kills them all (post view) — the manifest
+        can never show a half-compacted shard.
+        """
+        path = os.path.join(self._shard_dir(shard), MANIFEST)
+        payload = (json.dumps({TOMBSTONE_KEY: digests}) + "\n").encode()
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, payload)
+        finally:
+            os.close(fd)
+
+    def _rewrite_manifest(self, shard: int) -> None:
+        """Rewrite one shard's manifest without dead entries/tombstones.
+
+        Caller holds the shard lock (no concurrent appends).  The file
+        itself is the source of durable truth: lines are re-read with
+        the same last-writer-wins rules loading uses, so entries whose
+        commit raced the compaction (registered but appended later) are
+        simply absent here and land after the rewrite.
+        """
+        path = os.path.join(self._shard_dir(shard), MANIFEST)
+        live, _dead = self._read_manifest(path)
+        lines = [json.dumps(e.to_dict()) for e in live.values()]
+        write_atomic(
+            ("\n".join(lines) + "\n" if lines else "").encode(), path
+        )
 
     # ------------------------------------------------------------------
     # Store / load
@@ -535,6 +826,8 @@ class SnapVault:
         with self._lock:
             for _pos, _item, entry in fresh:
                 self._blob_digests.add(entry.digest)
+            for entry in [e for _p, _i, e in fresh] + healed:
+                self._manifested.add(entry.digest)
             if group_commit:
                 self.metrics.group_commits += 1
             self.metrics.ingested += len(fresh)

@@ -362,6 +362,54 @@ def cmd_incidents(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_gc(args: argparse.Namespace) -> int:
+    """``tbtrace gc``: apply a retention policy to a vault.
+
+    ``--dry-run`` prints the exact plan a real pass would apply —
+    header line ``plan: delete N snap(s), reclaim B bytes, keep M,
+    P pin(s) honored`` followed by one indented line per victim
+    (``digest  seq  machine/process  reason  clock  size``) — and
+    deletes nothing.
+    """
+    from repro.fleet.retention import RetentionError, RetentionPolicy
+
+    try:
+        vault, _query = _open_vault(args)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot open vault {args.vault}: {exc}")
+    try:
+        policy = RetentionPolicy(
+            max_age=args.max_age,
+            max_entries_per_shard=args.max_per_shard,
+            max_bytes_per_shard=args.max_bytes_per_shard,
+            pin_open_incidents=not args.no_pin_incidents,
+        )
+        plan = vault.plan_compaction(policy, now=args.now)
+    except RetentionError as exc:
+        return _fail(str(exc))
+    if args.json:
+        report = plan.to_dict()
+        report["dry_run"] = bool(args.dry_run)
+        print(json.dumps(report, sort_keys=True))
+        if args.dry_run:
+            return 0
+    else:
+        for line in plan.describe():
+            print(line)
+        if args.dry_run:
+            print("dry run: nothing deleted")
+            return 0
+    vault.compact(plan=plan)
+    if not args.json:
+        print(
+            f"gc: deleted {len(plan.victims)} snap(s), reclaimed "
+            f"{plan.reclaimed_bytes} bytes, {len(vault)} snap(s) remain"
+        )
+        print()
+        print(vault.metrics.render())
+    return 0
+
+
 def cmd_tile(args: argparse.Namespace) -> int:
     module = compile_source(_read(args.source), "app", file_name=args.source,
                             bounds_checks=(args.mode == "il"))
@@ -508,6 +556,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="one JSON object per incident (JSON lines), no reconstruction",
     )
     incidents.set_defaults(fn=cmd_incidents)
+
+    gc = sub.add_parser(
+        "gc", help="apply a retention policy to a vault (compaction)"
+    )
+    gc.add_argument("--vault", required=True, help="vault root directory")
+    gc.add_argument(
+        "--max-age", type=int,
+        help="expire snaps whose clock is older than NOW - MAX_AGE",
+    )
+    gc.add_argument(
+        "--max-per-shard", type=int,
+        help="keep at most this many snaps per shard (newest first)",
+    )
+    gc.add_argument(
+        "--max-bytes-per-shard", type=int,
+        help="keep at most this many compressed bytes per shard",
+    )
+    gc.add_argument(
+        "--now", type=int,
+        help="reference clock for --max-age (default: newest snap clock)",
+    )
+    gc.add_argument(
+        "--no-pin-incidents", action="store_true",
+        help="allow collecting part of an incident (default keeps whole "
+        "incidents alive while any member is retained)",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="print the plan and delete nothing",
+    )
+    gc.add_argument(
+        "--json", action="store_true",
+        help="one JSON object describing the plan",
+    )
+    gc.set_defaults(fn=cmd_gc)
 
     tile_cmd = sub.add_parser("tile", help="show CFGs and DAG tiling")
     tile_cmd.add_argument("source")

@@ -185,3 +185,163 @@ def test_bad_collector_options_rejected(vault):
         collector_for(vault, batch_size=0)
     with pytest.raises(ValueError):
         collector_for(vault, queue_limit=0)
+
+
+# ----------------------------------------------------------------------
+# requeue_dead respects the queue bound (ISSUE 5 satellite)
+# ----------------------------------------------------------------------
+def test_requeue_dead_respects_queue_capacity(vault):
+    collector = collector_for(vault, queue_limit=4, max_retries=1)
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    for i in range(6):
+        collector.submit(make_snap(payload=i))
+        collector.drain()  # each one dies alone
+    assert len(collector.dead) == 6
+    assert vault.metrics.dead_letters == 6
+    # Pre-fill half the queue with live submissions.
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    collector.submit(make_snap(payload="live-a"))
+    collector.submit(make_snap(payload="live-b"))
+    assert collector.pending() == 2
+    admitted = collector.requeue_dead()
+    # Only the queue's remaining room was used; the rest stay dead.
+    assert admitted == 2
+    assert collector.pending() == 4
+    assert len(collector.dead) == 4
+    assert vault.metrics.dead_requeued == 2
+    # No live entry was evicted to make room.
+    queued = [item.snap.detail["code"] for item in collector.queue]
+    assert "live-a" in queued and "live-b" in queued
+    assert vault.metrics.evicted == 0
+
+
+def test_requeue_dead_counts_each_transition_once(vault):
+    collector = collector_for(vault, queue_limit=8, max_retries=1)
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    collector.submit(make_snap(payload="x"))
+    collector.drain()
+    assert vault.metrics.dead_letters == 1
+    # Die, requeue, die again, requeue again: two full round trips.
+    assert collector.requeue_dead() == 1
+    collector.drain()
+    assert vault.metrics.dead_letters == 2
+    assert collector.requeue_dead() == 1
+    collector.upload_chaos = None
+    collector.drain()
+    assert len(vault) == 1
+    assert vault.metrics.dead_letters == 2
+    assert vault.metrics.dead_requeued == 2
+    assert not collector.dead
+    # Net dead letters is the difference of the two counters.
+    assert vault.metrics.dead_letters - vault.metrics.dead_requeued == 0
+
+
+def test_requeue_dead_with_no_room_admits_nothing(vault):
+    collector = collector_for(vault, queue_limit=2, max_retries=1)
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    collector.submit(make_snap(payload="dies"))
+    collector.drain()
+    collector.submit(make_snap(payload="live-1"))
+    collector.submit(make_snap(payload="live-2"))
+    assert collector.pending() == 2  # full
+    assert collector.requeue_dead() == 0
+    assert len(collector.dead) == 1
+    assert vault.metrics.dead_requeued == 0
+
+
+# ----------------------------------------------------------------------
+# close(): flush-or-deadletter, deterministically (ISSUE 5 satellite)
+# ----------------------------------------------------------------------
+def test_close_flushes_pending_uploads(vault):
+    collector = collector_for(vault)
+    for i in range(3):
+        collector.submit(make_snap(payload=i))
+    collector.close()
+    assert collector.closed
+    assert len(vault) == 3
+    assert collector.pending() == 0 and not collector.dead
+    # The incident checkpoint was flushed too.
+    import os
+
+    assert os.path.exists(
+        os.path.join(vault.root, vault.incident_index_path())
+    )
+
+
+def test_close_dead_letters_what_cannot_flush(vault):
+    collector = collector_for(vault, max_retries=1)
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    for i in range(3):
+        collector.submit(make_snap(payload=i))
+    collector.close()
+    # Nothing landed, nothing silently dropped: all dead-lettered.
+    assert len(vault) == 0
+    assert collector.pending() == 0
+    assert len(collector.dead) == 3
+    assert vault.metrics.dead_letters == 3
+
+
+def test_close_without_flush_dead_letters_everything(vault):
+    collector = collector_for(vault)
+    for i in range(3):
+        collector.submit(make_snap(payload=i))
+    collector.close(flush=False)
+    assert len(vault) == 0
+    assert len(collector.dead) == 3
+    assert vault.metrics.close_dead_letters == 3
+
+
+def test_close_is_idempotent_and_rejects_new_work(vault):
+    collector = collector_for(vault)
+    collector.submit(make_snap(payload="in-time"))
+    collector.close()
+    collector.close()  # second close is a no-op
+    assert len(vault) == 1
+    before = vault.metrics.close_dead_letters
+    collector.submit(make_snap(payload="too-late"))
+    # Submit-after-close is never silently dropped.
+    assert len(collector.dead) == 1
+    assert vault.metrics.close_dead_letters == before + 1
+    assert len(vault) == 1
+    # And it is requeue-able once someone reopens the uplink path.
+    reopened = collector_for(vault)
+    reopened.dead = collector.dead
+    assert reopened.requeue_dead() == 1
+    reopened.drain()
+    assert len(vault) == 2
+
+
+def test_close_racing_drain_accounts_for_every_snap(vault):
+    """close() while another thread drains: each accepted snap ends up
+    stored or dead-lettered exactly once — never lost, never doubled."""
+    import threading
+
+    collector = collector_for(vault, batch_size=2, queue_limit=64)
+    total = 40
+    for i in range(total):
+        collector.submit(make_snap(payload=f"race-{i}"))
+    drainer = threading.Thread(target=collector.drain)
+    drainer.start()
+    collector.close()
+    drainer.join()
+    stored = len(vault)
+    assert stored + len(collector.dead) == total
+    assert collector.pending() == 0
+    assert stored == total  # no chaos: everything should have landed
+
+
+def test_closed_collector_keeps_pinning_its_dead_letters(vault):
+    from repro.fleet import RetentionPolicy
+
+    collector = collector_for(vault, max_retries=1)
+    collector.upload_chaos = lambda machine, snap, attempt: "drop"
+    snap = make_snap(payload="pinned", clock=50)
+    vault.put(snap)  # the stored twin GC would otherwise collect
+    vault.put(make_snap(payload="keeper", clock=500))
+    collector.submit(snap)
+    collector.close()
+    assert len(collector.dead) == 1
+    plan = vault.compact(policy=RetentionPolicy(max_age=10), now=500)
+    digest = next(iter(collector.pinned_digests()))
+    assert digest not in plan.victim_digests
+    assert digest in vault.index

@@ -1,0 +1,548 @@
+"""Retention policy, compaction planning, and the crash-safe GC pass."""
+
+import glob
+import json
+import os
+import threading
+
+import pytest
+
+from repro.fleet import (
+    RetentionError,
+    RetentionPolicy,
+    SnapVault,
+    VaultQuery,
+)
+from repro.fleet.collector import Collector
+from repro.fleet.store import BLOB_SUFFIX, MANIFEST, TOMBSTONE_KEY
+from tests.fleet.test_store import make_snap
+
+
+@pytest.fixture
+def vault(tmp_path):
+    return SnapVault(str(tmp_path / "vault"), shards=4)
+
+
+def fill(vault, count=20, reason="api", clock0=100, group=None):
+    """Store ``count`` distinct snaps, clocks ``clock0..clock0+count-1``."""
+    digests = []
+    for i in range(count):
+        snap = make_snap(
+            machine=f"m{i % 3}", process=f"p{i}", reason=reason,
+            clock=clock0 + i, payload=i,
+        )
+        if group is not None:
+            snap.detail.update(group)
+        digests.append(vault.put(snap).digest)
+    return digests
+
+
+def blobs_on_disk(vault):
+    return {
+        os.path.basename(p)[: -len(BLOB_SUFFIX)]
+        for p in glob.glob(os.path.join(vault.root, "shard-*", "*" + BLOB_SUFFIX))
+    }
+
+
+# ----------------------------------------------------------------------
+# Policy validation
+# ----------------------------------------------------------------------
+def test_unbounded_policy_refused(vault):
+    fill(vault, 3)
+    with pytest.raises(RetentionError):
+        vault.plan_compaction(RetentionPolicy())
+
+
+def test_negative_budget_refused():
+    with pytest.raises(RetentionError):
+        RetentionPolicy(max_age=-1)
+    with pytest.raises(RetentionError):
+        RetentionPolicy(max_entries_per_shard=-5)
+
+
+def test_compact_requires_exactly_one_of_policy_or_plan(vault):
+    from repro.fleet.store import VaultError
+
+    with pytest.raises(VaultError):
+        vault.compact()
+    with pytest.raises(VaultError):
+        vault.compact(
+            policy=RetentionPolicy(max_age=1),
+            plan=vault.plan_compaction(RetentionPolicy(max_age=1)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Budgets
+# ----------------------------------------------------------------------
+def test_max_age_expires_old_snaps(vault):
+    fill(vault, 20, clock0=100)  # clocks 100..119
+    plan = vault.plan_compaction(RetentionPolicy(max_age=10), now=125)
+    # horizon 115: clocks 100..114 expire
+    assert {e.clock for e in plan.victims} == set(range(100, 115))
+    assert {e.clock for e in plan.retained} == set(range(115, 120))
+    assert plan.reclaimed_bytes == sum(e.size for e in plan.victims)
+
+
+def test_now_defaults_to_newest_clock(vault):
+    fill(vault, 10, clock0=100)  # newest clock 109
+    plan = vault.plan_compaction(RetentionPolicy(max_age=4))
+    assert plan.now == 109
+    assert {e.clock for e in plan.retained} == set(range(105, 110))
+
+
+def test_max_entries_per_shard_keeps_newest(vault):
+    fill(vault, 40)
+    plan = vault.plan_compaction(RetentionPolicy(max_entries_per_shard=2))
+    by_shard = {}
+    for e in plan.retained:
+        by_shard.setdefault(e.shard, []).append(e)
+    for shard, kept in by_shard.items():
+        assert len(kept) <= 2
+        # Every victim in this shard is older (lower seq) than the kept.
+        victims = [v for v in plan.victims if v.shard == shard]
+        if victims and kept:
+            assert max(v.seq for v in victims) < min(k.seq for k in kept)
+
+
+def test_max_bytes_per_shard_budget(vault):
+    fill(vault, 40)
+    entries = list(vault.index.values())
+    one = max(e.size for e in entries)
+    plan = vault.plan_compaction(
+        RetentionPolicy(max_bytes_per_shard=one)
+    )
+    by_shard = {}
+    for e in plan.retained:
+        by_shard.setdefault(e.shard, []).append(e)
+    for kept in by_shard.values():
+        assert sum(e.size for e in kept) <= one
+
+
+# ----------------------------------------------------------------------
+# Pins
+# ----------------------------------------------------------------------
+def test_explicit_pin_overrides_budget(vault):
+    digests = fill(vault, 10, clock0=100)
+    pinned = digests[0]  # oldest — would expire
+    plan = vault.plan_compaction(
+        RetentionPolicy(max_age=2, pin_digests=frozenset({pinned})),
+        now=109,
+    )
+    assert pinned not in plan.victim_digests
+    assert pinned in plan.pinned
+    assert vault.compact(plan=plan) is plan
+    assert pinned in vault.index
+    assert vault.metrics.pins_honored == len(plan.pinned) > 0
+
+
+def test_pin_source_protects_dead_letter_digests(vault):
+    digests = fill(vault, 10, clock0=100)
+    protected = set(digests[:3])
+    vault.add_pin_source(lambda: set(protected))
+    plan = vault.plan_compaction(RetentionPolicy(max_age=0), now=200)
+    assert not (protected & plan.victim_digests)
+    assert protected <= set(plan.pinned)
+    # Without the source everything goes.
+    vault._pin_sources.clear()
+    plan2 = vault.plan_compaction(RetentionPolicy(max_age=0), now=200)
+    assert protected <= plan2.victim_digests
+
+
+def test_pin_dead_letters_false_ignores_sources(vault):
+    digests = fill(vault, 5, clock0=100)
+    vault.add_pin_source(lambda: set(digests))
+    plan = vault.plan_compaction(
+        RetentionPolicy(max_age=0, pin_dead_letters=False), now=200
+    )
+    assert plan.victim_digests == set(digests)
+
+
+def test_dying_pin_source_never_blocks_gc(vault):
+    fill(vault, 5, clock0=100)
+
+    def broken():
+        raise RuntimeError("collector went away")
+
+    vault.add_pin_source(broken)
+    plan = vault.plan_compaction(RetentionPolicy(max_age=0), now=200)
+    assert len(plan.victims) == 5  # its pins lapse, GC proceeds
+
+
+def test_collector_queue_and_dead_letters_are_pinned(vault):
+    fill(vault, 6, clock0=100)
+    collector = Collector(vault, max_retries=1, batch_size=1, seed=7)
+    collector.upload_chaos = lambda m, s, a: "drop"
+    dead_snap = make_snap(process="dead", clock=50, payload="dead")
+    vault.put(dead_snap)  # the vault's copy of the dead letter's content
+    collector.submit(dead_snap)
+    collector.drain()
+    assert collector.dead  # chaos dropped it into the dead-letter list
+    plan = vault.plan_compaction(RetentionPolicy(max_age=0), now=500)
+    assert not (collector.pinned_digests() & plan.victim_digests)
+    vault.compact(plan=plan)
+    for digest in collector.pinned_digests():
+        assert digest in vault.index
+
+
+# ----------------------------------------------------------------------
+# Open-incident atomicity: never collect part of an incident
+# ----------------------------------------------------------------------
+def group_detail(initiator="web", reason="crash"):
+    return {"group": "petstore", "initiator": initiator,
+            "initiator_reason": reason}
+
+
+def test_open_incident_never_collected(vault):
+    # Two group-linked snaps: one old (would expire), one new (retained).
+    old = make_snap(machine="a", process="web", reason="group", clock=100,
+                    payload="old")
+    old.detail.update(group_detail())
+    new = make_snap(machine="b", process="db", reason="group", clock=200,
+                    payload="new")
+    new.detail.update(group_detail())
+    d_old = vault.put(old).digest
+    d_new = vault.put(new).digest
+    fill(vault, 5, clock0=100)  # unlinked old snaps that do expire
+    plan = vault.plan_compaction(RetentionPolicy(max_age=10), now=205)
+    # The incident is open (its new member is retained): the old member
+    # is pinned, while the unlinked clock-100 snaps are collected.
+    assert d_old not in plan.victim_digests
+    assert d_old in plan.pinned
+    assert len(plan.victims) == 5
+    vault.compact(plan=plan)
+    assert d_old in vault.index and d_new in vault.index
+    query = VaultQuery(vault)
+    incident = query.incident_of(d_new)
+    assert incident is not None and len(incident.entries) == 2
+
+
+def test_closed_incident_collected_whole(vault):
+    # Both members old: the incident is closed, both go together.
+    for name, payload in (("web", "x"), ("db", "y")):
+        snap = make_snap(machine=name, process=name, reason="group",
+                         clock=100, payload=payload)
+        snap.detail.update(group_detail())
+        vault.put(snap)
+    keeper = vault.put(make_snap(clock=200, payload="keep")).digest
+    plan = vault.plan_compaction(RetentionPolicy(max_age=10), now=205)
+    assert len(plan.victims) == 2
+    vault.compact(plan=plan)
+    assert set(vault.index) == {keeper}
+
+
+def test_no_pin_incidents_allows_splitting(vault):
+    old = make_snap(machine="a", process="web", reason="group", clock=100,
+                    payload="old")
+    old.detail.update(group_detail())
+    new = make_snap(machine="b", process="db", reason="group", clock=200,
+                    payload="new")
+    new.detail.update(group_detail())
+    d_old = vault.put(old).digest
+    vault.put(new)
+    plan = vault.plan_compaction(
+        RetentionPolicy(max_age=10, pin_open_incidents=False), now=205
+    )
+    assert d_old in plan.victim_digests
+
+
+# ----------------------------------------------------------------------
+# Dry run == real run; the applied plan is exact
+# ----------------------------------------------------------------------
+def test_dry_run_plan_is_exactly_what_gc_deletes(vault):
+    fill(vault, 30, clock0=100)
+    policy = RetentionPolicy(max_age=12)
+    dry = vault.plan_compaction(policy, now=125)
+    before = set(vault.index)
+    applied = vault.compact(policy=policy, now=125)
+    assert applied.victim_digests == dry.victim_digests
+    assert set(vault.index) == before - dry.victim_digests
+    assert blobs_on_disk(vault) == set(vault.index)
+
+
+def test_compact_empty_plan_is_a_noop(vault):
+    digests = fill(vault, 5, clock0=100)
+    plan = vault.compact(policy=RetentionPolicy(max_age=1000), now=104)
+    assert plan.victims == []
+    assert set(vault.index) == set(digests)
+    assert vault.metrics.compactions == 1
+    assert vault.metrics.blobs_deleted == 0
+
+
+# ----------------------------------------------------------------------
+# Durability: the compacted vault reopens to exactly the survivors
+# ----------------------------------------------------------------------
+def test_compacted_vault_reopens_identically(vault):
+    fill(vault, 24, clock0=100)
+    vault.flush_index()
+    vault.compact(policy=RetentionPolicy(max_age=10), now=130)
+    survivors = dict(vault.index)
+    reopened = SnapVault(vault.root, shards=4)
+    assert set(reopened.index) == set(survivors)
+    for digest, entry in reopened.index.items():
+        assert entry.seq == survivors[digest].seq
+    # Every survivor still loads, strict mode.
+    for digest in reopened.index:
+        snap, notes = reopened.load(digest)
+        assert snap is not None and notes == []
+    assert blobs_on_disk(reopened) == set(reopened.index)
+
+
+def test_manifest_rewrite_drops_tombstones(vault):
+    fill(vault, 20, clock0=100)
+    vault.compact(policy=RetentionPolicy(max_age=5), now=125)
+    for shard in range(vault.shards):
+        path = os.path.join(vault.root, f"shard-{shard:02d}", MANIFEST)
+        if not os.path.exists(path):
+            continue
+        for line in open(path):
+            if line.strip():
+                assert TOMBSTONE_KEY not in json.loads(line)
+
+
+def test_tombstone_without_rewrite_still_loads_post_view(vault):
+    """A kill after the tombstone lands but before the manifest rewrite
+    must reopen to the post-compaction view (the tombstone is the
+    commit point)."""
+    fill(vault, 20, clock0=100)
+    plan = vault.plan_compaction(RetentionPolicy(max_age=5), now=125)
+
+    class Stop(Exception):
+        pass
+
+    seen = []
+
+    def crash(label):
+        seen.append(label)
+        if label.startswith("tombstoned-"):
+            raise Stop
+
+    vault._crash_hook = crash
+    with pytest.raises(Stop):
+        vault.compact(plan=plan)
+    vault._crash_hook = None
+    reopened = SnapVault(vault.root, shards=4)
+    # At least the first tombstoned shard's victims are gone; no victim
+    # entry that was tombstoned survives, and no live entry was lost.
+    retained = {e.digest for e in plan.retained}
+    assert retained <= set(reopened.index)
+    first_shard = int(seen[-1].split("-")[-1])
+    for e in plan.victims:
+        if e.shard == first_shard:
+            assert e.digest not in reopened.index
+    # The interrupted deletions were finished at open.
+    assert blobs_on_disk(reopened) == set(reopened.index)
+    assert reopened.metrics.gc_redo_deletes > 0
+
+
+def test_reingest_after_compaction_resurrects(vault):
+    snap = make_snap(clock=100, payload="victim")
+    digest = vault.put(snap).digest
+    vault.put(make_snap(clock=200, payload="keeper"))
+    vault.compact(policy=RetentionPolicy(max_age=10), now=205)
+    assert digest not in vault.index
+    again = vault.put(snap)
+    assert not again.deduped and again.digest == digest
+    reopened = SnapVault(vault.root, shards=4)
+    assert digest in reopened.index  # entry line after tombstone wins
+    loaded, notes = reopened.load(digest)
+    assert notes == [] and loaded.to_dict() == snap.to_dict()
+
+
+# ----------------------------------------------------------------------
+# Incident checkpoint hygiene
+# ----------------------------------------------------------------------
+def test_compact_rewrites_incident_checkpoint(vault):
+    fill(vault, 12, clock0=100)
+    vault.flush_index()
+    vault.compact(policy=RetentionPolicy(max_age=5), now=115)
+    reopened = SnapVault(vault.root, shards=4)
+    # The persisted checkpoint matches the survivors: adopted as-is.
+    assert reopened.metrics.index_loads == 1
+    q = VaultQuery(reopened)
+    assert {e.digest for i in q.incidents() for e in i.entries} == set(
+        reopened.index
+    )
+
+
+def test_incidents_differential_after_compaction(tmp_path):
+    """VaultQuery.incidents() over the compacted vault == the same
+    query over an uncompacted copy, restricted to retained snaps."""
+    import shutil
+
+    root = str(tmp_path / "vault")
+    vault = SnapVault(root, shards=4)
+    # A mix: two 2-member incidents (one old+new, one all-old) plus
+    # singletons around them.
+    specs = [
+        ("web", 100, {"group": "g1", "initiator": "web",
+                      "initiator_reason": "crash"}),
+        ("db", 200, {"group": "g1", "initiator": "web",
+                     "initiator_reason": "crash"}),
+        ("api", 100, {"group": "g2", "initiator": "api",
+                      "initiator_reason": "assert"}),
+        ("cache", 101, {"group": "g2", "initiator": "api",
+                        "initiator_reason": "assert"}),
+    ]
+    for process, clock, detail in specs:
+        snap = make_snap(machine=process, process=process, reason="group",
+                         clock=clock, payload=process)
+        snap.detail.update(detail)
+        vault.put(snap)
+    for i in range(8):
+        vault.put(make_snap(process=f"solo{i}", clock=100 + 14 * i,
+                            payload=f"s{i}"))
+    vault.flush_index()
+    copy_root = str(tmp_path / "copy")
+    shutil.copytree(root, copy_root)
+
+    plan = vault.compact(policy=RetentionPolicy(max_age=60), now=205)
+    retained = {e.digest for e in plan.retained}
+
+    def partition(v):
+        return sorted(
+            tuple(sorted(e.digest for e in i.entries))
+            for i in VaultQuery(v).incidents()
+        )
+
+    compacted = partition(vault)
+    uncompacted = SnapVault(copy_root, shards=4)
+    restricted = sorted(
+        members
+        for members in (
+            tuple(sorted(e.digest for e in i.entries
+                         if e.digest in retained))
+            for i in VaultQuery(uncompacted).incidents()
+        )
+        if members
+    )
+    assert compacted == restricted
+
+
+def test_rebuild_index_invalidates_stale_checkpoint(vault):
+    """Satellite: a kill mid-rebuild must not leave a pre-rebuild
+    incidents.idx serving stale groupings next to fresh manifests."""
+    fill(vault, 10, clock0=100)
+    vault.flush_index()
+    idx_path = os.path.join(vault.root, vault.incident_index_path())
+    assert os.path.exists(idx_path)
+
+    class Stop(Exception):
+        pass
+
+    def crash(label):
+        if label == "rebuild-checkpoint-invalidated":
+            raise Stop
+
+    vault._crash_hook = crash
+    with pytest.raises(Stop):
+        vault.rebuild_index()
+    vault._crash_hook = None
+    # The checkpoint went away before any manifest was touched.
+    assert not os.path.exists(idx_path)
+    reopened = SnapVault(vault.root, shards=4)
+    assert reopened.metrics.index_loads == 0  # rebuilt, not adopted
+    assert len(reopened) == 10
+
+
+def test_rebuild_index_after_compaction_matches(vault):
+    digests = fill(vault, 16, clock0=100)
+    vault.compact(policy=RetentionPolicy(max_age=8), now=120)
+    survivors = dict(vault.index)
+    recovered = vault.rebuild_index()
+    assert recovered == len(survivors)
+    assert set(vault.index) == set(survivors)
+    assert set(digests[:len(digests) - len(survivors)]) & set(
+        vault.index
+    ) == set()
+
+
+# ----------------------------------------------------------------------
+# Concurrency: compaction racing live ingest loses nothing
+# ----------------------------------------------------------------------
+def test_compact_concurrent_with_ingest(tmp_path):
+    vault = SnapVault(str(tmp_path / "vault"), shards=4)
+    fill(vault, 30, clock0=100)
+    stop = threading.Event()
+    stored = []
+    errors = []
+
+    def ingest():
+        i = 0
+        while not stop.is_set():
+            try:
+                r = vault.put(make_snap(process=f"live{i}", clock=500 + i,
+                                        payload=f"live{i}"))
+                stored.append(r.digest)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+            i += 1
+
+    threads = [threading.Thread(target=ingest) for _ in range(3)]
+    for t in threads:
+        t.start()
+    try:
+        for round_ in range(5):
+            vault.compact(
+                policy=RetentionPolicy(max_age=50), now=460 + round_
+            )
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert not errors
+    # Every concurrently-stored snap survived (all have clock >= 500,
+    # far newer than any horizon used above).
+    for digest in stored:
+        assert digest in vault.index
+    reopened = SnapVault(str(tmp_path / "vault"), shards=4)
+    assert set(reopened.index) == set(vault.index)
+    assert blobs_on_disk(reopened) == set(reopened.index)
+
+
+# ----------------------------------------------------------------------
+# CLI: tbtrace gc
+# ----------------------------------------------------------------------
+def run_cli(argv):
+    from repro.tools.tb import main
+
+    return main(argv)
+
+
+def test_cli_gc_dry_run_then_real(tmp_path, capsys):
+    root = str(tmp_path / "vault")
+    vault = SnapVault(root, shards=4)
+    fill(vault, 8, clock0=100)
+    vault.flush_index()
+    assert run_cli(["gc", "--vault", root, "--max-age", "3",
+                    "--dry-run"]) == 0
+    out = capsys.readouterr().out
+    assert "plan: delete 4 snap(s)" in out
+    assert "dry run: nothing deleted" in out
+    # Dry run deleted nothing.
+    assert len(SnapVault(root, shards=4)) == 8
+    assert run_cli(["gc", "--vault", root, "--max-age", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "gc: deleted 4 snap(s)" in out
+    assert len(SnapVault(root, shards=4)) == 4
+
+
+def test_cli_gc_json_and_refusals(tmp_path, capsys):
+    root = str(tmp_path / "vault")
+    vault = SnapVault(root, shards=4)
+    fill(vault, 6, clock0=100)
+    vault.flush_index()
+    assert run_cli(["gc", "--vault", root]) == 1  # no budget
+    assert "no budget" in capsys.readouterr().err
+    assert run_cli(["gc", "--vault", root, "--max-age", "2", "--json",
+                    "--dry-run"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["dry_run"] is True
+    assert len(report["victims"]) == 3
+    assert report["reclaimed_bytes"] > 0
+    assert run_cli(["gc", "--vault", root, "--max-age", "2",
+                    "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["dry_run"] is False
+    assert len(SnapVault(root, shards=4)) == 3
