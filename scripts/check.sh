@@ -19,6 +19,13 @@
 #                                GC benchmark (reclaim rate + ingest
 #                                throughput under compaction) merged
 #                                into BENCH_fleet.json
+#   scripts/check.sh triage      crash-signature triage subsystem: the
+#                                signature/bucket/report unit tests, the
+#                                cross-seed differential against chaos
+#                                ground truth (precision == 1.0), the
+#                                signature-stability fuzz sweep, and the
+#                                golden report regression (all slow
+#                                lanes included)
 #   scripts/check.sh bench       interpreter + fleet-ingest + fleet-GC
 #                                benchmarks; writes BENCH_interpreter.json
 #                                and BENCH_fleet.json, then fails if fleet
@@ -50,6 +57,12 @@ case "${1:-test-fast}" in
     python benchmarks/bench_fleet_gc.py
     exec python benchmarks/bench_fleet_gc.py --check
     ;;
+  triage)
+    exec python -m pytest -q tests/fleet/test_triage.py \
+      tests/fleet/test_triage_differential.py \
+      tests/fleet/test_signature_stability.py \
+      tests/fleet/test_triage_golden.py -m "slow or not slow"
+    ;;
   bench)
     python benchmarks/bench_interpreter.py
     python benchmarks/bench_fleet_ingest.py
@@ -58,7 +71,7 @@ case "${1:-test-fast}" in
     exec python benchmarks/bench_fleet_gc.py --check
     ;;
   *)
-    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|bench}" >&2
+    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|triage|bench}" >&2
     exit 2
     ;;
 esac

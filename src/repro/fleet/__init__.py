@@ -23,7 +23,13 @@ Five layers turn per-session snaps into durable, queryable evidence:
 * :mod:`repro.fleet.retention` — declarative retention policies and
   compaction planning: ``tbtrace gc`` prints the plan,
   :meth:`SnapVault.compact` applies it crash-safely (tombstone commit
-  points, redo-at-open, pins for open incidents and dead letters).
+  points, redo-at-open, pins for open incidents, dead letters, and
+  triage-bucket exemplars);
+* :mod:`repro.fleet.triage` — crash-signature triage: ranked "top
+  crashers" buckets mined from reconstructed evidence, the
+  ``tbtrace top`` / ``tbtrace report`` views, and the pairwise
+  precision/recall metric the chaos ground-truth harness scores the
+  signature function with.
 """
 
 from repro.fleet.collector import Collector, PendingUpload
@@ -35,6 +41,14 @@ from repro.fleet.retention import (
     RetentionError,
     RetentionPolicy,
     plan_compaction,
+)
+from repro.fleet.triage import (
+    CrashBucket,
+    build_report,
+    pairwise_scores,
+    render_report_html,
+    render_report_text,
+    top_buckets,
 )
 from repro.fleet.store import (
     PreparedSnap,
@@ -50,6 +64,7 @@ from repro.fleet.store import (
 __all__ = [
     "Collector",
     "CompactionPlan",
+    "CrashBucket",
     "FleetMetrics",
     "Incident",
     "IncidentIndex",
@@ -63,8 +78,13 @@ __all__ = [
     "VaultError",
     "VaultQuery",
     "batch_group",
+    "build_report",
     "content_digest",
     "mine_sync_ids",
+    "pairwise_scores",
     "plan_compaction",
     "prepare_snap",
+    "render_report_html",
+    "render_report_text",
+    "top_buckets",
 ]

@@ -27,10 +27,10 @@ the chaos the fleet actually serves up:
   never silently drop an accepted snap;
 * **pipelined preparation** — with a worker pool attached, the
   CPU-heavy per-snap work (content digest, TBSZ2 compression, SYNC-id
-  mining — :func:`repro.fleet.store.prepare_snap`) starts the moment a
-  snap is submitted, so digesting overlaps the network transfer, and
-  duplicates the vault already knows are caught *before* they are
-  compressed at all.
+  and crash-signature mining — :func:`repro.fleet.store.prepare_snap`)
+  starts the moment a snap is submitted, so digesting overlaps the
+  network transfer, and duplicates the vault already knows are caught
+  *before* they are compressed at all.
 
 Multiple collectors may feed one vault concurrently — the vault's
 index lock and per-shard manifest locks make that safe — but each
@@ -227,6 +227,7 @@ class Collector:
                 snap,
                 self.vault.compress_level,
                 self.vault.contains,
+                self.vault.sign,
             )
         self.queue.append(item)
         self.metrics.bump_peak("queue_peak", len(self.queue))
@@ -270,7 +271,10 @@ class Collector:
             item.prepared = item.prepared.result()
         if item.prepared is None:
             item.prepared = prepare_snap(
-                item.snap, self.vault.compress_level, self.vault.contains
+                item.snap,
+                self.vault.compress_level,
+                self.vault.contains,
+                self.vault.sign,
             )
         return item.prepared
 

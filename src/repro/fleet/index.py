@@ -18,7 +18,14 @@ the correlation work to *ingest time*:
   of parent-pointer shapes or query history;
 * secondary indexes (machine / process / reason / group / SYNC id →
   entry digests) make filtered incident queries and single-incident
-  lookups O(result) instead of O(vault).
+  lookups O(result) instead of O(vault);
+* crash-signature **triage buckets** ride the same structure: every
+  entry carries its mined signature (``VaultEntry.sig``), each
+  component's bucket is the minimum of its members' signatures
+  (order-free, so any union interleaving lands in the same bucket),
+  and ``buckets`` maps signature → components — the ranked "top
+  crashers" view, maintained incrementally at ingest and checkpointed
+  (and rebuilt bit-identically) with the partition.
 
 The edge rules replicate :func:`batch_group` (the original algorithm,
 kept both as the explicit-``window``/ad-hoc-entry-list path and as the
@@ -41,7 +48,12 @@ from repro.runtime.archive import write_atomic
 #: Filename of the persisted index, directly under the vault root.
 INDEX_FILE = "incidents.idx"
 
-SCHEMA = "tb-incident-index/1"
+#: Schema 2 adds crash-signature triage state: each member carries its
+#: mined signature, each component its bucket signature, and the file a
+#: canonical bucket summary.  Schema-1 checkpoints fail the schema
+#: check and fall back to a rebuild from the manifests — the normal
+#: stale-checkpoint path, not an error.
+SCHEMA = "tb-incident-index/2"
 
 
 # ----------------------------------------------------------------------
@@ -127,6 +139,11 @@ class IndexedIncident:
     digests: list[str]  # sorted by ingest seq
     kinds: set[str] = field(default_factory=set)
     min_seq: int = 0
+    #: The component's triage-bucket signature: the minimum of its
+    #: members' mined signatures (None when no member carries one).
+    #: Min-of-members is order-free, so the same partition always
+    #: yields the same bucket no matter how its unions interleaved.
+    sig: str | None = None
 
 
 class IncidentIndex:
@@ -151,6 +168,14 @@ class IncidentIndex:
         self._kinds: dict[str, set[str]] = {}
         #: root digest -> smallest member seq.
         self._min_seq: dict[str, int] = {}
+        #: digest -> mined crash signature (None for non-fault snaps).
+        self.sig: dict[str, str | None] = {}
+        #: root digest -> the component's bucket signature (min of its
+        #: members' non-None signatures).
+        self._root_sig: dict[str, str | None] = {}
+        #: signature -> component roots carrying it (the triage
+        #: buckets, maintained incrementally alongside the union-find).
+        self.buckets: dict[str, set[str]] = {}
         # -- chain state replicating batch_group's edge set ------------
         self._fanout_prev: dict[tuple, str] = {}
         self._fanout_anchor: dict[tuple, str] = {}
@@ -204,6 +229,22 @@ class IncidentIndex:
         self._members[ra].extend(self._members.pop(rb))
         self._kinds[ra] |= self._kinds.pop(rb)
         self._min_seq[ra] = min(self._min_seq[ra], self._min_seq.pop(rb))
+        # Re-key the triage buckets: both components leave under their
+        # old signatures, the merged one enters under the min of the
+        # two (min over members is associative, so merge order cannot
+        # change which bucket a partition lands in).
+        sa, sb = self._root_sig[ra], self._root_sig.pop(rb)
+        for sig, root in ((sa, ra), (sb, rb)):
+            if sig is None:
+                continue
+            carriers = self.buckets[sig]
+            carriers.discard(root)
+            if not carriers:
+                del self.buckets[sig]
+        merged = sb if sa is None else sa if sb is None else min(sa, sb)
+        self._root_sig[ra] = merged
+        if merged is not None:
+            self.buckets.setdefault(merged, set()).add(ra)
 
     # ------------------------------------------------------------------
     # Ingest-time maintenance
@@ -224,6 +265,12 @@ class IncidentIndex:
         self._members[digest] = [digest]
         self._kinds[digest] = set()
         self._min_seq[digest] = entry.seq
+        # Bucket state first: the link sections below may union this
+        # singleton away immediately, and _union re-keys buckets.
+        self.sig[digest] = entry.sig
+        self._root_sig[digest] = entry.sig
+        if entry.sig is not None:
+            self.buckets.setdefault(entry.sig, set()).add(digest)
 
         self.by_machine.setdefault(entry.machine, []).append(digest)
         self.by_process.setdefault(entry.process, []).append(digest)
@@ -266,17 +313,19 @@ class IncidentIndex:
     # ------------------------------------------------------------------
     # Queries (O(result), never O(vault))
     # ------------------------------------------------------------------
+    def _component(self, root: str) -> IndexedIncident:
+        return IndexedIncident(
+            digests=sorted(self._members[root], key=self.seq.__getitem__),
+            kinds=set(self._kinds[root]),
+            min_seq=self._min_seq[root],
+            sig=self._root_sig.get(root),
+        )
+
     def component_of(self, digest: str) -> IndexedIncident | None:
         """The full component containing ``digest``, or None."""
         if digest not in self.seq:
             return None
-        root = self.find(digest)
-        members = sorted(self._members[root], key=self.seq.__getitem__)
-        return IndexedIncident(
-            digests=members,
-            kinds=set(self._kinds[root]),
-            min_seq=self._min_seq[root],
-        )
+        return self._component(self.find(digest))
 
     def components(
         self, digests: list[str] | None = None
@@ -291,14 +340,60 @@ class IncidentIndex:
         else:
             roots = list({self.find(d) for d in digests if d in self.seq})
         roots.sort(key=self._min_seq.__getitem__)
-        return [
-            IndexedIncident(
-                digests=sorted(self._members[r], key=self.seq.__getitem__),
-                kinds=set(self._kinds[r]),
-                min_seq=self._min_seq[r],
-            )
-            for r in roots
+        return [self._component(r) for r in roots]
+
+    # ------------------------------------------------------------------
+    # Triage buckets ("top crashers")
+    # ------------------------------------------------------------------
+    def bucket_components(self, sig: str) -> list[IndexedIncident]:
+        """Components bucketed under ``sig``, first-ingest order."""
+        roots = sorted(
+            self.buckets.get(sig, ()), key=self._min_seq.__getitem__
+        )
+        return [self._component(r) for r in roots]
+
+    def buckets_ranked(self) -> list[tuple[str, list[IndexedIncident]]]:
+        """Every bucket with its components, biggest crasher first.
+
+        Ranked by total member snaps (desc), then first-seen seq, then
+        signature — a total order, so listings and reports are stable.
+        """
+        ranked = [
+            (sig, self.bucket_components(sig)) for sig in self.buckets
         ]
+        ranked.sort(
+            key=lambda item: (
+                -sum(len(c.digests) for c in item[1]),
+                item[1][0].min_seq,
+                item[0],
+            )
+        )
+        return ranked
+
+    def exemplar_digest(self, sig: str) -> str | None:
+        """The bucket's exemplar: its earliest signature-carrying snap.
+
+        Kept for a future ``tbtrace replay`` to confirm the bucket's
+        diagnosis; a pure function of the partition + member sigs, so
+        GC pinning it is deterministic across rebuilds.
+        """
+        best: str | None = None
+        for root in self.buckets.get(sig, ()):
+            for digest in self._members[root]:
+                if self.sig.get(digest) != sig:
+                    continue
+                if best is None or self.seq[digest] < self.seq[best]:
+                    best = digest
+        return best
+
+    def exemplar_digests(self) -> set[str]:
+        """One exemplar digest per open bucket (the GC pin set)."""
+        out: set[str] = set()
+        for sig in self.buckets:
+            exemplar = self.exemplar_digest(sig)
+            if exemplar is not None:
+                out.add(exemplar)
+        return out
 
     # ------------------------------------------------------------------
     # Persistence
@@ -323,15 +418,28 @@ class IncidentIndex:
         for inc in self.components():
             components.append(
                 {
-                    "members": [[self.seq[d], d] for d in inc.digests],
+                    "members": [
+                        [self.seq[d], d, self.sig.get(d)]
+                        for d in inc.digests
+                    ],
                     "kinds": sorted(inc.kinds),
+                    "sig": inc.sig,
                 }
             )
+        # The bucket summary is derivable from the components; it is
+        # serialized anyway so the triage state is inspectable in the
+        # checkpoint, and it stays canonical because both the signature
+        # keys and the counts are pure functions of the partition.
+        buckets = {
+            sig: sum(len(self._members[r]) for r in roots)
+            for sig, roots in self.buckets.items()
+        }
         doc = {
             "schema": SCHEMA,
             "window": self.window,
             "entries": len(self.seq),
             "checksum": self.checksum(self.seq),
+            "buckets": buckets,
             "components": components,
         }
         return (json.dumps(doc, sort_keys=True) + "\n").encode()
@@ -403,12 +511,15 @@ class IncidentIndex:
         consistent = True
         for component in doc["components"]:
             for item in component.get("members", ()):
-                if not (isinstance(item, list) and len(item) == 2):
+                if not (isinstance(item, list) and len(item) == 3):
                     consistent = False
                     break
-                seq, digest = item
+                seq, digest, sig = item
                 entry = by_digest.get(digest)
-                if entry is None or entry.seq != seq:
+                if entry is None or entry.seq != seq or entry.sig != sig:
+                    # A sig mismatch means the checkpoint predates a
+                    # re-mining (e.g. mapfiles changed before a
+                    # rebuild_index); the manifests win.
                     consistent = False
                     break
                 idx_digests.add(digest)
@@ -432,6 +543,7 @@ class IncidentIndex:
                 continue
             digest = entry.digest
             index.seq[digest] = entry.seq
+            index.sig[digest] = entry.sig
             index.by_machine.setdefault(entry.machine, []).append(digest)
             index.by_process.setdefault(entry.process, []).append(digest)
             index.by_reason.setdefault(entry.reason, []).append(digest)
@@ -451,13 +563,17 @@ class IncidentIndex:
                 index._sync_prev[logical_id] = digest
         # Adopt the partition: flat parents under a canonical root.
         for component in doc["components"]:
-            members = [d for _seq, d in component["members"]]
+            members = [d for _seq, d, _sig in component["members"]]
             root = members[0]
             for digest in members:
                 index._parent[digest] = root
             index._members[root] = list(members)
             index._kinds[root] = set(component.get("kinds", ()))
             index._min_seq[root] = min(index.seq[d] for d in members)
+            root_sig = component.get("sig")
+            index._root_sig[root] = root_sig
+            if root_sig is not None:
+                index.buckets.setdefault(root_sig, set()).add(root)
         if not missing:
             return index, "loaded"
         for entry in missing:

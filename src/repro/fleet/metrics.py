@@ -47,6 +47,7 @@ class FleetMetrics:
     group_commits: int = 0  # batch-durability sync points
     sync_coalesced: int = 0  # batches made durable by another's sync
     index_rebuilds: int = 0
+    signatures_mined: int = 0  # stored snaps that yielded a crash signature
 
     # -- retention / compaction (the GC pass) ---------------------------
     compactions: int = 0  # compact() passes that ran to completion
@@ -68,6 +69,10 @@ class FleetMetrics:
     entries_scanned: int = 0
     reconstructions: int = 0
     incidents_built: int = 0
+
+    # -- triage ("top crashers") ----------------------------------------
+    top_queries: int = 0  # ranked-bucket listings served
+    reports_rendered: int = 0  # triage reports built (text/JSON/HTML)
 
     extra: dict = field(default_factory=dict)
 
@@ -141,5 +146,10 @@ class FleetMetrics:
             f"  query: {self.queries} queries, {self.entries_scanned} entries "
             f"scanned, {self.reconstructions} reconstructions, "
             f"{self.incidents_built} incidents"
+        )
+        lines.append(
+            f"  triage: {self.signatures_mined} signatures mined, "
+            f"{self.top_queries} top queries, "
+            f"{self.reports_rendered} reports"
         )
         return "\n".join(lines)

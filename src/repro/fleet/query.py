@@ -237,6 +237,19 @@ class VaultQuery:
         ]
         return self._incidents_batch(entries, window)
 
+    def top(self, limit: int | None = None):
+        """Ranked "top crashers" buckets — O(buckets), no archives.
+
+        Served straight from the vault's incrementally-maintained
+        bucket state (:class:`~repro.fleet.index.IncidentIndex`); see
+        :func:`repro.fleet.triage.top_buckets` for the ranking rules.
+        Returns :class:`~repro.fleet.triage.CrashBucket` objects.
+        """
+        from repro.fleet.triage import top_buckets
+
+        self.metrics.top_queries += 1
+        return top_buckets(self.vault, limit=limit)
+
     def incident_of(self, digest_or_entry: VaultEntry | str) -> Incident | None:
         """The one incident containing this snap — O(incident).
 

@@ -35,6 +35,11 @@ never goes, no matter how over-budget the shard is:
   vault's copy of that content: a dead letter may redeliver, and
   deleting the stored twin would turn that redelivery into a re-store
   of evidence the engineer believed was already safe;
+* **bucket exemplars** (``pin_bucket_exemplars``, on by default): each
+  open triage bucket keeps its exemplar snap — the evidence a future
+  ``tbtrace replay`` would confirm the bucket's diagnosis against —
+  and, because exemplar pins apply before the open-incident rule, the
+  exemplar's whole incident stays alive with it;
 * ``pin_digests`` — explicit, caller-supplied pins.
 
 Every entry kept *only* because a pin overrode its expiry bumps
@@ -76,6 +81,10 @@ class RetentionPolicy:
     pin_dead_letters: bool = True
     #: Explicit digests that must be retained regardless of budgets.
     pin_digests: frozenset[str] = frozenset()
+    #: Keep each triage bucket's exemplar snap alive: a future
+    #: ``tbtrace replay`` confirms a bucket's diagnosis against its
+    #: exemplar, so the bucket must never lose its last real evidence.
+    pin_bucket_exemplars: bool = True
 
     def __post_init__(self) -> None:
         for name in ("max_age", "max_entries_per_shard",
@@ -203,6 +212,15 @@ def plan_compaction(
     live = {e.digest for e in entries} - expired | pins
 
     pinned: set[str] = pins & expired
+    if policy.pin_bucket_exemplars and incident_index is not None:
+        # Bucket exemplars pin *before* the open-incident rule runs, so
+        # a pinned exemplar makes its whole incident count as open — an
+        # open bucket joins incidents as a pin source, it does not
+        # carve single snaps out of them.
+        known = {e.digest for e in entries}
+        exemplars = incident_index.exemplar_digests() & known
+        pinned |= (exemplars & expired) - pins
+        live |= exemplars
     if policy.pin_open_incidents and incident_index is not None:
         # Incident atomicity: any retained member keeps the whole
         # component alive (the incident is still open).

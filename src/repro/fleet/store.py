@@ -157,6 +157,10 @@ class VaultEntry:
     group: str | None = None
     initiator: str | None = None
     initiator_reason: str | None = None
+    #: Crash signature mined from the reconstructed evidence (triage
+    #: bucket key); None for non-fault snaps or unminable evidence.
+    #: Appended last with a default so pre-signature manifests load.
+    sig: str | None = None
 
     def to_dict(self) -> dict:
         return dict(vars(self))
@@ -174,6 +178,7 @@ class VaultEntry:
         shard: int,
         size: int,
         sync_ids: list[int] | None = None,
+        sig: str | None = None,
     ) -> "VaultEntry":
         detail = snap.detail if isinstance(snap.detail, dict) else {}
         return cls(
@@ -190,6 +195,7 @@ class VaultEntry:
             group=detail.get("group"),
             initiator=detail.get("initiator"),
             initiator_reason=detail.get("initiator_reason"),
+            sig=sig,
         )
 
 
@@ -218,6 +224,10 @@ class PreparedSnap:
     sync_ids: list[int] | None = None
     data: bytes | None = None
     early_deduped: bool = False
+    #: Crash signature (triage metadata).  ``sig_mined`` distinguishes
+    #: "mined, and there is none" from "not mined yet".
+    sig: str | None = None
+    sig_mined: bool = False
 
     def ensure_sync_ids(self) -> list[int]:
         if self.sync_ids is None:
@@ -229,11 +239,18 @@ class PreparedSnap:
             self.data = compress_snap(self.snap, compress_level)
         return self.data
 
+    def ensure_sig(self, signer) -> str | None:
+        if not self.sig_mined:
+            self.sig = signer(self.snap) if signer is not None else None
+            self.sig_mined = True
+        return self.sig
+
 
 def prepare_snap(
     snap: SnapFile,
     compress_level: int = 6,
     known=None,
+    signer=None,
 ) -> PreparedSnap:
     """Digest, mine, and compress one snap (worker-pool stage).
 
@@ -243,16 +260,23 @@ def prepare_snap(
     records an early dedupe.  The check is advisory — the vault
     re-checks under its lock, so a stale verdict only costs work,
     never correctness.
+
+    ``signer`` is an optional ``snap -> str | None`` (typically
+    :meth:`SnapVault.sign`) mining the crash signature here, in the
+    worker pool, instead of under the vault's index lock at commit.
     """
     digest = content_digest(snap)
     if known is not None and known(digest):
         return PreparedSnap(snap=snap, digest=digest, early_deduped=True)
-    return PreparedSnap(
+    prepared = PreparedSnap(
         snap=snap,
         digest=digest,
         sync_ids=mine_sync_ids(snap),
         data=compress_snap(snap, compress_level),
     )
+    if signer is not None:
+        prepared.ensure_sig(signer)
+    return prepared
 
 
 class SnapVault:
@@ -306,6 +330,12 @@ class SnapVault:
         self._write_epoch = 0
         self._synced_epoch = 0
         self._sync_in_progress = False
+        #: Parsed-mapfile cache for signature mining, keyed by the
+        #: mapfile directory listing (invalidated by put_mapfile and by
+        #: another process adding files — the listing changes).
+        self._mapfile_cache: tuple[tuple[str, ...], list[Mapfile]] | None = (
+            None
+        )
         os.makedirs(root, exist_ok=True)
         for shard in range(shards):
             os.makedirs(self._shard_dir(shard), exist_ok=True)
@@ -526,7 +556,7 @@ class SnapVault:
                         continue
                     entry = VaultEntry.from_snap(
                         snap, digest, seq=self._next_seq, shard=shard,
-                        size=len(data),
+                        size=len(data), sig=self.sign(snap),
                     )
                     self._next_seq += 1
                     self.index[entry.digest] = entry
@@ -782,6 +812,7 @@ class SnapVault:
                         shard=self.shard_of(digest),
                         size=os.path.getsize(self.blob_path(digest)),
                         sync_ids=item.ensure_sync_ids(),
+                        sig=item.ensure_sig(self.sign),
                     )
                     self._next_seq += 1
                     self._register(entry, staged)
@@ -798,6 +829,7 @@ class SnapVault:
                     shard=self.shard_of(digest),
                     size=len(data),
                     sync_ids=item.ensure_sync_ids(),
+                    sig=item.ensure_sig(self.sign),
                 )
                 self._next_seq += 1
                 self._register(entry, staged)
@@ -874,6 +906,8 @@ class SnapVault:
         self.index[entry.digest] = entry
         self._digests.add(entry.digest)
         staged[entry.digest] = entry
+        if entry.sig is not None:
+            self.metrics.signatures_mined += 1
         # Incident edges must be applied in ingest-sequence order; the
         # caller holds the index lock across seq assignment and here.
         self.incident_index.add(entry)
@@ -952,13 +986,46 @@ class SnapVault:
             self.root, MAPFILE_DIR, f"{mapfile.checksum}.map.json"
         )
         write_atomic(json.dumps(mapfile.to_dict()).encode(), path)
+        self._mapfile_cache = None
         return path
 
     def mapfiles(self) -> list[Mapfile]:
-        """Every mapfile stored alongside the snaps."""
-        out = []
+        """Every mapfile stored alongside the snaps.
+
+        Parsed copies are cached against the directory listing —
+        signature mining resolves frames through mapfiles on every
+        ingest, and re-parsing per snap would put JSON decoding on the
+        hot path.
+        """
         directory = os.path.join(self.root, MAPFILE_DIR)
-        for name in sorted(os.listdir(directory)):
-            if name.endswith(".map.json"):
-                out.append(Mapfile.load(os.path.join(directory, name)))
-        return out
+        names = tuple(
+            sorted(
+                name
+                for name in os.listdir(directory)
+                if name.endswith(".map.json")
+            )
+        )
+        cache = self._mapfile_cache
+        if cache is None or cache[0] != names:
+            loaded = [
+                Mapfile.load(os.path.join(directory, name)) for name in names
+            ]
+            cache = (names, loaded)
+            self._mapfile_cache = cache
+        return list(cache[1])
+
+    # ------------------------------------------------------------------
+    # Crash-signature mining (triage metadata)
+    # ------------------------------------------------------------------
+    def sign(self, snap: SnapFile) -> str | None:
+        """Mine the crash signature of one snap — best-effort metadata.
+
+        Resolves frames through the vault's stored mapfiles (they are
+        uploaded at session attach time, before any snap arrives) and
+        never raises; non-fault snaps and unminable evidence yield
+        None.  A pure function of (snap content, stored mapfiles), so
+        :meth:`rebuild_index` re-derives identical signatures.
+        """
+        from repro.reconstruct.signature import snap_signature
+
+        return snap_signature(snap, self.mapfiles())

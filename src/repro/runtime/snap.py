@@ -189,7 +189,10 @@ class SnapFile:
     def to_dict(self) -> dict:
         return {
             "reason": self.reason,
-            "detail": self.detail,
+            # Copied, not aliased: round-tripping through to_dict/from_dict
+            # is how copy_snap builds independent copies, and callers
+            # mutate detail (group linkage, chaos injection) after the fact.
+            "detail": dict(self.detail),
             "process_name": self.process_name,
             "pid": self.pid,
             "machine_name": self.machine_name,
@@ -206,7 +209,7 @@ class SnapFile:
     def from_dict(cls, d: dict) -> "SnapFile":
         return cls(
             reason=d["reason"],
-            detail=d["detail"],
+            detail=dict(d["detail"]),
             process_name=d["process_name"],
             pid=d["pid"],
             machine_name=d["machine_name"],

@@ -362,6 +362,64 @@ def cmd_incidents(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_top(args: argparse.Namespace) -> int:
+    """``tbtrace top``: ranked crash buckets — the fleet's top crashers."""
+    try:
+        vault, query = _open_vault(args)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot open vault {args.vault}: {exc}")
+    buckets = query.top(limit=args.limit)
+    if args.json:
+        for bucket in buckets:
+            print(json.dumps(bucket.to_dict(), sort_keys=True))
+        return 0
+    fault_snaps = sum(1 for e in vault.index.values() if e.sig is not None)
+    print(
+        f"{len(buckets)} crash bucket(s) in {vault.root} "
+        f"({fault_snaps}/{len(vault)} snap(s) bucketed)"
+    )
+    for rank, bucket in enumerate(buckets, start=1):
+        print(f"  #{rank} {bucket.describe()}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``tbtrace report``: the full triage report (text/JSON/HTML)."""
+    from repro.fleet.triage import (
+        build_report,
+        render_report_html,
+        render_report_text,
+    )
+
+    try:
+        _vault, query = _open_vault(args)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot open vault {args.vault}: {exc}")
+    report = build_report(
+        query, limit=args.limit, exemplar_lines=args.exemplar_lines
+    )
+    if args.html:
+        html_text = render_report_html(report)
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(html_text)
+            print(f"report written to {args.out}")
+        else:
+            print(html_text, end="")
+        return 0
+    if args.json:
+        text = json.dumps(report, indent=2, sort_keys=True)
+    else:
+        text = "\n".join(render_report_text(report))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_gc(args: argparse.Namespace) -> int:
     """``tbtrace gc``: apply a retention policy to a vault.
 
@@ -383,6 +441,7 @@ def cmd_gc(args: argparse.Namespace) -> int:
             max_entries_per_shard=args.max_per_shard,
             max_bytes_per_shard=args.max_bytes_per_shard,
             pin_open_incidents=not args.no_pin_incidents,
+            pin_bucket_exemplars=not args.no_pin_buckets,
         )
         plan = vault.plan_compaction(policy, now=args.now)
     except RetentionError as exc:
@@ -557,6 +616,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     incidents.set_defaults(fn=cmd_incidents)
 
+    top = sub.add_parser(
+        "top", help="rank a vault's crash buckets (top crashers)"
+    )
+    top.add_argument("--vault", required=True, help="vault root directory")
+    top.add_argument(
+        "--limit", type=int, help="show at most this many buckets"
+    )
+    top.add_argument(
+        "--json", action="store_true",
+        help="one JSON object per bucket (JSON lines)",
+    )
+    top.set_defaults(fn=cmd_top)
+
+    report = sub.add_parser(
+        "report", help="full triage report with exemplar traces"
+    )
+    report.add_argument("--vault", required=True, help="vault root directory")
+    report.add_argument(
+        "--limit", type=int, help="report at most this many buckets"
+    )
+    report.add_argument(
+        "--exemplar-lines", type=int, default=30,
+        help="max rendered trace rows per exemplar (tail-clipped)",
+    )
+    report.add_argument(
+        "--json", action="store_true", help="canonical JSON document"
+    )
+    report.add_argument(
+        "--html", action="store_true", help="self-contained HTML page"
+    )
+    report.add_argument("--out", help="write the report here instead of stdout")
+    report.set_defaults(fn=cmd_report)
+
     gc = sub.add_parser(
         "gc", help="apply a retention policy to a vault (compaction)"
     )
@@ -581,6 +673,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pin-incidents", action="store_true",
         help="allow collecting part of an incident (default keeps whole "
         "incidents alive while any member is retained)",
+    )
+    gc.add_argument(
+        "--no-pin-buckets", action="store_true",
+        help="allow collecting triage-bucket exemplars (default keeps "
+        "one exemplar snap per open crash bucket)",
     )
     gc.add_argument(
         "--dry-run", action="store_true",

@@ -13,7 +13,11 @@ vault yields
   (``gc_redo_deletes``), so ``rebuild_index()`` cannot resurrect a
   snap the tombstone already killed;
 * an incident index that loads or rebuilds to the same bit-identical
-  checkpoint as a from-scratch rebuild over the survivors.
+  checkpoint as a from-scratch rebuild over the survivors — including
+  its crash-signature triage buckets (a seeded fraction of the fuzzed
+  snaps are real faulting snaps that mine a signature at ingest);
+* no open bucket ever loses its exemplar blob (the evidence a future
+  ``tbtrace replay`` confirms the diagnosis against).
 
 Kills are *simulated*: ``vault._crash_hook`` raises at a seeded sample
 of the labeled ``_gc_point`` sites (every spot a real SIGKILL could
@@ -54,17 +58,76 @@ def blobs_on_disk(root):
     }
 
 
-def seed_vault(root, rng, count):
-    """A vault with a seeded mix of singletons and group incidents."""
-    vault = SnapVault(root, shards=3)
-    for i in range(count):
-        snap = make_snap(
-            machine=f"m{rng.randrange(3)}",
-            process=f"p{i}",
-            reason=rng.choice(["api", "crash", "assert"]),
-            clock=100 + rng.randrange(40),
-            payload=f"fuzz-{i}-{rng.random()}",
+#: One real faulting run, built once: copies with mutated placement
+#: fields give distinct digests that all mine this one signature.
+FAULT_SRC = """
+int boom(int x) {
+    return 10 / x;
+}
+int main() {
+    int acc;
+    acc = 7;
+    acc = boom(acc - acc);
+    return 0;
+}
+"""
+
+FAULT_SIG = "unhandled:DIVIDE_BY_ZERO @ app.boom(app.c:3) < app.main"
+
+_FAULT_CACHE = {}
+
+
+def fault_snap_and_mapfiles():
+    if not _FAULT_CACHE:
+        from repro import TraceSession
+        from repro.runtime import RuntimeConfig, SnapPolicy
+
+        session = TraceSession(
+            runtime_config=RuntimeConfig(
+                policy=SnapPolicy.parse("snap on unhandled")
+            )
         )
+        session.add_minic(FAULT_SRC, name="app", file_name="app.c")
+        session.run()
+        _FAULT_CACHE["snap"] = session.runtime.snap_store.snaps[-1]
+        _FAULT_CACHE["mapfiles"] = session.mapfiles
+    return _FAULT_CACHE["snap"], _FAULT_CACHE["mapfiles"]
+
+
+def fault_variant(machine, process, clock):
+    """The cached crash re-placed on another machine/process/clock."""
+    from repro.chaos.inject import copy_snap
+
+    snap, _mapfiles = fault_snap_and_mapfiles()
+    variant = copy_snap(snap)
+    variant.machine_name = machine
+    variant.process_name = process
+    variant.clock = clock
+    return variant
+
+
+def seed_vault(root, rng, count):
+    """A vault with a seeded mix of singletons, group incidents, and
+    real faulting snaps (so the triage buckets are exercised too)."""
+    vault = SnapVault(root, shards=3)
+    _snap, mapfiles = fault_snap_and_mapfiles()
+    for mapfile in mapfiles:
+        vault.put_mapfile(mapfile)
+    for i in range(count):
+        if rng.random() < 0.25:
+            snap = fault_variant(
+                machine=f"m{rng.randrange(3)}",
+                process=f"p{i}",
+                clock=100 + rng.randrange(40),
+            )
+        else:
+            snap = make_snap(
+                machine=f"m{rng.randrange(3)}",
+                process=f"p{i}",
+                reason=rng.choice(["api", "crash", "assert"]),
+                clock=100 + rng.randrange(40),
+                payload=f"fuzz-{i}-{rng.random()}",
+            )
         if rng.random() < 0.3:
             snap.detail.update({
                 "group": f"g{rng.randrange(3)}",
@@ -125,6 +188,12 @@ def crash_run(tmp_path, seed, ingest_during=False):
         if len(seen) - 1 == target:
             raise SimulatedKill(label)
 
+    # Exemplars the plan keeps alive must still be loadable after any
+    # kill (the "pinned open buckets never lose their exemplar" half
+    # of the triage contract).
+    planned_exemplars = (
+        vault.incident_index.exemplar_digests() & retained
+    )
     vault._crash_hook = hook
     died_at = None
     try:
@@ -174,6 +243,21 @@ def crash_run(tmp_path, seed, ingest_during=False):
     assert loaded.persist(root) and open(
         os.path.join(root, reopened.incident_index_path()), "rb"
     ).read() == first
+    # 6. Triage buckets rebuild bit-identically with the partition
+    #    (rebuild_index above re-mined signatures from the archives).
+    assert reopened.incident_index.to_bytes() == first
+    live_sigs = {e.sig for e in entries if e.sig is not None}
+    assert live_sigs <= {FAULT_SIG}
+    assert set(reopened.incident_index.buckets) == live_sigs
+    # 7. No open bucket lost its exemplar blob.
+    for digest in planned_exemplars:
+        assert digest in live, f"exemplar lost dying at {died_at!r}"
+    for sig in reopened.incident_index.buckets:
+        exemplar = reopened.incident_index.exemplar_digest(sig)
+        snap, notes = reopened.load(exemplar)
+        assert snap is not None and notes == [], (
+            f"bucket {sig!r} lost its exemplar dying at {died_at!r}"
+        )
     return died_at
 
 
@@ -225,6 +309,65 @@ def test_kill_mid_rebuild_never_serves_stale_checkpoint(tmp_path):
         assert {
             d for c in loaded.components() for d in c.digests
         } == digests
+
+
+def test_bucket_exemplar_survives_every_kill_point(tmp_path):
+    """With incident pins off, the exemplar pin alone keeps the open
+    bucket's evidence alive — at every kill point inside compact()."""
+    _snap, mapfiles = fault_snap_and_mapfiles()
+
+    def build(root):
+        vault = SnapVault(root, shards=3)
+        for mapfile in mapfiles:
+            vault.put_mapfile(mapfile)
+        for i in range(4):  # old crashes: all but the exemplar expire
+            vault.put(fault_variant(f"m{i}", f"crash{i}", clock=50 + i))
+        for i in range(6):  # fresh filler keeps the vault non-empty
+            vault.put(make_snap(process=f"fresh{i}", clock=200 + i,
+                                payload=i))
+        vault.flush_index()
+        return vault
+
+    policy = RetentionPolicy(max_age=20, pin_open_incidents=False)
+    vault = build(str(tmp_path / "count"))
+    assert set(vault.incident_index.buckets) == {FAULT_SIG}
+    exemplar = vault.incident_index.exemplar_digest(FAULT_SIG)
+    plan = vault.plan_compaction(policy, now=210)
+    assert exemplar in plan.pinned
+    assert len(plan.victims) == 3  # the exemplar's expired twins
+    points = []
+    vault._crash_hook = points.append
+    vault.compact(plan=plan)
+
+    rng = random.Random(9)
+    targets = range(len(points)) if len(points) <= 16 else sorted(
+        rng.sample(range(len(points)), 16)
+    )
+    for target in targets:
+        root = str(tmp_path / f"kill-{target}")
+        vault = build(root)
+        plan = vault.plan_compaction(policy, now=210)
+        seen = []
+
+        def hook(label, target=target):
+            seen.append(label)
+            if len(seen) - 1 == target:
+                raise SimulatedKill(label)
+
+        vault._crash_hook = hook
+        with pytest.raises(SimulatedKill):
+            vault.compact(plan=plan)
+        reopened = SnapVault(root, shards=3)
+        # The exemplar blob survived the kill and still loads clean.
+        snap, notes = reopened.load(exemplar)
+        assert snap is not None and notes == [], f"died at point {target}"
+        index = reopened.incident_index
+        assert index.exemplar_digest(FAULT_SIG) == exemplar
+        # And the bucket state agrees with a from-scratch rebuild.
+        entries = list(reopened.index.values())
+        assert IncidentIndex.rebuild(entries).to_bytes() == (
+            index.to_bytes()
+        )
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,262 @@
+"""Signature-stability fuzz: skew and salvage damage never move a bucket.
+
+The precision stance, fuzzed: seeded skewed-clock and salvage-degraded
+variants of the *same* incident must mine the identical signature —
+and when damage destroys the evidence the signature needs, the variant
+goes *unbucketed* (None), it never mints a different signature that
+would merge into (or split off from) another bucket.
+
+Deterministic cases pin the exact-identity claims (clock skew in any
+amount, gaps in pre-fault history, damage to other machines' snaps);
+a seeded sweep over the whole injector catalogue then checks the
+weaker-but-critical invariant on every variant: ``sig in {baseline,
+None}`` for all but a bounded, seeded handful whose shifted frames
+still stay inside the same fault class.
+"""
+
+import random
+
+import pytest
+
+from repro import TraceSession
+from repro.chaos.inject import (
+    clobber_header,
+    copy_snap,
+    corrupt_archive,
+    drop_sync_records,
+    duplicate_sync_records,
+    flip_bits,
+    skew_clock,
+    tear_archive,
+    truncate_buffer,
+    zero_words,
+)
+from repro.chaos.scenarios import run_scenario
+from repro.reconstruct import signature_of_trace, snap_signature
+from repro.runtime import RuntimeConfig, SnapPolicy
+from repro.runtime.archive import compress_snap, salvage_decompress
+from repro.runtime.buffers import HEADER_WORDS
+
+#: A call chain three frames deep, with enough pre-crash history that
+#: prefix damage has room to land without touching the fault tail.
+CRASH_SRC = """
+int boom(int x) {
+    int y;
+    y = 10 / x;
+    return y;
+}
+int outer(int n) {
+    return boom(n - n);
+}
+int main() {
+    int i; int acc; acc = 0;
+    for (i = 0; i < 60; i = i + 1) { acc = acc + 1; }
+    acc = outer(acc);
+    return 0;
+}
+"""
+
+BASE_SIG = (
+    "unhandled:DIVIDE_BY_ZERO @ app.boom(app.c:4) < app.outer < app.main"
+)
+
+#: Bounds for the seeded degradation sweep (observed: 75% identical,
+#: ~23% unbucketed, <2% frame-shifted within the same fault class).
+MAX_OTHER_FRACTION = 0.05
+MIN_SAME_FRACTION = 0.6
+
+
+@pytest.fixture(scope="module")
+def crashed():
+    """One faulting run, mined once: (snap, mapfiles, baseline sig)."""
+    session = TraceSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        )
+    )
+    session.add_minic(CRASH_SRC, name="app", file_name="app.c")
+    session.run()
+    snap = session.runtime.snap_store.snaps[-1]
+    baseline = snap_signature(snap, session.mapfiles)
+    assert baseline == BASE_SIG
+    return snap, session.mapfiles, baseline
+
+
+# ----------------------------------------------------------------------
+# Exact identity: clock skew
+# ----------------------------------------------------------------------
+def test_clock_skew_never_changes_signature(crashed):
+    snap, mapfiles, baseline = crashed
+    rng = random.Random(7)
+    amounts = [1 << 40, -(1 << 40), 1, -1]
+    amounts += [rng.randrange(1 << 35) - (1 << 34) for _ in range(20)]
+    for amount in amounts:
+        variant = copy_snap(snap)
+        skew_clock(variant, amount)
+        assert snap_signature(variant, mapfiles) == baseline, amount
+
+
+def test_scenario_skew_keeps_every_process_signature():
+    # Distributed flavor: post-hoc skew on an abrupt-kill run's snaps
+    # moves no process to a different bucket.
+    result = run_scenario("abrupt-kill", 3)
+    baseline = {
+        p.process_name: signature_of_trace(p)
+        for p in result.reconstruct().processes
+    }
+    assert all(sig is not None for sig in baseline.values())
+    for shift in (1 << 36, -(1 << 35)):
+        for snap in result.snaps:
+            skew_clock(snap, shift)
+        skewed = {
+            p.process_name: signature_of_trace(p)
+            for p in result.reconstruct().processes
+        }
+        assert skewed == baseline
+
+
+# ----------------------------------------------------------------------
+# Exact identity: gaps in pre-fault history
+# ----------------------------------------------------------------------
+def test_gaps_in_prefix_history_keep_signature(crashed):
+    # Zeroed runs inside the loop region of the trace (after main's
+    # entry, well before the crashing call chain) cost recovered steps,
+    # not the signature: the backward frame scan only needs the tail.
+    snap, mapfiles, baseline = crashed
+    for start in (HEADER_WORDS + 8, HEADER_WORDS + 40, HEADER_WORDS + 80):
+        variant = copy_snap(snap)
+        buffer = max(
+            (b for b in variant.buffers if len(b.words) > HEADER_WORDS),
+            key=lambda b: len(b.words),
+        )
+        end = min(start + 12, len(buffer.words))
+        for idx in range(start, end):
+            buffer.words[idx] = 0
+        assert snap_signature(variant, mapfiles) == baseline, start
+
+
+def test_damage_to_other_machines_keeps_signature():
+    # Partial-fleet evidence: wrecking the bystanders' snaps cannot
+    # move the crasher's bucket (signatures are per-snap by design).
+    result = run_scenario("vault-machine-loss", 5)
+    crasher = [s for s in result.snaps if s.reason == "unhandled"]
+    bystanders = [s for s in result.snaps if s.reason != "unhandled"]
+    assert crasher and bystanders
+    baseline = signature_of_trace(
+        [
+            p
+            for p in result.reconstruct().processes
+            if p.reason == "unhandled"
+        ][0]
+    ).render()
+    rng = random.Random(5)
+    for snap in bystanders:
+        flip_bits(snap, rng, flips=8)
+        zero_words(snap, rng, runs=2, run_len=16)
+    damaged = [
+        p
+        for p in result.reconstruct().processes
+        if p.reason == "unhandled"
+    ]
+    assert signature_of_trace(damaged[0]).render() == baseline
+
+
+# ----------------------------------------------------------------------
+# Seeded sweep: degraded variants never change fault class
+# ----------------------------------------------------------------------
+INJECTORS = (
+    "flip-bits",
+    "zero-words",
+    "truncate-buffer",
+    "clobber-header",
+    "drop-sync",
+    "duplicate-sync",
+    "tear-archive",
+    "corrupt-archive",
+)
+
+
+def damage(snap, injector: str, rng: random.Random):
+    """Apply one injector to a copy; may return None (total loss)."""
+    variant = copy_snap(snap)
+    if injector == "flip-bits":
+        flip_bits(variant, rng, flips=4)
+    elif injector == "zero-words":
+        zero_words(variant, rng, runs=1, run_len=10)
+    elif injector == "truncate-buffer":
+        truncate_buffer(variant, rng)
+    elif injector == "clobber-header":
+        clobber_header(variant, rng, words=1)
+    elif injector == "drop-sync":
+        drop_sync_records(variant, rng)
+    elif injector == "duplicate-sync":
+        duplicate_sync_records(variant, rng)
+    elif injector == "tear-archive":
+        torn, _note = tear_archive(compress_snap(variant), rng)
+        variant, _notes = salvage_decompress(torn)
+    elif injector == "corrupt-archive":
+        rotten, _notes = corrupt_archive(compress_snap(variant), rng)
+        variant, _load_notes = salvage_decompress(rotten)
+    return variant
+
+
+def sweep(crashed, seeds):
+    snap, mapfiles, baseline = crashed
+    same = unbucketed = 0
+    shifted: list[str] = []
+    for seed in seeds:
+        rng = random.Random(seed)
+        for injector in INJECTORS:
+            variant = damage(snap, injector, rng)
+            sig = (
+                snap_signature(variant, mapfiles)
+                if variant is not None
+                else None
+            )
+            if sig == baseline:
+                same += 1
+            elif sig is None:
+                unbucketed += 1
+            else:
+                shifted.append(f"{injector}/{seed}: {sig}")
+    return same, unbucketed, shifted
+
+
+def check_sweep(crashed, seeds):
+    same, unbucketed, shifted = sweep(crashed, seeds)
+    total = same + unbucketed + len(shifted)
+    assert total == len(list(seeds)) * len(INJECTORS)
+    # Degradation may cost the bucket, rarely shifts a frame, and the
+    # shifted stragglers must still carry the same fault class — the
+    # damage never relabels a divide-by-zero as something else.
+    assert same >= MIN_SAME_FRACTION * total, (same, total)
+    assert len(shifted) <= MAX_OTHER_FRACTION * total, shifted
+    for entry in shifted:
+        assert "unhandled:DIVIDE_BY_ZERO @" in entry, entry
+
+
+def test_degraded_variants_never_change_fault_class(crashed):
+    check_sweep(crashed, range(12))
+
+
+@pytest.mark.slow
+def test_degraded_variants_never_change_fault_class_full(crashed):
+    check_sweep(crashed, range(200))
+
+
+def test_skew_composed_with_gap_damage_keeps_signature(crashed):
+    # The two tolerances compose: a skewed *and* degraded variant of
+    # the same incident still lands in the same bucket.
+    snap, mapfiles, baseline = crashed
+    for seed in range(8):
+        rng = random.Random(seed)
+        variant = copy_snap(snap)
+        skew_clock(variant, rng.randrange(1 << 34) - (1 << 33))
+        buffer = max(
+            (b for b in variant.buffers if len(b.words) > HEADER_WORDS),
+            key=lambda b: len(b.words),
+        )
+        start = HEADER_WORDS + 8 + rng.randrange(60)
+        for idx in range(start, min(start + 8, len(buffer.words))):
+            buffer.words[idx] = 0
+        assert snap_signature(variant, mapfiles) == baseline, seed

@@ -1,0 +1,237 @@
+"""Cross-seed triage differential against chaos ground truth.
+
+The triage promise, scored as a clustering problem: runs of the *same*
+underlying fault — across seeds, schedules, clock skews, and chaos
+damage — must land in one bucket, and runs of *distinct* faults must
+never share one.  Ground truth comes from construction: each item is a
+(fault program | chaos scenario, seed) run whose true fault is known
+before any evidence is damaged, and :func:`pairwise_scores` compares
+the signature clustering against it.
+
+Precision is asserted at exactly 1.0 — a wrongly-merged bucket sends
+an engineer to the wrong diagnosis, so no seed may ever cause one.
+Recall has a documented floor (:data:`RECALL_FLOOR`): damage may cost
+a bucket (an unbucketed incident is a visible miss), but the sweep
+shows the signature holds the same-fault runs together anyway.
+
+The default lane runs a seed subset; the slow lane
+(``pytest -m slow tests/fleet/test_triage_differential.py``) runs every
+named chaos scenario and every catalogue fault under >= 10 seeds.
+"""
+
+import random
+
+import pytest
+
+from repro import TraceSession
+from repro.chaos.inject import copy_snap, skew_clock
+from repro.chaos.scenarios import SCENARIOS, run_scenario
+from repro.fleet import pairwise_scores
+from repro.reconstruct import signature_of_trace, snap_signature
+from repro.runtime import RuntimeConfig, SnapPolicy
+
+#: Documented recall floor for the full sweep.  Observed recall is 1.0
+#: on every shipped seed; the floor leaves headroom for damage variants
+#: that legitimately lose their bucket (a miss, never a merge).
+RECALL_FLOOR = 0.9
+
+#: Distinct fault programs: each carries a ``%ITERS%`` knob so seeded
+#: runs differ in trace length (and therefore in everything a naive
+#: trace hash would key on) while the fault identity stays fixed.
+FAULTS = {
+    "div-zero-main": """
+int main() {
+    int i; int acc; acc = 0;
+    for (i = 0; i < %ITERS%; i = i + 1) { acc = acc + i; }
+    int z;
+    z = acc / (acc - acc);
+    return 0;
+}
+""",
+    "div-zero-helper": """
+int boom(int x) {
+    int y;
+    y = 10 / x;
+    return y;
+}
+int outer(int n) {
+    return boom(n - n);
+}
+int main() {
+    int i; int acc; acc = 0;
+    for (i = 0; i < %ITERS%; i = i + 1) { acc = acc + 1; }
+    acc = outer(acc);
+    return 0;
+}
+""",
+    "sleep-illegal": """
+int main() {
+    int i;
+    for (i = 0; i < %ITERS%; i = i + 1) { i = i + 0; }
+    sleep(0 - 5);
+    return 0;
+}
+""",
+    "wild-poke": """
+int main() {
+    int i;
+    for (i = 0; i < %ITERS%; i = i + 1) { i = i + 0; }
+    poke(99999999, 1);
+    return 0;
+}
+""",
+    "user-throw": """
+int inner() {
+    throw 123;
+    return 0;
+}
+int main() {
+    int i;
+    for (i = 0; i < %ITERS%; i = i + 1) { i = i + 0; }
+    inner();
+    return 0;
+}
+""",
+}
+
+#: Which chaos scenarios actually contain a fault, and whose: process
+#: name -> ground-truth fault label.  Every other scenario damages a
+#: *clean* run — its snaps must stay unbucketed (asserted below).
+SCENARIO_TRUTH = {
+    "abrupt-kill": {
+        # Each process parks at its own wait point when the kill lands;
+        # three distinct fault sites, each its own bucket.
+        "client": "kill:client",
+        "frontend": "kill:frontend",
+        "backend": "kill:backend",
+    },
+    "vault-machine-loss": {"client": "crash:client-div-zero"},
+}
+
+
+def mine_fault(name: str, seed: int) -> str | None:
+    """One seeded run of a catalogue fault -> its mined signature.
+
+    Seeds vary the pre-crash trace length and apply an extreme post-hoc
+    clock skew — the variation triage must see through.
+    """
+    rng = random.Random(seed)
+    iters = 3 + rng.randrange(40)
+    source = FAULTS[name].replace("%ITERS%", str(iters))
+    session = TraceSession(
+        process_name=name,
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        ),
+    )
+    session.add_minic(source, name="app", file_name="app.c")
+    session.run()
+    snap = copy_snap(session.runtime.snap_store.snaps[-1])
+    skew_clock(snap, rng.randrange(1 << 34) - (1 << 33))
+    return snap_signature(snap, session.mapfiles)
+
+
+def mine_scenario(name: str, seed: int) -> dict[str, str | None]:
+    """One seeded chaos run -> process name -> mined signature."""
+    result = run_scenario(name, seed)
+    trace = result.reconstruct()
+    sigs: dict[str, str | None] = {}
+    for process in trace.processes:
+        signature = signature_of_trace(process)
+        sigs[process.process_name] = (
+            signature.render() if signature else None
+        )
+    return sigs
+
+
+def run_differential(seeds, scenario_names=None):
+    """Score the signature clustering against constructed ground truth.
+
+    Returns ``(precision, recall, items)``; asserts along the way that
+    faultless runs never mint a bucket.
+    """
+    predicted: dict[str, set] = {}
+    truth: dict[str, set] = {}
+
+    def put(item, label, sig):
+        truth.setdefault(label, set()).add(item)
+        if sig is not None:
+            predicted.setdefault(sig, set()).add(item)
+
+    total = 0
+    for fault in FAULTS:
+        for seed in seeds:
+            put(("fault", fault, seed), f"fault:{fault}",
+                mine_fault(fault, seed))
+            total += 1
+    for name in scenario_names if scenario_names is not None else SCENARIOS:
+        labels = SCENARIO_TRUTH.get(name, {})
+        for seed in seeds:
+            for process, sig in mine_scenario(name, seed).items():
+                label = labels.get(process)
+                if label is None:
+                    # No fault in this process: a signature here would
+                    # be a fabricated crasher — worse than a miss.
+                    assert sig is None, (
+                        f"{name} seed {seed}: faultless process "
+                        f"{process} minted signature {sig!r}"
+                    )
+                    continue
+                put(("scenario", name, seed, process), label, sig)
+                total += 1
+
+    precision, recall = pairwise_scores(predicted, truth)
+    return precision, recall, total
+
+
+# ----------------------------------------------------------------------
+# Default lane: seed subset, full fault/scenario coverage
+# ----------------------------------------------------------------------
+def test_cross_seed_differential_fast():
+    precision, recall, items = run_differential(seeds=range(3))
+    assert precision == 1.0, "distinct faults shared a bucket"
+    assert recall >= RECALL_FLOOR
+    assert items >= len(FAULTS) * 3  # the sweep actually ran
+
+
+def test_same_fault_same_signature_across_seeds():
+    # The core stability claim, stated directly: every catalogue fault
+    # mines the identical rendered signature at every seed.
+    for fault in FAULTS:
+        sigs = {mine_fault(fault, seed) for seed in range(3)}
+        assert len(sigs) == 1 and None not in sigs, (fault, sigs)
+
+
+def test_distinct_faults_mine_distinct_signatures():
+    mined = {fault: mine_fault(fault, 0) for fault in FAULTS}
+    assert len(set(mined.values())) == len(FAULTS), mined
+    # Same exception class, different frames: still distinct buckets.
+    assert mined["div-zero-main"] != mined["div-zero-helper"]
+    assert all(s.startswith("unhandled:") for s in mined.values())
+
+
+# ----------------------------------------------------------------------
+# Slow lane: every scenario and fault, >= 10 seeds each
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_cross_seed_differential_full():
+    precision, recall, items = run_differential(seeds=range(10))
+    assert precision == 1.0, "distinct faults shared a bucket"
+    assert recall >= RECALL_FLOOR
+    assert items >= len(FAULTS) * 10
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_scenario_signatures_stable_per_seed_full(name):
+    labels = SCENARIO_TRUTH.get(name, {})
+    per_process: dict[str, set] = {}
+    for seed in range(10):
+        for process, sig in mine_scenario(name, seed).items():
+            if process in labels:
+                per_process.setdefault(process, set()).add(sig)
+            else:
+                assert sig is None, (name, seed, process, sig)
+    for process, sigs in per_process.items():
+        # One bucket per true fault across all ten seeds.
+        assert len(sigs) == 1 and None not in sigs, (name, process, sigs)

@@ -1,0 +1,101 @@
+"""Golden regression: ``tbtrace top``/``report`` output is byte-stable.
+
+The report document deliberately excludes vault paths and wall-clock
+times, and every other field (digests, seqs, clocks, renderings) is a
+deterministic function of the fixed-seed fleet fixture — so the JSON
+forms must reproduce byte-for-byte.  The goldens live in
+``tests/fleet/golden/``; regenerate after an intentional format change
+with::
+
+    TB_UPDATE_GOLDENS=1 PYTHONPATH=src python -m pytest \\
+        tests/fleet/test_triage_golden.py
+"""
+
+import os
+
+import pytest
+
+from repro.tools.tb import main
+from tests.fleet.test_incidents import run_two_peer_fanout
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+@pytest.fixture(scope="module")
+def fixture_vault(tmp_path_factory):
+    """The fixed-seed fleet fixture: one crasher, one bystander."""
+    tmp = tmp_path_factory.mktemp("triage-golden")
+    vault, _result = run_two_peer_fanout(tmp)
+    return vault
+
+
+def check_golden(name: str, produced: str):
+    path = os.path.join(GOLDEN_DIR, name)
+    if os.environ.get("TB_UPDATE_GOLDENS"):
+        with open(path, "w") as fh:
+            fh.write(produced)
+    with open(path) as fh:
+        expected = fh.read()
+    assert produced == expected, (
+        f"{name} drifted from its golden; if the change is intentional, "
+        f"regenerate with TB_UPDATE_GOLDENS=1"
+    )
+
+
+def test_top_json_golden(fixture_vault, capsys):
+    assert main(["top", "--vault", fixture_vault.root, "--json"]) == 0
+    check_golden("top.jsonl", capsys.readouterr().out)
+
+
+def test_report_json_golden(fixture_vault, capsys):
+    assert main(["report", "--vault", fixture_vault.root, "--json"]) == 0
+    check_golden("report.json", capsys.readouterr().out)
+
+
+def test_report_text_golden(fixture_vault, capsys):
+    assert main(["report", "--vault", fixture_vault.root]) == 0
+    check_golden("report.txt", capsys.readouterr().out)
+
+
+def test_top_listing_names_the_vault(fixture_vault, capsys):
+    assert main(["top", "--vault", fixture_vault.root]) == 0
+    out = capsys.readouterr().out
+    # The human listing includes the (run-specific) vault path, so it
+    # is smoke-checked, not golden-checked.
+    assert out.startswith("1 crash bucket(s) in ")
+    assert "(1/2 snap(s) bucketed)" in out
+    assert "unhandled:DIVIDE_BY_ZERO" in out
+
+
+def test_report_html_smoke(fixture_vault, capsys, tmp_path):
+    out_path = str(tmp_path / "report.html")
+    assert main([
+        "report", "--vault", fixture_vault.root, "--html",
+        "--out", out_path,
+    ]) == 0
+    assert "report written to" in capsys.readouterr().out
+    with open(out_path) as fh:
+        page = fh.read()
+    # Well-formed enough to open: one document, balanced structure.
+    assert page.startswith("<!DOCTYPE html>")
+    assert page.count("<html") == page.count("</html>") == 1
+    assert page.count("<body") == page.count("</body>") == 1
+    assert page.count('<div class="bucket">') == page.count("</div>") == 1
+    assert page.count("<pre>") == page.count("</pre>") == 1
+    # The exemplar rendering made it in, escaped.
+    assert "&lt;=== fault here" in page
+    assert "unhandled:DIVIDE_BY_ZERO" in page
+
+
+def test_report_json_out_matches_stdout_form(fixture_vault, capsys,
+                                             tmp_path):
+    out_path = str(tmp_path / "report.json")
+    assert main([
+        "report", "--vault", fixture_vault.root, "--json",
+        "--out", out_path,
+    ]) == 0
+    capsys.readouterr()
+    with open(out_path) as fh:
+        written = fh.read()
+    with open(os.path.join(GOLDEN_DIR, "report.json")) as fh:
+        assert written == fh.read()
