@@ -26,12 +26,20 @@
 #                                signature-stability fuzz sweep, and the
 #                                golden report regression (all slow
 #                                lanes included)
-#   scripts/check.sh bench       interpreter + fleet-ingest + fleet-GC
-#                                benchmarks; writes BENCH_interpreter.json
-#                                and BENCH_fleet.json, then fails if fleet
-#                                ingest or GC reclaim regressed >25% vs
-#                                the previous BENCH_fleet.json history
-#                                entry
+#   scripts/check.sh remote      remote-query + federation subsystem:
+#                                the wire-protocol/client tests, the
+#                                federated scatter-gather tests, the
+#                                seeded query-chaos fuzz sweep (120+
+#                                seeds), and the federation benchmark
+#                                (fan-out latency + one-slow-vault
+#                                overhead) merged into BENCH_fleet.json
+#   scripts/check.sh bench       interpreter + fleet-ingest + fleet-GC +
+#                                federation benchmarks; writes
+#                                BENCH_interpreter.json and
+#                                BENCH_fleet.json, then fails if fleet
+#                                ingest, GC reclaim, or federated query
+#                                rate regressed >25% vs the previous
+#                                BENCH_fleet.json history entry
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -63,15 +71,24 @@ case "${1:-test-fast}" in
       tests/fleet/test_signature_stability.py \
       tests/fleet/test_triage_golden.py -m "slow or not slow"
     ;;
+  remote)
+    python -m pytest -q tests/fleet/test_remote.py \
+      tests/fleet/test_federation.py \
+      tests/fleet/test_federation_fuzz.py -m "slow or not slow"
+    python benchmarks/bench_fleet_federation.py
+    exec python benchmarks/bench_fleet_federation.py --check
+    ;;
   bench)
     python benchmarks/bench_interpreter.py
     python benchmarks/bench_fleet_ingest.py
     python benchmarks/bench_fleet_gc.py
+    python benchmarks/bench_fleet_federation.py
     python benchmarks/bench_fleet_ingest.py --check
-    exec python benchmarks/bench_fleet_gc.py --check
+    python benchmarks/bench_fleet_gc.py --check
+    exec python benchmarks/bench_fleet_federation.py --check
     ;;
   *)
-    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|triage|bench}" >&2
+    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|triage|remote|bench}" >&2
     exit 2
     ;;
 esac

@@ -90,6 +90,11 @@ class ChaosResult:
     salvage_notes: dict[str, list[str]] = field(default_factory=dict)
     #: Root of the snap vault the run drained into (vault scenarios).
     vault_dir: str | None = None
+    #: Every regional vault root (federated scenarios).
+    vault_dirs: list[str] = field(default_factory=list)
+    #: The FederationReport document, when the evidence was gathered
+    #: through a federated query (coverage ladder + per-vault status).
+    federation: dict | None = None
 
     def reconstruct(self, strict: bool = False) -> DistributedTrace:
         """Reconstruct the damaged evidence (salvage mode by default)."""
@@ -448,6 +453,206 @@ def scenario_vault_machine_loss(rng: random.Random) -> ChaosResult:
     )
 
 
+#: Regional vault layout for the federated scenarios: the crash chain
+#: spans two regions, so one incident's evidence is split across vaults
+#: that share no manifest — machine-c's group snap lives only in the
+#: west vault.
+REGIONS = {
+    "vault-east": ("machine-a", "machine-b"),
+    "vault-west": ("machine-c",),
+}
+
+#: The vault the federated scenarios lose.  Deliberately the *west*
+#: vault: the client's triggering crash snap lives in the east, so the
+#: partial result still contains the true first fault — what the
+#: coverage ladder promises a responder ("partial" names the lost
+#: region; the reachable evidence stays correct).
+FEDERATION_VICTIM = "vault-west"
+
+
+def build_federated_fleet(vault_roots: dict | None = None):
+    """The crashing chain draining into two regional vaults.
+
+    Same topology and crash as :func:`build_vault_run`, but each
+    machine's service process forwards to its *region's* collector:
+    machines a and b drain into the east vault, machine c into the
+    west.  Every mapfile is stored in every vault before ingest (so
+    each region mines signatures standalone).  Returns
+    ``(vaults, session)`` with the crash fan-out drained — one
+    distributed incident whose snaps are split across the two stores.
+    """
+    from repro.fleet.collector import Collector
+    from repro.fleet.store import SnapVault
+    from repro.runtime.runtime import RuntimeConfig
+    from repro.runtime.snap import SnapPolicy
+
+    reset_runtime_ids()
+    roots = vault_roots or {
+        name: tempfile.mkdtemp(prefix=f"tb-{name}-") for name in REGIONS
+    }
+    vaults = {name: SnapVault(roots[name], shards=4) for name in REGIONS}
+    session = DistributedSession(
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled")
+        )
+    )
+    machines = [
+        session.add_machine(name, clock_skew=skew)
+        for name, skew in zip(MACHINES, (0, 1_000_000, -500_000))
+    ]
+    collectors = {
+        name: Collector(
+            vault,
+            network=session.network,
+            name=f"tb-collector-{name}",
+            batch_size=2,
+            queue_limit=8,
+        )
+        for name, vault in vaults.items()
+    }
+    for machine in machines:
+        region = next(
+            name for name, members in REGIONS.items() if machine.name in members
+        )
+        session.services[machine].forward_to(collectors[region])
+    services = list(session.services.values())
+    for service in services:
+        service.configure_group("chain", ["client", "frontend", "backend"])
+    for i, a in enumerate(services):
+        for b in services[i + 1 :]:
+            a.link(b)
+    session.add_process(machines[0], "client", CLIENT_CRASH_SRC, start=True)
+    session.add_process(
+        machines[1], "frontend", FRONTEND_SRC, services={7: "handle"}
+    )
+    session.add_process(
+        machines[2], "backend", BACKEND_SRC, services={8: "handle"}
+    )
+    # Sig mining happens at ingest; every region needs every mapfile
+    # *before* the first snap arrives.
+    for mapfile in session.mapfiles:
+        for vault in vaults.values():
+            vault.put_mapfile(mapfile)
+    for handle in session.nodes.values():
+        if handle.entry_module is not None:
+            handle.process.start(handle.entry_module)
+    client_store = session.nodes["client"].runtime.snap_store
+    for _ in range(500):
+        total = sum(m.cycles for m in session.network.machines)
+        session.network.run(max_total_cycles=total + 2_000)
+        if client_store.snaps:
+            break
+    for collector in collectors.values():
+        collector.drain()
+    return vaults, session
+
+
+def serve_federation(
+    vaults: dict,
+    network,
+    rng: random.Random | None = None,
+    deadline: int = 20_000,
+    max_retries: int = 1,
+    backoff_base: int = 200,
+    timeout: int = 200_000,
+):
+    """Serve every vault on ``network`` and return the federated view.
+
+    Returns ``(federated, clients)`` where ``clients`` maps vault name
+    to its :class:`~repro.fleet.remote.RemoteVaultClient` (handy for
+    fetching blobs from the survivors after a partial answer).
+    """
+    from repro.fleet.federation import FederatedQuery
+    from repro.fleet.remote import RemoteVaultClient, VaultService
+
+    clients = {}
+    for name, vault in vaults.items():
+        network.register_vault_service(VaultService(vault, name=name))
+        clients[name] = RemoteVaultClient(
+            network,
+            service=name,
+            deadline=deadline,
+            max_retries=max_retries,
+            backoff_base=backoff_base,
+            seed=rng.randrange(1 << 30) if rng is not None else 0,
+        )
+    return FederatedQuery(clients, timeout=timeout), clients
+
+
+def _federated_result(
+    name: str, rng: random.Random, verdict: str, injected_note: str
+) -> ChaosResult:
+    """Run the two-vault fleet, lose the west vault at query time via
+    ``verdict``, gather the partial federated answer, and load the
+    surviving evidence through the remote clients (blob CRC path)."""
+    from repro.fleet.remote import RemoteQueryError
+
+    vaults, session = build_federated_fleet()
+    federated, clients = serve_federation(vaults, session.network, rng=rng)
+
+    def query_chaos(service, op, attempt):
+        return verdict if service == FEDERATION_VICTIM else None
+
+    session.network.query_chaos = query_chaos
+    incidents, report = federated.incidents()
+    reachable = [
+        clients[status.name] for status in report.vaults if status.answered
+    ]
+    snaps: list[SnapFile | None] = []
+    salvage_notes: dict[str, list[str]] = {}
+    for incident in incidents:
+        for entry in incident.entries:
+            for client in reachable:
+                try:
+                    snap, notes = client.load(entry.digest, salvage=True)
+                except RemoteQueryError:
+                    continue  # not this region's snap
+                snaps.append(snap)
+                if notes:
+                    salvage_notes.setdefault(entry.machine, []).extend(notes)
+                break
+    lost = ", ".join(report.degraded_vaults()) or "none"
+    return ChaosResult(
+        name=name,
+        snaps=snaps,
+        mapfiles=session.mapfiles,
+        injected=[
+            f"vault {FEDERATION_VICTIM}: {injected_note}",
+            f"federation coverage {report.coverage}; lost vault(s): {lost}",
+        ],
+        expected_machines=list(MACHINES),
+        salvage_notes=salvage_notes,
+        vault_dir=vaults["vault-east"].root,
+        vault_dirs=[vault.root for vault in vaults.values()],
+        federation=report.to_dict(),
+    )
+
+
+def scenario_federated_vault_loss(rng: random.Random) -> ChaosResult:
+    """The west vault's query server dies mid-stream: the federated
+    answer degrades to ``partial``, names the lost region, and the east
+    evidence (including the true first fault) still reconstructs."""
+    return _federated_result(
+        "federated-vault-loss",
+        rng,
+        verdict="kill-server",
+        injected_note="query server killed mid-stream",
+    )
+
+
+def scenario_slow_vault_timeout(rng: random.Random) -> ChaosResult:
+    """Every reply from the west vault lands past the client's deadline:
+    retries with backoff exhaust, the vault is reported timed out, and
+    the federation degrades to a named partial answer instead of
+    hanging."""
+    return _federated_result(
+        "slow-vault-timeout",
+        rng,
+        verdict="delay",
+        injected_note="responses delayed past every deadline",
+    )
+
+
 SCENARIOS = {
     "corrupt-buffer": scenario_corrupt_buffer,
     "torn-header": scenario_torn_header,
@@ -462,6 +667,8 @@ SCENARIOS = {
     "stripped-sync-payload": scenario_stripped_sync_payload,
     "killed-callee": scenario_killed_callee,
     "vault-machine-loss": scenario_vault_machine_loss,
+    "federated-vault-loss": scenario_federated_vault_loss,
+    "slow-vault-timeout": scenario_slow_vault_timeout,
 }
 
 

@@ -40,6 +40,24 @@ class Network:
         #: snap, attempt)``; any truthy return drops that transfer in
         #: transit (the collector retries with backoff).
         self.upload_chaos = None
+        #: Optional fault hook for remote vault queries
+        #: (``repro.fleet.remote``): called with ``(service_id, op,
+        #: attempt)`` per request; may return ``"drop"`` (the request
+        #: never arrives), ``"delay"`` (the response lands past the
+        #: client's deadline and is discarded), ``"corrupt"`` (the
+        #: response bytes are damaged in transit — the frame CRC
+        #: catches it and the client retries), ``"kill-server"`` (the
+        #: vault server dies mid-stream) — or None for normal delivery.
+        self.query_chaos = None
+        #: Remote vault query exchanges attempted (``repro.fleet.remote``).
+        self.query_count = 0
+        #: Dispatches (guest RPC or vault registration) that saw more
+        #: than one alive candidate for one service id — a
+        #: misconfigured fleet, made visible instead of silently routed.
+        self.duplicate_service = 0
+        #: Host-level vault query servers by service id, in
+        #: registration order (``repro.fleet.remote.VaultService``).
+        self._vault_services: dict[str, list] = {}
 
     # ------------------------------------------------------------------
     def add_machine(
@@ -60,7 +78,18 @@ class Network:
 
     # ------------------------------------------------------------------
     def dispatch(self, request: RpcRequest) -> None:
-        """Route an RPC to whichever process serves its service id."""
+        """Route an RPC to the process serving its service id.
+
+        Routing is deliberately **first-alive-wins**: machines are
+        scanned in registration order and the first alive process
+        serving the id takes the request.  Registering the same
+        service id twice is legal (a misconfigured fleet does exactly
+        this), but the later registration receives no traffic while an
+        earlier one is alive — it is a standby, not a load-balancing
+        peer.  Every dispatch that found more than one alive candidate
+        bumps ``duplicate_service`` so the shadowed registration is
+        visible to operators instead of silently ignored.
+        """
         self.rpc_count += 1
         caller_machine = request.caller_process.machine
         caller_machine.cycles += self.rpc_latency
@@ -70,18 +99,48 @@ class Network:
             return
         if action == "strip-sync":
             request.extra = {}
-        for machine in self.machines:
-            for process in machine.processes:
-                if process.alive and request.service in process.rpc_services:
-                    if action == "kill-callee":
-                        process.kill()
-                        caller_machine.complete_rpc(
-                            request, status=ExcCode.RPC_SERVER_FAULT
-                        )
-                        return
-                    spawn_service_thread(process, request)
-                    return
+        candidates = [
+            process
+            for machine in self.machines
+            for process in machine.processes
+            if process.alive and request.service in process.rpc_services
+        ]
+        if len(candidates) > 1:
+            self.duplicate_service += 1
+        if candidates:
+            process = candidates[0]
+            if action == "kill-callee":
+                process.kill()
+                caller_machine.complete_rpc(
+                    request, status=ExcCode.RPC_SERVER_FAULT
+                )
+                return
+            spawn_service_thread(process, request)
+            return
         caller_machine.complete_rpc(request, status=ExcCode.RPC_SERVER_FAULT)
+
+    # ------------------------------------------------------------------
+    # Host-level vault query servers (repro.fleet.remote)
+    # ------------------------------------------------------------------
+    def register_vault_service(self, server) -> None:
+        """Attach a vault query server under its ``server.name`` id.
+
+        Same first-alive-wins policy as :meth:`dispatch`: a second
+        registration under an id that already has a live server stays
+        shadowed (it only takes over once every earlier registration
+        is dead) and bumps ``duplicate_service``.
+        """
+        registered = self._vault_services.setdefault(server.name, [])
+        if any(existing.alive for existing in registered):
+            self.duplicate_service += 1
+        registered.append(server)
+
+    def vault_service(self, service_id: str):
+        """The first *alive* server registered under ``service_id``."""
+        for server in self._vault_services.get(service_id, []):
+            if server.alive:
+                return server
+        return None
 
     # ------------------------------------------------------------------
     def run(self, max_total_cycles: int = 100_000_000, slice_cycles: int = 2000) -> str:

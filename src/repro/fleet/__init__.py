@@ -29,13 +29,39 @@ Five layers turn per-session snaps into durable, queryable evidence:
   crashers" buckets mined from reconstructed evidence, the
   ``tbtrace top`` / ``tbtrace report`` views, and the pairwise
   precision/recall metric the chaos ground-truth harness scores the
-  signature function with.
+  signature function with;
+* :mod:`repro.fleet.remote` — the versioned vault query protocol
+  (CRC-framed, paginated) and the :class:`RemoteVaultClient` that
+  mirrors ``VaultQuery`` over the simulated network with per-request
+  deadlines and seeded retry-with-backoff;
+* :mod:`repro.fleet.federation` — scatter-gather over N regional
+  vaults with per-vault timeouts: incident partitions merge across
+  vaults through their SYNC links, triage buckets merge under
+  min-signature union, and every answer carries a
+  :class:`FederationReport` coverage ladder (full → partial →
+  degraded) instead of erroring on a lost vault.
 """
 
-from repro.fleet.collector import Collector, PendingUpload
+from repro.fleet.collector import Collector, PendingUpload, backoff_with_jitter
+from repro.fleet.federation import (
+    FederatedQuery,
+    FederationReport,
+    VaultStatus,
+    canonical_buckets,
+    canonical_entries,
+    canonical_incidents,
+)
 from repro.fleet.index import IncidentIndex, batch_group
 from repro.fleet.metrics import FleetMetrics
 from repro.fleet.query import Incident, VaultQuery
+from repro.fleet.remote import (
+    ProtocolError,
+    RemoteQueryError,
+    RemoteVaultClient,
+    VaultService,
+    VaultTimeout,
+    VaultUnavailable,
+)
 from repro.fleet.retention import (
     CompactionPlan,
     RetentionError,
@@ -65,11 +91,16 @@ __all__ = [
     "Collector",
     "CompactionPlan",
     "CrashBucket",
+    "FederatedQuery",
+    "FederationReport",
     "FleetMetrics",
     "Incident",
     "IncidentIndex",
     "PendingUpload",
     "PreparedSnap",
+    "ProtocolError",
+    "RemoteQueryError",
+    "RemoteVaultClient",
     "RetentionError",
     "RetentionPolicy",
     "SnapVault",
@@ -77,8 +108,16 @@ __all__ = [
     "VaultEntry",
     "VaultError",
     "VaultQuery",
+    "VaultService",
+    "VaultStatus",
+    "VaultTimeout",
+    "VaultUnavailable",
+    "backoff_with_jitter",
     "batch_group",
     "build_report",
+    "canonical_buckets",
+    "canonical_entries",
+    "canonical_incidents",
     "content_digest",
     "mine_sync_ids",
     "pairwise_scores",

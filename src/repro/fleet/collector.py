@@ -65,6 +65,32 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 UploadChaos = Callable[[str, SnapFile, int], object]
 
 
+def backoff_with_jitter(
+    base: int,
+    attempts: int,
+    rng: random.Random,
+    maximum: int | None = None,
+) -> int:
+    """Seeded exponential backoff with a jitter cap, in cycles.
+
+    ``base * 2**(attempts-1)`` plus deterministic jitter drawn from
+    ``[0, base)``, the whole clamped to ``maximum`` when one is given —
+    so a long outage charges bounded cycles per retry instead of
+    doubling without limit.  The jitter draw always happens, clamped or
+    not, so a given seed yields the same delay sequence regardless of
+    where the cap sits.
+
+    This is *the* uplink backoff discipline: the collector's retry
+    loop and the remote query client both delay through here.
+    """
+    delay = base * (2 ** (attempts - 1))
+    if base > 0:
+        delay += rng.randrange(base)
+    if maximum is not None:
+        delay = min(delay, maximum)
+    return delay
+
+
 @dataclass
 class PendingUpload:
     """One queued snap on its way to the vault."""
@@ -103,6 +129,7 @@ class Collector:
         queue_limit: int = 64,
         max_retries: int = 5,
         backoff_base: int = 1_000,
+        backoff_max: int | None = None,
         seed: int = 0,
         metrics: FleetMetrics | None = None,
         workers: int = 0,
@@ -122,6 +149,17 @@ class Collector:
         self.queue_limit = queue_limit
         self.max_retries = max_retries
         self.backoff_base = backoff_base
+        #: Backoff ceiling: no single retry delay (jitter included)
+        #: ever exceeds this, so an outage longer than a few doublings
+        #: charges bounded cycles before the item dead-letters.  The
+        #: default (32x base) sits above any delay a default-config
+        #: retry ladder can reach, so it only bites when max_retries is
+        #: raised — exactly the long-outage case it exists for.
+        if backoff_max is None:
+            backoff_max = 32 * backoff_base
+        if backoff_max < backoff_base:
+            raise ValueError("backoff_max must be >= backoff_base")
+        self.backoff_max = backoff_max
         #: Deterministic jitter source for retry backoff.
         self.rng = random.Random(seed)
         #: Shared with the vault unless explicitly overridden, so one
@@ -298,8 +336,9 @@ class Collector:
                 self.dead.append(item)
                 self.metrics.bump(dead_letters=1)
                 continue
-            backoff = self.backoff_base * (2 ** (item.attempts - 1))
-            backoff += self.rng.randrange(self.backoff_base)
+            backoff = backoff_with_jitter(
+                self.backoff_base, item.attempts, self.rng, self.backoff_max
+            )
             item.backoffs.append(backoff)
             self.metrics.bump(backoff_cycles=backoff, retries=1)
             self.queue.append(item)

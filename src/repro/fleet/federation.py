@@ -1,0 +1,366 @@
+"""Federated scatter-gather queries over N regional vaults.
+
+One fleet, many vaults: each region's collectors drain into their own
+:class:`~repro.fleet.store.SnapVault`, so a distributed incident's
+evidence is split across stores that share no manifest.  This module
+asks all of them and merges what comes back:
+
+* :class:`FederatedQuery` scatters one query across N
+  :class:`~repro.fleet.remote.RemoteVaultClient`\\ s with a per-vault
+  cycle budget, gathers the pages each vault managed to serve, and
+  **never raises on a lost vault** — degradation is data, not an
+  exception, exactly the stance salvage reconstruction established;
+* incident partitions merge by re-running the union-find link rules
+  over the union of fetched entries.  Every rule (group-snap fan-outs,
+  initiator matching, shared SYNC logical ids) is a pure function of
+  entry metadata, so within-vault edges are rediscovered and
+  cross-vault edges — the SYNC ids that already cross machines —
+  appear exactly as they would had every snap landed in one merged
+  vault;
+* triage buckets merge under min-signature union over the merged
+  incidents, the same bucket key rule the incident index maintains;
+* every answer carries a :class:`FederationReport` whose **coverage
+  ladder** mirrors the salvage degradation ladder: ``full`` (every
+  vault answered completely) → ``partial`` (at least one vault
+  answered; the report names each vault that timed out, failed, or
+  returned truncated pages) → ``degraded`` (no vault answered at all).
+
+Because vault-relative fields (ingest seq, shard) do not survive
+federation, merged results are exposed in a canonical, vault-free form
+(:func:`canonical_incidents` / :func:`canonical_buckets` /
+:func:`canonical_entries`).  With zero chaos, those documents are
+byte-identical to the same canonicalization of a single merged-vault
+:class:`~repro.fleet.query.VaultQuery` — the fuzz sweep's oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fleet.index import batch_group
+from repro.fleet.metrics import FleetMetrics
+from repro.fleet.query import Incident
+from repro.fleet.remote import (
+    RemoteQueryError,
+    RemoteVaultClient,
+    VaultTimeout,
+    VaultUnavailable,
+)
+from repro.fleet.store import VaultEntry
+from repro.reconstruct.signature import signature_key
+
+#: The coverage ladder, best to worst.
+COVERAGE_FULL = "full"
+COVERAGE_PARTIAL = "partial"
+COVERAGE_DEGRADED = "degraded"
+
+
+@dataclass
+class VaultStatus:
+    """One vault's standing in a federated answer."""
+
+    name: str
+    #: "ok" | "truncated" | "timeout" | "unavailable" | "error"
+    status: str
+    detail: str = ""
+    #: Items this vault contributed (0 for a lost vault).
+    items: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        return self.status != "ok"
+
+    @property
+    def answered(self) -> bool:
+        """The vault served at least a complete or truncated reply."""
+        return self.status in ("ok", "truncated")
+
+    def describe(self) -> str:
+        line = f"vault {self.name}: {self.status}, {self.items} item(s)"
+        if self.detail:
+            line += f" ({self.detail})"
+        return line
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "detail": self.detail,
+            "items": self.items,
+        }
+
+
+@dataclass
+class FederationReport:
+    """Coverage of one federated query: the ladder plus per-vault detail."""
+
+    coverage: str
+    vaults: list[VaultStatus] = field(default_factory=list)
+
+    def degraded_vaults(self) -> list[str]:
+        """Names of every vault that timed out, failed, or truncated."""
+        return [v.name for v in self.vaults if v.degraded]
+
+    def describe(self) -> list[str]:
+        lines = [f"federation coverage: {self.coverage}"]
+        lines.extend(f"  {status.describe()}" for status in self.vaults)
+        return lines
+
+    def to_dict(self) -> dict:
+        return {
+            "coverage": self.coverage,
+            "degraded": self.degraded_vaults(),
+            "vaults": [v.to_dict() for v in self.vaults],
+        }
+
+
+def _coverage(statuses: list[VaultStatus]) -> str:
+    if statuses and all(v.status == "ok" for v in statuses):
+        return COVERAGE_FULL
+    if any(v.answered for v in statuses):
+        return COVERAGE_PARTIAL
+    return COVERAGE_DEGRADED
+
+
+# ----------------------------------------------------------------------
+# Merging
+# ----------------------------------------------------------------------
+def _dedupe_entries(per_vault: dict[str, list[VaultEntry]]) -> list[VaultEntry]:
+    """The union of per-vault entries, one per content digest.
+
+    Content digests are vault-independent (sha256 of the snap's
+    canonical form), so the same snap uploaded to two regions
+    collapses to one entry; vault-relative metadata (seq, shard) is
+    taken from whichever vault answered first.
+    """
+    merged: dict[str, VaultEntry] = {}
+    for entries in per_vault.values():
+        for entry in entries:
+            merged.setdefault(entry.digest, entry)
+    return sorted(merged.values(), key=lambda e: e.digest)
+
+
+def merge_incidents(entries: list[VaultEntry]) -> list[Incident]:
+    """Merge per-vault partitions: union-find over the entry union.
+
+    Seqs from different vaults collide, so the unbounded (window=None)
+    grouper is the only correct one here; ordering is canonicalized by
+    digest instead of seq.
+    """
+    ordered = sorted(entries, key=lambda e: e.digest)
+    clusters, kinds = batch_group(ordered, None)
+    incidents = []
+    for position, members in enumerate(clusters):
+        incidents.append(
+            Incident(
+                incident_id=position,
+                entries=sorted(
+                    (ordered[m] for m in members), key=lambda e: e.digest
+                ),
+                links=kinds[position],
+            )
+        )
+    incidents.sort(key=lambda inc: inc.entries[0].digest)
+    for position, incident in enumerate(incidents):
+        incident.incident_id = position
+    return incidents
+
+
+def merge_buckets(
+    incidents: list[Incident], limit: int | None = None
+) -> list[dict]:
+    """Triage buckets under min-signature union over merged incidents.
+
+    The bucket key is the minimum member signature — the same
+    order-free rule the incident index applies per vault, so two
+    vaults' buckets for one fault land in one federated bucket.
+    Vault-relative seqs don't survive federation: there are no
+    first/last seq fields, and the exemplar is the smallest
+    signature-carrying digest (canonical, not earliest-ingest).
+    """
+    grouped: dict[str, list[Incident]] = {}
+    for incident in incidents:
+        sigs = sorted(e.sig for e in incident.entries if e.sig is not None)
+        if not sigs:
+            continue
+        grouped.setdefault(sigs[0], []).append(incident)
+    buckets = []
+    for sig, members in grouped.items():
+        entries = [e for inc in members for e in inc.entries]
+        buckets.append(
+            {
+                "key": signature_key(sig),
+                "sig": sig,
+                "count": len(entries),
+                "incidents": len(members),
+                "machines": sorted({e.machine for e in entries}),
+                "processes": sorted({e.process for e in entries}),
+                "exemplar": min(
+                    e.digest for e in entries if e.sig is not None
+                ),
+            }
+        )
+    buckets.sort(key=lambda b: (-b["count"], b["sig"]))
+    if limit is not None:
+        buckets = buckets[:limit]
+    return buckets
+
+
+# ----------------------------------------------------------------------
+# Canonical (vault-free) document forms — the bit-identity oracle
+# ----------------------------------------------------------------------
+def canonical_entries(entries: list[VaultEntry]) -> list[dict]:
+    """Entry docs stripped of vault-relative fields, digest-ordered."""
+    docs = []
+    for entry in sorted(entries, key=lambda e: e.digest):
+        doc = entry.to_dict()
+        doc.pop("seq")
+        doc.pop("shard")
+        docs.append(doc)
+    return docs
+
+
+def canonical_incidents(incidents: list[Incident]) -> list[dict]:
+    """Incident docs with positional ids and digest ordering only.
+
+    ``Incident.to_dict`` reports the *first* entry's initiator, which
+    depends on entry order (ingest seq locally, digest here); when two
+    fan-outs merged through a SYNC link that pick is ambiguous, so the
+    canonical form takes the lexicographic minimum instead.
+    """
+    docs = []
+    for incident in incidents:
+        doc = incident.to_dict()
+        doc["entries"] = sorted(doc["entries"])
+        initiators = sorted(
+            {e.initiator for e in incident.entries if e.initiator}
+        )
+        doc["initiator"] = initiators[0] if initiators else None
+        docs.append(doc)
+    docs.sort(key=lambda d: d["entries"][0] if d["entries"] else "")
+    for position, doc in enumerate(docs):
+        doc["incident_id"] = position
+    return docs
+
+
+def canonical_buckets(buckets: list) -> list[dict]:
+    """Bucket docs without seq/exemplar fields, rank-ordered.
+
+    Accepts :class:`~repro.fleet.triage.CrashBucket` objects or the
+    dicts :func:`merge_buckets` builds, so a local ``VaultQuery.top``
+    and a federated ``top`` canonicalize through the same door.
+    """
+    docs = []
+    for bucket in buckets:
+        doc = bucket.to_dict() if hasattr(bucket, "to_dict") else dict(bucket)
+        docs.append(
+            {
+                "key": doc["key"],
+                "sig": doc["sig"],
+                "count": doc["count"],
+                "incidents": doc["incidents"],
+                "machines": doc["machines"],
+                "processes": doc["processes"],
+            }
+        )
+    docs.sort(key=lambda d: (-d["count"], d["sig"]))
+    return docs
+
+
+# ----------------------------------------------------------------------
+# The scatter-gather engine
+# ----------------------------------------------------------------------
+class FederatedQuery:
+    """Fan one query out to N vaults; merge; degrade instead of erroring.
+
+    ``clients`` maps vault name → :class:`RemoteVaultClient`; scatter
+    order is the mapping order.  ``timeout`` is the per-vault cycle
+    budget for pagination (each client's own ``deadline`` bounds the
+    individual wire exchanges beneath it).  Every public method returns
+    ``(results, FederationReport)`` and is total: a lost vault becomes
+    a named rung on the coverage ladder, never an exception.
+    """
+
+    def __init__(
+        self,
+        clients: dict[str, RemoteVaultClient],
+        timeout: int = 200_000,
+        metrics: FleetMetrics | None = None,
+    ):
+        self.clients = dict(clients)
+        self.timeout = timeout
+        self.metrics = metrics or FleetMetrics()
+
+    # ------------------------------------------------------------------
+    def _scatter(self, fetch) -> tuple[dict[str, list], FederationReport]:
+        """Run ``fetch(client)`` per vault; losses become statuses."""
+        self.metrics.bump(federated_queries=1)
+        gathered: dict[str, list] = {}
+        statuses: list[VaultStatus] = []
+        for name, client in self.clients.items():
+            try:
+                items, truncated = fetch(client)
+            except VaultTimeout as exc:
+                statuses.append(VaultStatus(name, "timeout", str(exc)))
+                self.metrics.bump(federated_vault_losses=1)
+                continue
+            except VaultUnavailable as exc:
+                statuses.append(VaultStatus(name, "unavailable", str(exc)))
+                self.metrics.bump(federated_vault_losses=1)
+                continue
+            except RemoteQueryError as exc:
+                statuses.append(VaultStatus(name, "error", str(exc)))
+                self.metrics.bump(federated_vault_losses=1)
+                continue
+            gathered[name] = items
+            if truncated:
+                statuses.append(
+                    VaultStatus(
+                        name,
+                        "truncated",
+                        f"pagination budget exhausted after "
+                        f"{len(items)} item(s)",
+                        items=len(items),
+                    )
+                )
+            else:
+                statuses.append(VaultStatus(name, "ok", items=len(items)))
+        return gathered, FederationReport(
+            coverage=_coverage(statuses), vaults=statuses
+        )
+
+    # ------------------------------------------------------------------
+    def select(self, **filters) -> tuple[list[VaultEntry], FederationReport]:
+        """The union of matching entries, digest-ordered and deduped."""
+        gathered, report = self._scatter(
+            lambda client: client.select(
+                budget=self.timeout, partial=True, **filters
+            )
+        )
+        return _dedupe_entries(gathered), report
+
+    def incidents(self, **filters) -> tuple[list[Incident], FederationReport]:
+        """The federation-wide incident partition over reachable vaults.
+
+        Filters keep per-vault semantics (the whole incident touching a
+        match, bystanders included); members of a cross-vault incident
+        whose *only* matching snaps live in a lost vault are part of
+        the coverage loss the report names.
+        """
+        gathered, report = self._scatter(
+            lambda client: client.incidents(
+                budget=self.timeout, partial=True, **filters
+            )
+        )
+        per_vault = {
+            name: [e for incident in incidents for e in incident.entries]
+            for name, incidents in gathered.items()
+        }
+        return merge_incidents(_dedupe_entries(per_vault)), report
+
+    def top(
+        self, limit: int | None = None
+    ) -> tuple[list[dict], FederationReport]:
+        """Fleet-wide top crashers under min-signature union."""
+        incidents, report = self.incidents()
+        return merge_buckets(incidents, limit=limit), report

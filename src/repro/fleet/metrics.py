@@ -74,6 +74,16 @@ class FleetMetrics:
     top_queries: int = 0  # ranked-bucket listings served
     reports_rendered: int = 0  # triage reports built (text/JSON/HTML)
 
+    # -- remote query / federation --------------------------------------
+    remote_requests: int = 0  # protocol exchanges started (incl. retries)
+    remote_retries: int = 0  # attempts repeated after a lost exchange
+    remote_timeouts: int = 0  # requests that exhausted deadline/retries
+    remote_pages: int = 0  # response pages fetched
+    remote_blob_fetches: int = 0  # TBSZ2 blobs pulled (CRC-checked)
+    remote_backoff_cycles: int = 0  # retry delay charged, total
+    federated_queries: int = 0  # scatter-gather fan-outs served
+    federated_vault_losses: int = 0  # vaults a federated query lost
+
     extra: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -151,5 +161,13 @@ class FleetMetrics:
             f"  triage: {self.signatures_mined} signatures mined, "
             f"{self.top_queries} top queries, "
             f"{self.reports_rendered} reports"
+        )
+        lines.append(
+            f"  remote: {self.remote_requests} requests, "
+            f"{self.remote_pages} pages, {self.remote_retries} retried, "
+            f"{self.remote_timeouts} timed out, "
+            f"{self.remote_blob_fetches} blobs fetched; "
+            f"federation: {self.federated_queries} queries, "
+            f"{self.federated_vault_losses} vault losses"
         )
         return "\n".join(lines)

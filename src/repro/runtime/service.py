@@ -44,6 +44,8 @@ class ServiceProcess:
         #: "notifying it of snaps" scaled to a central vault).
         self.collector: "Collector | None" = None
         self.forwarded_snaps = 0
+        #: Vault query servers this service hosts (``serve_vault``).
+        self.vault_servers: list = []
 
     # ------------------------------------------------------------------
     def register(self, runtime: "TraceBackRuntime") -> None:
@@ -72,6 +74,37 @@ class ServiceProcess:
         before a ``kill -9`` is already on the uplink.
         """
         self.collector = collector
+
+    def serve_vault(
+        self,
+        vault,
+        network,
+        service: str = "vault",
+        machine=None,
+        page_limit: int | None = None,
+    ):
+        """Host a vault query server on this service process.
+
+        The service process already speaks for its machine's TraceBack
+        state (§3.6.1); serving the region's vault over the query
+        protocol is the same role pointed outward.  ``machine`` ties
+        the server's health to a simulated machine: while that machine
+        has live threads the server counts as wedged and requests cost
+        the caller their full deadline.  Returns the registered
+        :class:`~repro.fleet.remote.VaultService`.
+        """
+        from repro.fleet.remote import DEFAULT_PAGE_LIMIT, VaultService
+
+        server = VaultService(
+            vault,
+            name=service,
+            page_limit=DEFAULT_PAGE_LIMIT if page_limit is None else page_limit,
+            machine=machine,
+            served_by=self,
+        )
+        network.register_vault_service(server)
+        self.vault_servers.append(server)
+        return server
 
     # ------------------------------------------------------------------
     def notify_snap(self, source: "TraceBackRuntime", snap: "SnapFile") -> None:

@@ -204,8 +204,70 @@ def cmd_info(args: argparse.Namespace) -> int:
 def _open_vault(args: argparse.Namespace):
     from repro.fleet import SnapVault, VaultQuery
 
-    vault = SnapVault(args.vault)
+    vault = SnapVault(_vault_roots(args)[0])
     return vault, VaultQuery(vault)
+
+
+def _vault_roots(args: argparse.Namespace) -> list[str]:
+    """``--vault`` values as a list (the flag is repeatable)."""
+    roots = args.vault
+    return roots if isinstance(roots, list) else [roots]
+
+
+def _check_wire_flags(args: argparse.Namespace) -> str | None:
+    """Validate --remote/--federate/--vault combinations."""
+    roots = _vault_roots(args)
+    if args.remote and args.federate:
+        return "--remote and --federate are mutually exclusive"
+    if len(roots) > 1 and not args.federate:
+        return "multiple --vault roots require --federate"
+    if args.timeout is not None and not (args.remote or args.federate):
+        return "--timeout only applies with --remote or --federate"
+    return None
+
+
+def _remote_clients(args: argparse.Namespace) -> dict:
+    """Serve each ``--vault`` root in-process and return name -> client.
+
+    The wire is the simulated network: every query goes through the
+    versioned protocol (CRC frames, pagination, deadlines) exactly as a
+    cross-region query would, just without a socket under it.
+    """
+    import os
+
+    from repro.distributed.network import Network
+    from repro.fleet import SnapVault
+    from repro.fleet.remote import RemoteVaultClient, VaultService
+
+    network = Network()
+    clients: dict = {}
+    for root in _vault_roots(args):
+        base = os.path.basename(os.path.normpath(root)) or "vault"
+        name, n = base, 1
+        while name in clients:
+            n += 1
+            name = f"{base}-{n}"
+        network.register_vault_service(VaultService(SnapVault(root), name=name))
+        deadline = args.timeout if args.remote and args.timeout else 20_000
+        clients[name] = RemoteVaultClient(network, service=name, deadline=deadline)
+    return clients
+
+
+def _federated(args: argparse.Namespace):
+    from repro.fleet import FederatedQuery
+
+    return FederatedQuery(
+        _remote_clients(args), timeout=args.timeout or 200_000
+    )
+
+
+def _print_coverage(report, as_json: bool) -> None:
+    """Per-vault coverage, as a trailing JSON line or indented text."""
+    if as_json:
+        print(json.dumps({"federation": report.to_dict()}, sort_keys=True))
+    else:
+        for line in report.describe():
+            print(line)
 
 
 def cmd_collect(args: argparse.Namespace) -> int:
@@ -265,10 +327,51 @@ def cmd_query(args: argparse.Namespace) -> int:
     """``tbtrace query``: filter the vault; --show reconstructs one."""
     from repro.runtime import ArchiveError
 
+    problem = _check_wire_flags(args)
+    if problem:
+        return _fail(problem)
+    filters = dict(
+        machine=args.machine,
+        process=args.process,
+        reason=args.reason,
+        since=args.since,
+        until=args.until,
+        group=args.group,
+    )
+    if args.remote or args.federate:
+        from repro.fleet.remote import RemoteQueryError
+
+        if args.show:
+            return _fail("--show needs a local vault (wire queries list only)")
+        try:
+            clients = _remote_clients(args)
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot open vault: {exc}")
+        if args.federate:
+            entries, report = _federated(args).select(**filters)
+        else:
+            try:
+                entries = next(iter(clients.values())).select(**filters)
+            except RemoteQueryError as exc:
+                return _fail(str(exc))
+            report = None
+        if args.json:
+            for entry in entries:
+                print(json.dumps(entry.to_dict(), sort_keys=True))
+        else:
+            print(f"{len(entries)} snap(s) match")
+            for entry in entries:
+                print(
+                    f"  {entry.digest[:12]}  {entry.machine}/{entry.process}"
+                    f"  {entry.reason}  clock {entry.clock}  {entry.size}B"
+                )
+        if report is not None:
+            _print_coverage(report, args.json)
+        return 0
     try:
         vault, query = _open_vault(args)
     except (OSError, ValueError) as exc:
-        return _fail(f"cannot open vault {args.vault}: {exc}")
+        return _fail(f"cannot open vault {_vault_roots(args)[0]}: {exc}")
     if args.show:
         matches = [
             e for e in vault.index.values() if e.digest.startswith(args.show)
@@ -325,10 +428,67 @@ def cmd_query(args: argparse.Namespace) -> int:
 
 def cmd_incidents(args: argparse.Namespace) -> int:
     """``tbtrace incidents``: group the vault's snaps and reconstruct."""
+    problem = _check_wire_flags(args)
+    if problem:
+        return _fail(problem)
+    if args.remote or args.federate:
+        from repro.fleet.remote import RemoteQueryError
+
+        if args.window is not None:
+            return _fail("--window needs a local vault")
+        try:
+            clients = _remote_clients(args)
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot open vault: {exc}")
+        report = None
+        if args.federate:
+            incidents, report = _federated(args).incidents()
+        else:
+            try:
+                incidents = next(iter(clients.values())).incidents()
+            except RemoteQueryError as exc:
+                return _fail(str(exc))
+        if args.json:
+            for incident in incidents:
+                print(json.dumps(incident.to_dict(), sort_keys=True))
+            if report is not None:
+                _print_coverage(report, as_json=True)
+            return 0
+        where = (
+            f"{len(clients)} federated vault(s)"
+            if args.federate
+            else f"remote vault {next(iter(clients))!r}"
+        )
+        print(f"{len(incidents)} incident(s) in {where}")
+        for incident in incidents:
+            print(incident.describe())
+            for entry in incident.entries:
+                print(
+                    f"    {entry.digest[:12]}  {entry.machine}/"
+                    f"{entry.process}  {entry.reason}"
+                )
+            if args.list or args.federate:
+                # Federated entries span vaults; evidence fetch is a
+                # per-vault operation — listing only.
+                continue
+            client = next(iter(clients.values()))
+            try:
+                trace = client.reconstruct_incident(
+                    incident, salvage=not args.strict
+                )
+            except (RecoveryError, RemoteQueryError, ValueError) as exc:
+                print(f"    reconstruction failed: {exc}")
+                continue
+            if trace.degradation is not None and trace.degradation.degraded:
+                print(render_degradation(trace.degradation))
+            print(render_distributed(trace))
+        if report is not None:
+            _print_coverage(report, as_json=False)
+        return 0
     try:
         vault, query = _open_vault(args)
     except (OSError, ValueError) as exc:
-        return _fail(f"cannot open vault {args.vault}: {exc}")
+        return _fail(f"cannot open vault {_vault_roots(args)[0]}: {exc}")
     if args.window is None:
         # No explicit window: serve straight from the persisted
         # incident index (O(result), built at ingest).
@@ -364,10 +524,54 @@ def cmd_incidents(args: argparse.Namespace) -> int:
 
 def cmd_top(args: argparse.Namespace) -> int:
     """``tbtrace top``: ranked crash buckets — the fleet's top crashers."""
+    problem = _check_wire_flags(args)
+    if problem:
+        return _fail(problem)
+    if args.remote or args.federate:
+        from repro.fleet.remote import RemoteQueryError
+
+        try:
+            clients = _remote_clients(args)
+        except (OSError, ValueError) as exc:
+            return _fail(f"cannot open vault: {exc}")
+        if args.federate:
+            buckets, report = _federated(args).top(limit=args.limit)
+            if args.json:
+                for bucket in buckets:
+                    print(json.dumps(bucket, sort_keys=True))
+                _print_coverage(report, as_json=True)
+                return 0
+            print(
+                f"{len(buckets)} crash bucket(s) across "
+                f"{len(clients)} federated vault(s)"
+            )
+            for rank, bucket in enumerate(buckets, start=1):
+                print(
+                    f"  #{rank} [{bucket['key']}] {bucket['count']} snap(s) "
+                    f"in {bucket['incidents']} incident(s) on "
+                    f"{len(bucket['machines'])} machine(s): {bucket['sig']}"
+                )
+            _print_coverage(report, as_json=False)
+            return 0
+        try:
+            buckets = next(iter(clients.values())).top(limit=args.limit)
+        except RemoteQueryError as exc:
+            return _fail(str(exc))
+        if args.json:
+            for bucket in buckets:
+                print(json.dumps(bucket.to_dict(), sort_keys=True))
+            return 0
+        print(
+            f"{len(buckets)} crash bucket(s) in remote vault "
+            f"{next(iter(clients))!r}"
+        )
+        for rank, bucket in enumerate(buckets, start=1):
+            print(f"  #{rank} {bucket.describe()}")
+        return 0
     try:
         vault, query = _open_vault(args)
     except (OSError, ValueError) as exc:
-        return _fail(f"cannot open vault {args.vault}: {exc}")
+        return _fail(f"cannot open vault {_vault_roots(args)[0]}: {exc}")
     buckets = query.top(limit=args.limit)
     if args.json:
         for bucket in buckets:
@@ -380,6 +584,50 @@ def cmd_top(args: argparse.Namespace) -> int:
     )
     for rank, bucket in enumerate(buckets, start=1):
         print(f"  #{rank} {bucket.describe()}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``tbtrace serve``: host a vault behind the query protocol.
+
+    The network is simulated, so "serving" registers the vault's
+    :class:`~repro.fleet.remote.VaultService` and proves the wire works
+    end to end: a client performs the full hello / select / paginate
+    exchange through CRC-checked frames and the summary is printed.
+    """
+    from repro.distributed.network import Network
+    from repro.fleet import SnapVault
+    from repro.fleet.remote import (
+        PROTOCOL,
+        RemoteQueryError,
+        RemoteVaultClient,
+        VaultService,
+    )
+
+    try:
+        vault = SnapVault(args.vault)
+    except (OSError, ValueError) as exc:
+        return _fail(f"cannot open vault {args.vault}: {exc}")
+    network = Network()
+    server = VaultService(vault, name=args.name, page_limit=args.page_limit)
+    network.register_vault_service(server)
+    client = RemoteVaultClient(network, service=args.name)
+    try:
+        hello = client.hello()
+        entries = client.select()
+    except RemoteQueryError as exc:
+        return _fail(f"protocol self-check failed: {exc}")
+    print(f"serving vault {vault.root} as service {args.name!r} ({PROTOCOL})")
+    print(
+        f"  {hello.get('snaps', 0)} snap(s) from machines: "
+        f"{', '.join(hello.get('machines', [])) or 'none'}"
+    )
+    print(f"  page limit {hello.get('page_limit')}")
+    pages = -(-len(entries) // server.page_limit) if entries else 0
+    print(
+        f"  self-check: {server.requests_served} request(s) served, "
+        f"{len(entries)} entr(ies) over {pages} page(s), frames CRC-clean"
+    )
     return 0
 
 
@@ -576,8 +824,29 @@ def build_parser() -> argparse.ArgumentParser:
     collect.add_argument("--queue-limit", type=int, default=8)
     collect.set_defaults(fn=cmd_collect)
 
+    def add_wire_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--remote", action="store_true",
+            help="query through the vault wire protocol instead of "
+            "opening the store directly",
+        )
+        cmd.add_argument(
+            "--federate", action="store_true",
+            help="scatter-gather across every --vault root and merge; "
+            "lost vaults degrade the answer instead of failing it",
+        )
+        cmd.add_argument(
+            "--timeout", type=int,
+            help="cycles: per-request deadline (--remote) or per-vault "
+            "budget (--federate)",
+        )
+
     query = sub.add_parser("query", help="filter stored snaps in a vault")
-    query.add_argument("--vault", required=True, help="vault root directory")
+    query.add_argument(
+        "--vault", required=True, action="append",
+        help="vault root directory (repeat with --federate)",
+    )
+    add_wire_flags(query)
     query.add_argument("--machine")
     query.add_argument("--process")
     query.add_argument("--reason")
@@ -598,7 +867,11 @@ def build_parser() -> argparse.ArgumentParser:
     incidents = sub.add_parser(
         "incidents", help="group a vault's snaps into incidents"
     )
-    incidents.add_argument("--vault", required=True, help="vault root directory")
+    incidents.add_argument(
+        "--vault", required=True, action="append",
+        help="vault root directory (repeat with --federate)",
+    )
+    add_wire_flags(incidents)
     incidents.add_argument(
         "--window", type=int,
         help="only link snaps within this many ingest sequence numbers",
@@ -619,7 +892,11 @@ def build_parser() -> argparse.ArgumentParser:
     top = sub.add_parser(
         "top", help="rank a vault's crash buckets (top crashers)"
     )
-    top.add_argument("--vault", required=True, help="vault root directory")
+    top.add_argument(
+        "--vault", required=True, action="append",
+        help="vault root directory (repeat with --federate)",
+    )
+    add_wire_flags(top)
     top.add_argument(
         "--limit", type=int, help="show at most this many buckets"
     )
@@ -628,6 +905,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="one JSON object per bucket (JSON lines)",
     )
     top.set_defaults(fn=cmd_top)
+
+    serve = sub.add_parser(
+        "serve", help="host a vault behind the query protocol (self-check)"
+    )
+    serve.add_argument("--vault", required=True, help="vault root directory")
+    serve.add_argument(
+        "--name", default="vault", help="service id clients connect to"
+    )
+    serve.add_argument(
+        "--page-limit", type=int, default=64,
+        help="server-side bound on list-response pages",
+    )
+    serve.set_defaults(fn=cmd_serve)
 
     report = sub.add_parser(
         "report", help="full triage report with exemplar traces"

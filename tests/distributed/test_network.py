@@ -188,3 +188,53 @@ def test_network_detects_distributed_completion():
     network.add_machine("a")
     network.add_machine("b")
     assert network.run(max_total_cycles=10_000) == "done"
+
+
+# ----------------------------------------------------------------------
+# Duplicate service registration: first-alive-wins, made visible
+# ----------------------------------------------------------------------
+def test_duplicate_rpc_service_first_alive_wins_and_is_counted():
+    """Two processes serving one id: the earlier registration takes all
+    traffic, and every such dispatch bumps ``duplicate_service``."""
+    session = DistributedSession()
+    m1 = session.add_machine("caller-box")
+    m2 = session.add_machine("primary-box")
+    m3 = session.add_machine("standby-box")
+    session.add_process(m1, "client", CLIENT_SRC, start=True)
+    primary = session.add_process(
+        m2, "primary", SERVER_SRC, services={7: "handle"}
+    )
+    standby = session.add_process(
+        m3, "standby", SERVER_SRC, services={7: "handle"}
+    )
+    result = session.run()
+    assert result.status == "done"
+    # The earlier registration answered; the standby never ran a thread.
+    assert session.nodes["client"].process.output == ["0", "42"]
+    assert session.network.duplicate_service == 1
+    assert not standby.process.threads
+    assert primary.process.threads
+
+
+def test_duplicate_vault_service_registration_counted_and_shadowed():
+    class FakeServer:
+        def __init__(self, name, alive=True):
+            self.name = name
+            self.alive = alive
+
+    network = Network()
+    first = FakeServer("vault")
+    second = FakeServer("vault")
+    network.register_vault_service(first)
+    assert network.duplicate_service == 0
+    network.register_vault_service(second)
+    # Registering under a live id is the misconfiguration; it is
+    # counted once, and the earlier server keeps the traffic.
+    assert network.duplicate_service == 1
+    assert network.vault_service("vault") is first
+    # The standby takes over only when every earlier server is dead.
+    first.alive = False
+    assert network.vault_service("vault") is second
+    second.alive = False
+    assert network.vault_service("vault") is None
+    assert network.vault_service("other") is None

@@ -137,6 +137,58 @@ def test_backoff_schedule_is_exponential(vault):
     assert 7000 <= vault.metrics.backoff_cycles < 7000 + 3 * 1000
 
 
+def test_backoff_is_clamped_at_backoff_max(vault):
+    # Seven consecutive drops: uncapped the last delay would be
+    # base * 2**6 = 64_000; the cap holds every delay at backoff_max,
+    # and the recorded schedule shows the *clamped* values.
+    collector = collector_for(
+        vault,
+        seed=3,
+        backoff_base=1000,
+        backoff_max=4000,
+        max_retries=10,
+    )
+    collector.upload_chaos = lambda m, s, attempt: "drop"
+    collector.submit(make_snap())
+    item = collector.queue[0]
+    for _ in range(7):
+        collector.flush_batch()
+    assert item.attempts == 7
+    assert len(item.backoffs) == 7
+    assert all(delay <= 4000 for delay in item.backoffs)
+    # Growth saturates: attempt 3 would be 4000 + jitter uncapped, so
+    # every delay from there on records exactly the cap.
+    assert 1000 <= item.backoffs[0] < 2000
+    assert 2000 <= item.backoffs[1] < 3000
+    assert item.backoffs[2:] == [4000] * 5
+    # A healed uplink still delivers, and the metrics carry the
+    # clamped (not theoretical) total.
+    collector.upload_chaos = None
+    collector.drain()
+    assert len(vault) == 1
+    assert vault.metrics.backoff_cycles == sum(item.backoffs)
+
+
+def test_backoff_with_jitter_clamps_exactly_at_maximum():
+    import random
+
+    from repro.fleet.collector import backoff_with_jitter
+
+    assert backoff_with_jitter(1000, 10, random.Random(0), 4000) == 4000
+    # Unclamped, the delay is at least the exponential floor.
+    assert backoff_with_jitter(1000, 1, random.Random(0), None) >= 1000
+
+
+def test_backoff_max_below_base_rejected(vault):
+    with pytest.raises(ValueError, match="backoff_max"):
+        collector_for(vault, backoff_base=1000, backoff_max=500)
+
+
+def test_default_backoff_max_is_32x_base(vault):
+    collector = collector_for(vault, backoff_base=250)
+    assert collector.backoff_max == 32 * 250
+
+
 def test_dead_letter_after_max_retries_keeps_evidence(vault):
     collector = collector_for(vault, max_retries=2)
     collector.upload_chaos = lambda machine, snap, attempt: "drop"

@@ -106,6 +106,11 @@ SCENARIO_TRUTH = {
         "backend": "kill:backend",
     },
     "vault-machine-loss": {"client": "crash:client-div-zero"},
+    # Federated scenarios lose the *west* vault at query time; the
+    # client's crash snap lives in the east vault, so the partial
+    # federated answer still contains the one true fault.
+    "federated-vault-loss": {"client": "crash:client-div-zero"},
+    "slow-vault-timeout": {"client": "crash:client-div-zero"},
 }
 
 
