@@ -97,6 +97,14 @@ def run_benchmark() -> dict:
             geometric_mean([row["speedup"] for row in rows]), 3
         ),
     }
+    # Other benchmarks (bench_replay) keep their own sections in the
+    # same file; carry them over rather than clobbering.
+    try:
+        previous = json.loads(OUTPUT_PATH.read_text())
+    except (OSError, ValueError):
+        previous = {}
+    for key, value in previous.items():
+        report.setdefault(key, value)
     OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     return report
 

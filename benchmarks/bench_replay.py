@@ -1,0 +1,326 @@
+"""Replay benchmark: nondeterminism-log overhead + replay throughput.
+
+The time-travel replay PR's operational claims, measured on two
+multithreaded subjects:
+
+* **archive growth (diagnosis scale)** — what replayability costs the
+  vault where it matters: the workqueue example's crash-at-fault
+  compressed archive with the ``tb-ndlog`` aboard vs the same snap
+  stripped of it.  The log embeds the program image (a snap carries no
+  executable otherwise), so small snaps pay a fixed few-KB cost;
+  asserted under ``MAX_ARCHIVE_GROWTH_PCT``.  The raw ndlog size as a
+  percentage of the snap's trace-buffer bytes is reported alongside.
+* **marginal event cost (long run)** — the log's *variable* cost is
+  scheduler-slice events, which grow with run length while the trace
+  rings wrap in place.  Measured as compressed archive bytes per
+  logged event on a ~60k-iteration run; asserted under
+  ``MAX_BYTES_PER_EVENT``.
+* **replay throughput** — replay re-executes on the fast engine while
+  forcing recorded slice boundaries; the recorded run pays
+  instrumentation and record-write costs instead.  Both sides are
+  reported as guest instructions per second; ``replay_vs_record`` is
+  their ratio.
+
+Results merge into a ``replay`` section of ``BENCH_interpreter.json``
+(its own ``latest`` + ``history``, so the interpreter benchmark's
+report shape is untouched)::
+
+    PYTHONPATH=src python benchmarks/bench_replay.py          # measure
+    PYTHONPATH=src python benchmarks/bench_replay.py --check  # guard
+
+``--check`` compares ``replay_ips`` between the two most recent
+history entries and fails on a >25% regression; fewer than two entries
+is not an error (the section is new).
+
+Also runs in the slow pytest lane.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from repro import TraceSession
+from repro.replay import ReplayEngine
+from repro.runtime import RuntimeConfig, SnapPolicy
+from repro.runtime.archive import compress_snap
+from repro.runtime.snap import SnapFile
+from repro.runtime.sync import reset_runtime_ids
+from repro.workloads.harness import format_table
+
+SCHEMA = "tb-replay-bench/1"
+
+OUTPUT_PATH = Path(__file__).resolve().parents[1] / "BENCH_interpreter.json"
+
+#: Best-of-N wall clock to damp scheduler noise.
+REPEATS = 3
+
+#: Compressed-archive growth cap for the diagnosis-scale exemplar
+#: (the fixed cost: program image + config + a short event log).
+MAX_ARCHIVE_GROWTH_PCT = 300.0
+
+#: Compressed bytes per logged event on a long run (the variable
+#: cost); measured ~4-5 B, capped with headroom.
+MAX_BYTES_PER_EVENT = 16.0
+
+#: ``--check`` tolerance on replay instructions/second.
+REGRESSION_TOLERANCE = 0.25
+
+#: Three workers grind a division-free loop, then every one of them
+#: trips the same division at its loop exit; the first to get there
+#: takes the snap.  Long enough that record and replay wall clocks are
+#: meaningful and the slice log dwarfs the (wrapping) trace rings.
+CRASHER = """
+int shared[4];
+
+int worker(int wid) {
+    int i;
+    int acc;
+    acc = wid;
+    for (i = 0; i < 20000; i = i + 1) {
+        acc = acc + i * 3;
+        if (i % 4096 == 0) {
+            lock(1);
+            shared[wid % 4] = acc;
+            unlock(1);
+        }
+    }
+    return 1000 / (acc - acc);
+}
+
+int main() {
+    int t;
+    for (t = 0; t < 3; t = t + 1) {
+        thread_create(worker, t);
+    }
+    sleep(4000000);
+    return 0;
+}
+"""
+
+
+def _record_workqueue():
+    """The diagnosis-scale subject: the shipped workqueue example."""
+    repo = Path(__file__).resolve().parents[1]
+    spec = importlib.util.spec_from_file_location(
+        "bench_replay_example", repo / "examples" / "multithreaded_crash.py"
+    )
+    example = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(example)
+    reset_runtime_ids()
+    session = TraceSession(
+        process_name="workqueue",
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled"),
+            main_buffers=4,
+            max_buffers=6,
+            record_replay=True,
+        ),
+    )
+    session.add_minic(example.SERVER, name="server", file_name="server.c")
+    run = session.run(max_cycles=20_000_000)
+    assert run.snap is not None and run.snap.replayable == "full"
+    return run.snap
+
+
+def _record():
+    """One recorded long run; returns (snap, seconds, instructions)."""
+    reset_runtime_ids()
+    session = TraceSession(
+        process_name="replay-bench",
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled"),
+            record_replay=True,
+        ),
+    )
+    session.add_minic(CRASHER, name="bench", file_name="bench.c")
+    start = time.perf_counter()
+    run = session.run(max_cycles=100_000_000)
+    seconds = time.perf_counter() - start
+    assert run.snap is not None and run.snap.replayable == "full"
+    instructions = sum(
+        t.instructions for t in run.process.threads.values()
+    )
+    return run.snap, seconds, instructions
+
+
+def _replay_once(snap):
+    """One replay to the fault; returns (seconds, instructions)."""
+    engine = ReplayEngine(snap)
+    start = time.perf_counter()
+    stop = engine.run_to_fault()
+    seconds = time.perf_counter() - start
+    assert stop["reason"] == "fault"
+    instructions = sum(
+        engine.registers(t["tid"])["instructions"]
+        for t in engine.threads()
+    )
+    return seconds, instructions
+
+
+def _archive_sizes(snap) -> tuple[int, int]:
+    """(compressed bytes without the ndlog, with it)."""
+    with_log = len(compress_snap(snap))
+    stripped = snap.to_dict()
+    stripped.pop("replay", None)
+    without = len(compress_snap(SnapFile.from_dict(stripped)))
+    return without, with_log
+
+
+def run_benchmark() -> dict:
+    # --- fixed cost: the diagnosis-scale exemplar -------------------
+    exemplar = _record_workqueue()
+    legacy_bytes, replay_bytes = _archive_sizes(exemplar)
+    growth_pct = 100.0 * (replay_bytes - legacy_bytes) / legacy_bytes
+    assert growth_pct <= MAX_ARCHIVE_GROWTH_PCT, (
+        f"replayable exemplar archive grew {growth_pct:.0f}% "
+        f"(cap {MAX_ARCHIVE_GROWTH_PCT:.0f}%)"
+    )
+    ndlog_bytes = len(json.dumps(exemplar.replay["ndlog"]).encode())
+    trace_bytes = sum(len(b.words) for b in exemplar.buffers) * 4
+
+    # --- variable cost + throughput: the long run -------------------
+    best_record = None
+    snap = None
+    for _ in range(REPEATS):
+        recorded, seconds, instructions = _record()
+        if best_record is None or seconds < best_record["seconds"]:
+            best_record = {"seconds": seconds, "instructions": instructions}
+            snap = recorded
+    long_legacy, long_replay = _archive_sizes(snap)
+    n_events = snap.replay["ndlog"]["n_events"]
+    bytes_per_event = (long_replay - long_legacy) / n_events
+    assert bytes_per_event <= MAX_BYTES_PER_EVENT, (
+        f"{bytes_per_event:.1f} compressed B/event "
+        f"(cap {MAX_BYTES_PER_EVENT:.0f})"
+    )
+
+    best_replay = None
+    for _ in range(REPEATS):
+        seconds, instructions = _replay_once(snap)
+        if best_replay is None or seconds < best_replay["seconds"]:
+            best_replay = {"seconds": seconds, "instructions": instructions}
+
+    record_ips = best_record["instructions"] / best_record["seconds"]
+    replay_ips = best_replay["instructions"] / best_replay["seconds"]
+    entry = {
+        "exemplar": {
+            "legacy_archive_bytes": legacy_bytes,
+            "replayable_archive_bytes": replay_bytes,
+            "archive_growth_pct": round(growth_pct, 1),
+            "ndlog_bytes": ndlog_bytes,
+            "trace_buffer_bytes": trace_bytes,
+            "ndlog_vs_trace_pct": round(100.0 * ndlog_bytes / trace_bytes, 1),
+        },
+        "long_run": {
+            "events": n_events,
+            "legacy_archive_bytes": long_legacy,
+            "replayable_archive_bytes": long_replay,
+            "compressed_bytes_per_event": round(bytes_per_event, 2),
+        },
+        "record": {
+            "seconds": round(best_record["seconds"], 4),
+            "instructions": best_record["instructions"],
+            "ips": round(record_ips),
+        },
+        "replay": {
+            "seconds": round(best_replay["seconds"], 4),
+            "instructions": best_replay["instructions"],
+            "ips": round(replay_ips),
+        },
+        "replay_ips": round(replay_ips),
+        "replay_vs_record": round(replay_ips / record_ips, 3),
+    }
+
+    try:
+        report = json.loads(OUTPUT_PATH.read_text())
+    except (OSError, ValueError):
+        report = {}
+    section = report.setdefault(
+        "replay", {"schema": SCHEMA, "latest": {}, "history": []}
+    )
+    section["latest"] = entry
+    section.setdefault("history", []).append(entry)
+    section["history"] = section["history"][-20:]
+    OUTPUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    return entry
+
+
+def check_regression() -> int:
+    """Exit 1 when replay throughput regressed >25% between the two
+    most recent history entries."""
+    try:
+        report = json.loads(OUTPUT_PATH.read_text())
+    except (OSError, ValueError):
+        report = {}
+    history = report.get("replay", {}).get("history", [])
+    rates = [
+        h["replay_ips"] for h in history if h.get("replay_ips")
+    ]
+    if len(rates) < 2:
+        print(f"bench_replay --check: {len(rates)} replay history "
+              "entr(ies) in BENCH_interpreter.json, nothing to compare")
+        return 0
+    prev, last = rates[-2], rates[-1]
+    if last < prev * (1 - REGRESSION_TOLERANCE):
+        print(
+            f"bench_replay --check: FAIL — replay throughput "
+            f"{last:,.0f} ips is down {(1 - last / prev):.0%} from "
+            f"previous {prev:,.0f} ips "
+            f"(tolerance {REGRESSION_TOLERANCE:.0%})"
+        )
+        return 1
+    print(
+        f"bench_replay --check: ok — replay throughput {last:,.0f} ips "
+        f"vs previous {prev:,.0f} ips"
+    )
+    return 0
+
+
+def _render(entry: dict) -> str:
+    ex, lr = entry["exemplar"], entry["long_run"]
+    rows = [
+        ("exemplar archive", f"{ex['legacy_archive_bytes']:,} B -> "
+                             f"{ex['replayable_archive_bytes']:,} B "
+                             f"(+{ex['archive_growth_pct']:.0f}%, cap "
+                             f"{MAX_ARCHIVE_GROWTH_PCT:.0f}%)"),
+        ("exemplar ndlog", f"{ex['ndlog_bytes']:,} B = "
+                           f"{ex['ndlog_vs_trace_pct']:.0f}% of "
+                           f"{ex['trace_buffer_bytes']:,} B trace"),
+        ("long-run events", f"{lr['events']:,} @ "
+                            f"{lr['compressed_bytes_per_event']:.1f} "
+                            f"B/event compressed (cap "
+                            f"{MAX_BYTES_PER_EVENT:.0f})"),
+        ("record", f"{entry['record']['ips']:,} ips "
+                   f"({entry['record']['seconds']:.3f}s)"),
+        ("replay", f"{entry['replay']['ips']:,} ips "
+                   f"({entry['replay']['seconds']:.3f}s)"),
+        ("replay vs record", f"{entry['replay_vs_record']:.2f}x"),
+    ]
+    return format_table(
+        rows,
+        headers=["metric", "value"],
+        title="Time-travel replay: log overhead and throughput",
+    )
+
+
+def test_replay_overhead_and_throughput(report):
+    entry = run_benchmark()
+    report.append(_render(entry))
+    assert entry["exemplar"]["archive_growth_pct"] <= MAX_ARCHIVE_GROWTH_PCT
+    assert (
+        entry["long_run"]["compressed_bytes_per_event"]
+        <= MAX_BYTES_PER_EVENT
+    )
+
+
+if __name__ == "__main__":
+    if "--check" in sys.argv:
+        sys.exit(check_regression())
+    print(_render(run_benchmark()))

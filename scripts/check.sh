@@ -33,13 +33,21 @@
 #                                seeds), and the federation benchmark
 #                                (fan-out latency + one-slow-vault
 #                                overhead) merged into BENCH_fleet.json
+#   scripts/check.sh replay      time-travel replay subsystem: the
+#                                ndlog/engine/CLI/vault-verify unit
+#                                tests, the full differential sweep
+#                                (examples + 60+ seeded random
+#                                multithreaded crashers, instrumented
+#                                and bare), and the replay benchmark
+#                                (ndlog overhead + replay throughput)
+#                                merged into BENCH_interpreter.json
 #   scripts/check.sh bench       interpreter + fleet-ingest + fleet-GC +
-#                                federation benchmarks; writes
+#                                federation + replay benchmarks; writes
 #                                BENCH_interpreter.json and
 #                                BENCH_fleet.json, then fails if fleet
-#                                ingest, GC reclaim, or federated query
-#                                rate regressed >25% vs the previous
-#                                BENCH_fleet.json history entry
+#                                ingest, GC reclaim, federated query, or
+#                                replay throughput regressed >25% vs the
+#                                previous history entry
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH=src
@@ -78,17 +86,24 @@ case "${1:-test-fast}" in
     python benchmarks/bench_fleet_federation.py
     exec python benchmarks/bench_fleet_federation.py --check
     ;;
+  replay)
+    python -m pytest -q tests/replay -m "slow or not slow"
+    python benchmarks/bench_replay.py
+    exec python benchmarks/bench_replay.py --check
+    ;;
   bench)
     python benchmarks/bench_interpreter.py
     python benchmarks/bench_fleet_ingest.py
     python benchmarks/bench_fleet_gc.py
     python benchmarks/bench_fleet_federation.py
+    python benchmarks/bench_replay.py
     python benchmarks/bench_fleet_ingest.py --check
     python benchmarks/bench_fleet_gc.py --check
-    exec python benchmarks/bench_fleet_federation.py --check
+    python benchmarks/bench_fleet_federation.py --check
+    exec python benchmarks/bench_replay.py --check
     ;;
   *)
-    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|triage|remote|bench}" >&2
+    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|triage|remote|bench|replay}" >&2
     exit 2
     ;;
 esac

@@ -14,6 +14,7 @@ from repro.chaos.inject import (
     clobber_header,
     copy_snap,
     corrupt_archive,
+    damage_ndlog,
     drop_machine,
     drop_sync_records,
     duplicate_sync_records,
@@ -41,6 +42,7 @@ __all__ = [
     "clobber_header",
     "copy_snap",
     "corrupt_archive",
+    "damage_ndlog",
     "drop_machine",
     "drop_sync_records",
     "duplicate_sync_records",

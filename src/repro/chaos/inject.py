@@ -17,6 +17,7 @@ for the run-time ones).
 
 from __future__ import annotations
 
+import json
 import random
 
 from repro.runtime.buffers import BufferFlags, HEADER_WORDS
@@ -201,6 +202,54 @@ def duplicate_sync_records(
             f"in buffer {buffer.index}"
         )
     return notes
+
+
+# ----------------------------------------------------------------------
+# Nondeterminism-log damage (the replay substrate)
+# ----------------------------------------------------------------------
+def damage_ndlog(snap: SnapFile, rng: random.Random) -> list[str]:
+    """Hurt the snap's ``tb-ndlog`` so replay must refuse, not crash.
+
+    Three failure shapes, mirroring how real logs get hurt: an event
+    range lost without the count being fixed (torn re-serialization),
+    a required header segment gone (salvage dropped it), or the whole
+    log missing (the snap degrades to seed-only).  Ground truth names
+    the segment a typed :class:`~repro.replay.ReplayUnavailable` must
+    report; a snap with no ndlog is left alone (nothing to damage).
+    """
+    if not isinstance(snap.replay, dict) or not isinstance(
+        snap.replay.get("ndlog"), dict
+    ):
+        return []
+    # copy_snap copies the snap shallowly at the replay dict; deep-copy
+    # before mutating so damage never reaches the pristine original.
+    snap.replay = json.loads(json.dumps(snap.replay))
+    ndlog = snap.replay["ndlog"]
+    events = ndlog.get("events")
+    modes = ["drop-log", "drop-header-key"]
+    if isinstance(events, list) and events:
+        modes.append("drop-events")
+    mode = rng.choice(modes)
+    if mode == "drop-events":
+        start = rng.randrange(len(events))
+        end = min(len(events), start + rng.randrange(1, 8))
+        del events[start:end]  # n_events now overstates the log
+        return [
+            f"ndlog: lost events {start}..{end} without fixing n_events "
+            "(expect ReplayUnavailable segment 'events')"
+        ]
+    if mode == "drop-header-key":
+        key = rng.choice(("modules", "start_threads", "runtime_id", "config"))
+        ndlog.get("header", {}).pop(key, None)
+        return [
+            f"ndlog: header segment {key!r} lost "
+            f"(expect ReplayUnavailable segment 'header.{key}')"
+        ]
+    del snap.replay["ndlog"]
+    return [
+        "ndlog: dropped entirely — snap degrades to seed-only "
+        "(expect ReplayUnavailable segment 'ndlog')"
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -250,6 +250,72 @@ class VaultQuery:
         self.metrics.top_queries += 1
         return top_buckets(self.vault, limit=limit)
 
+    def verify_bucket(self, bucket) -> dict:
+        """Replay a crash bucket's pinned exemplar to confirm the
+        diagnosis.
+
+        Loads the exemplar (salvage), re-executes its recorded run with
+        :class:`~repro.replay.ReplayEngine`, and checks that the replay
+        (a) reaches a fault and (b) produces a snap whose mined crash
+        signature equals the bucket's.  Returns a verdict dict::
+
+            {"verified": bool, "reason": str, "digest": str | None,
+             "replay_sig": str | None}
+
+        Never raises: legacy/seed-only exemplars report
+        ``replay-unavailable``, a diverging replay reports
+        ``divergence`` — both are findings, not errors.
+        """
+        from repro.reconstruct.signature import snap_signature
+        from repro.replay import ReplayDivergence, ReplayUnavailable
+        from repro.replay.engine import ReplayEngine
+
+        digest = getattr(bucket, "exemplar", None)
+        verdict = {
+            "verified": False,
+            "reason": "",
+            "digest": digest,
+            "replay_sig": None,
+        }
+        if digest is None:
+            verdict["reason"] = "no exemplar recorded"
+            return verdict
+        try:
+            snap, _notes = self.vault.load(digest, salvage=True)
+        except OSError as exc:
+            verdict["reason"] = f"exemplar unreadable: {exc}"
+            return verdict
+        if snap is None:
+            verdict["reason"] = "exemplar unrecoverable"
+            return verdict
+        try:
+            engine = ReplayEngine(snap)
+            stop = engine.run_to_fault()
+            replayed = engine.replayed_snap()
+        except ReplayUnavailable as exc:
+            verdict["reason"] = f"replay-unavailable[{exc.segment}]: {exc}"
+            return verdict
+        except ReplayDivergence as exc:
+            verdict["reason"] = f"divergence: {exc}"
+            return verdict
+        self.metrics.reconstructions += 1
+        replay_sig = snap_signature(replayed, self.vault.mapfiles())
+        verdict["replay_sig"] = replay_sig
+        if stop["reason"] != "fault":
+            verdict["reason"] = (
+                f"replay ended without a fault (stop={stop['reason']})"
+            )
+            return verdict
+        if replay_sig != bucket.sig:
+            verdict["reason"] = (
+                f"signature mismatch: replayed {replay_sig!r}, "
+                f"bucket {bucket.sig!r}"
+            )
+            return verdict
+        verdict["verified"] = True
+        verdict["reason"] = "replayed exemplar reproduces the bucket signature"
+        return verdict
+
     def incident_of(self, digest_or_entry: VaultEntry | str) -> Incident | None:
         """The one incident containing this snap — O(incident).
 

@@ -161,6 +161,10 @@ class VaultEntry:
     #: bucket key); None for non-fault snaps or unminable evidence.
     #: Appended last with a default so pre-signature manifests load.
     sig: str | None = None
+    #: Replay capability of the stored snap: "full" (carries a
+    #: tb-ndlog), "seed-only", or "none".  Defaulted so pre-replay
+    #: manifests load; rebuild_index re-derives it from the archive.
+    replayable: str = "none"
 
     def to_dict(self) -> dict:
         return dict(vars(self))
@@ -196,6 +200,7 @@ class VaultEntry:
             initiator=detail.get("initiator"),
             initiator_reason=detail.get("initiator_reason"),
             sig=sig,
+            replayable=getattr(snap, "replayable", "none"),
         )
 
 

@@ -160,6 +160,7 @@ def build_report(
     query: "VaultQuery",
     limit: int | None = None,
     exemplar_lines: int = 30,
+    verify: bool = False,
 ) -> dict:
     """The triage report document (``tbtrace report``'s JSON form).
 
@@ -167,6 +168,11 @@ def build_report(
     renderings, plus coverage counts (how much of the vault is
     bucketed).  Deliberately excludes vault paths and wall-clock
     times so a fixed-seed fleet fixture reports byte-identically.
+
+    With ``verify=True`` each bucket's exemplar is additionally
+    *replayed* (:meth:`~repro.fleet.query.VaultQuery.verify_bucket`)
+    and the bucket document gains a ``replay_verified`` verdict —
+    opt-in because replay re-executes the recorded run.
     """
     vault = query.vault
     buckets = top_buckets(vault, limit=limit)
@@ -179,6 +185,8 @@ def build_report(
         doc["exemplar_trace"] = exemplar_rendering(
             query, bucket, max_lines=exemplar_lines
         )
+        if verify:
+            doc["replay_verified"] = query.verify_bucket(bucket)
         docs.append(doc)
     query.metrics.reports_rendered += 1
     return {
@@ -207,6 +215,10 @@ def render_report_text(report: dict) -> list[str]:
             f"   machines {','.join(doc['machines'])}  "
             f"processes {','.join(doc['processes'])}"
         )
+        verdict = doc.get("replay_verified")
+        if verdict is not None:
+            state = "VERIFIED" if verdict["verified"] else "unverified"
+            lines.append(f"   replay: {state} - {verdict['reason']}")
         lines.extend(f"   {row}" for row in doc["exemplar_trace"])
     return lines
 

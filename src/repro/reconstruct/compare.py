@@ -1,0 +1,114 @@
+"""Control-flow identity between reconstructed traces.
+
+The differential replay harness needs an oracle for "the replayed run
+*is* the recorded run": after re-executing a snap's nondeterminism log,
+the trace reconstructed from the replayed snap must describe the same
+execution as the trace reconstructed from the original.  "Same
+execution" here means the same *control flow* — per thread, the same
+ordered sequence of executed source lines and exception events — not
+the same bytes: depths, interleaving anchors, and sequence numbers are
+presentation artifacts of the reconstruction pipeline, and SYNC/
+timestamp payloads carry clocks the comparison must not depend on.
+
+:func:`control_flow_events` canonicalizes one
+:class:`~repro.reconstruct.model.ProcessTrace` into per-thread event
+tuples; :func:`control_flow_signature` hashes that form for cheap
+equality; :func:`diff_control_flow` names the first divergence per
+thread, which is what a failing differential test wants to print.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.reconstruct.model import LineStep, ProcessTrace, TraceEvent
+
+#: Event kinds that are control flow (everything else — sync,
+#: timestamp, snapmark, note — is metadata about the recording).
+_FLOW_KINDS = frozenset(
+    {"exception", "exception_end", "thread_start", "thread_end", "untraced"}
+)
+
+
+def control_flow_events(trace: ProcessTrace) -> dict[int | None, list[tuple]]:
+    """Per-thread canonical control-flow event lists.
+
+    Keyed by tid; each value is the ordered list of
+
+    * ``("line", module, func, file, line, block_id)`` for every
+      executed source line, and
+    * ``(kind, code)`` for exception events (``code`` from the detail;
+      pcs and clocks are dropped) plus the structural
+      ``thread_start``/``thread_end``/``untraced`` markers.
+
+    A thread with multiple recovered spans contributes them in trace
+    order, concatenated — span boundaries are a recovery artifact.
+    """
+    flows: dict[int | None, list[tuple]] = {}
+    for thread in trace.threads:
+        flow = flows.setdefault(thread.tid, [])
+        for step in thread.steps:
+            if isinstance(step, LineStep):
+                flow.append(
+                    (
+                        "line",
+                        step.module,
+                        step.func,
+                        step.file,
+                        step.line,
+                        step.block_id,
+                    )
+                )
+            elif isinstance(step, TraceEvent) and step.kind in _FLOW_KINDS:
+                code = step.detail.get("code") if step.detail else None
+                flow.append((step.kind, code))
+    return flows
+
+
+def control_flow_signature(trace: ProcessTrace) -> str:
+    """Stable hash of :func:`control_flow_events` — cheap identity."""
+    flows = control_flow_events(trace)
+    canonical = json.dumps(
+        sorted((repr(tid), flow) for tid, flow in flows.items()),
+        sort_keys=True,
+    )
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def diff_control_flow(
+    recorded: ProcessTrace, replayed: ProcessTrace, limit: int = 10
+) -> list[str]:
+    """Human-readable divergences between two traces' control flow.
+
+    Empty list = event-identical.  Otherwise, up to ``limit`` lines:
+    threads present on only one side, per-thread length mismatches, and
+    the first differing event of each diverging thread.
+    """
+    a, b = control_flow_events(recorded), control_flow_events(replayed)
+    problems: list[str] = []
+    for tid in sorted(set(a) | set(b), key=repr):
+        if len(problems) >= limit:
+            problems.append("... further divergences clipped ...")
+            break
+        if tid not in a:
+            problems.append(f"thread {tid}: only in the replayed trace")
+            continue
+        if tid not in b:
+            problems.append(f"thread {tid}: only in the recorded trace")
+            continue
+        flow_a, flow_b = a[tid], b[tid]
+        for idx, (ev_a, ev_b) in enumerate(zip(flow_a, flow_b)):
+            if ev_a != ev_b:
+                problems.append(
+                    f"thread {tid}: event {idx} differs — recorded "
+                    f"{ev_a!r}, replayed {ev_b!r}"
+                )
+                break
+        else:
+            if len(flow_a) != len(flow_b):
+                problems.append(
+                    f"thread {tid}: {len(flow_a)} recorded event(s) vs "
+                    f"{len(flow_b)} replayed"
+                )
+    return problems

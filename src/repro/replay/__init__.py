@@ -1,0 +1,36 @@
+"""Deterministic time-travel replay: record a process's nondeterminism
+log alongside its snap, then re-execute the run under a debugger.
+
+See :mod:`repro.replay.ndlog` for the ``tb-ndlog/1`` format,
+:mod:`repro.replay.record` for the recording side (enabled by
+``RuntimeConfig.record_replay``), and :mod:`repro.replay.engine` for
+the replay debugger.
+"""
+
+from repro.replay.engine import ReplayEngine
+from repro.replay.ndlog import (
+    NDLOG_FORMAT,
+    ReplayDivergence,
+    ReplayUnavailable,
+    config_from_dict,
+    config_to_dict,
+    policy_from_dict,
+    policy_to_dict,
+    replayable_status,
+    validate_ndlog,
+)
+from repro.replay.record import ReplayRecorder
+
+__all__ = [
+    "NDLOG_FORMAT",
+    "ReplayDivergence",
+    "ReplayEngine",
+    "ReplayRecorder",
+    "ReplayUnavailable",
+    "config_from_dict",
+    "config_to_dict",
+    "policy_from_dict",
+    "policy_to_dict",
+    "replayable_status",
+    "validate_ndlog",
+]

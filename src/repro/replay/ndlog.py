@@ -1,0 +1,246 @@
+"""The nondeterminism log (``tb-ndlog/1``) carried inside snaps.
+
+The TBVM is deterministic almost everywhere: the per-process PRNG is
+seeded from the pid, allocation addresses and thread ids are assigned
+sequentially, and every instruction/cycle charge is a pure function of
+the executed stream.  What a single process cannot re-derive is the
+*environment*: which thread the scheduler ran when (other processes on
+the machine advance the shared cycle counter between slices), signals
+posted from outside, replies to RPCs served elsewhere, inbound RPC
+requests, host-initiated snaps, and ``kill -9``.  The ndlog records
+exactly that — nothing else — so replaying a snap is "re-execute the
+instruction stream, forcing each recorded decision at its recorded
+point" (the execution-replay-via-VM idea of Oppitz, AADEBUG 2003).
+
+Log layout (all plain JSON data, embedded under ``SnapFile.replay``)::
+
+    {"format": "tb-ndlog/1",
+     "header": {pid, process_name, machine, clock_skew, io_latency,
+                engine, runtime_id, config, modules, start_threads,
+                rpc_services, loopback_seqs, dagbase},
+     "events": [...],
+     "n_events": N}
+
+Event records are compact tagged lists, chronological:
+
+``["s", tid, start_cycle, n, end_pc, partial?]``
+    One scheduler slice: thread ``tid`` ran ``n`` instructions starting
+    at machine cycle ``start_cycle`` and stopped with ``pc == end_pc``.
+    A trailing ``1`` marks the partial slice open when the snap was
+    serialized (the fault point): its end pc is where the *hook* saw the
+    thread, which a whole-instruction replay may legitimately pass.
+``["sig", signum]``
+    An externally posted signal, recorded at delivery (always
+    immediately before the slice that delivers it).
+``["rr", seq, cycle, status, result_words, reply_triple]``
+    Completion of the ``seq``-th outbound RPC, served outside this
+    process (remote machine, sibling process, or no server at all).
+``["rs", cycle, service, args, ret_cap, triple]``
+    An inbound RPC request from outside this process.
+``["x", cycle, reason, detail]``
+    A host-initiated snap (external snap utility, hang detector, group
+    snap fan-out).
+``["k", cycle]``
+    ``kill -9``.
+
+``n_events`` double-checks the event list length so chaos-damaged logs
+are refused with a :class:`ReplayUnavailable` naming the missing
+segment instead of silently diverging mid-replay.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.runtime import RuntimeConfig
+    from repro.runtime.snap import SnapPolicy
+
+#: Version tag of the log format.
+NDLOG_FORMAT = "tb-ndlog/1"
+
+#: Event tag -> accepted arities.
+_EVENT_ARITY = {
+    "s": (5, 6),
+    "sig": (2,),
+    "rr": (6,),
+    "rs": (6,),
+    "x": (4,),
+    "k": (2,),
+}
+
+#: Header keys a replay cannot start without.
+_HEADER_REQUIRED = (
+    "pid",
+    "process_name",
+    "machine",
+    "clock_skew",
+    "io_latency",
+    "runtime_id",
+    "config",
+    "modules",
+    "start_threads",
+    "rpc_services",
+)
+
+
+class ReplayUnavailable(ValueError):
+    """A snap cannot be replayed; ``segment`` names what is missing.
+
+    Raised for legacy snaps recorded without an ndlog, for salvage-mode
+    snaps whose log was damaged, and for runs using features the replay
+    engine does not force (e.g. a dagbase file).
+    """
+
+    def __init__(self, segment: str, message: str | None = None):
+        self.segment = segment
+        super().__init__(message or f"replay unavailable: missing {segment}")
+
+
+class ReplayDivergence(RuntimeError):
+    """Replayed execution departed from the recorded run."""
+
+
+# ----------------------------------------------------------------------
+# Replayability status (satellite: always derivable from a snap header)
+# ----------------------------------------------------------------------
+def replayable_status(replay: dict | None) -> str:
+    """Classify a snap's ``replay`` dict: ``full``/``seed-only``/``none``."""
+    if not isinstance(replay, dict) or not replay:
+        return "none"
+    if isinstance(replay.get("ndlog"), dict):
+        return "full"
+    if isinstance(replay.get("seed"), dict):
+        return "seed-only"
+    return "none"
+
+
+# ----------------------------------------------------------------------
+# Config / policy serialization
+# ----------------------------------------------------------------------
+def policy_to_dict(policy: "SnapPolicy") -> dict:
+    """Plain-data form of a snap policy (sets become sorted lists)."""
+    return {
+        "exception_codes": (
+            None
+            if policy.exception_codes is None
+            else sorted(policy.exception_codes)
+        ),
+        "unhandled": policy.unhandled,
+        "signals": None if policy.signals is None else sorted(policy.signals),
+        "api": policy.api,
+        "hang": policy.hang,
+        "suppress_duplicates": policy.suppress_duplicates,
+        "max_snaps": policy.max_snaps,
+        "include_memory": policy.include_memory,
+    }
+
+
+def policy_from_dict(d: dict) -> "SnapPolicy":
+    """Inverse of :func:`policy_to_dict`."""
+    from repro.runtime.snap import SnapPolicy
+
+    return SnapPolicy(
+        exception_codes=(
+            None
+            if d.get("exception_codes") is None
+            else {int(c) for c in d["exception_codes"]}
+        ),
+        unhandled=bool(d.get("unhandled", True)),
+        signals=None if d.get("signals") is None else {int(s) for s in d["signals"]},
+        api=bool(d.get("api", True)),
+        hang=bool(d.get("hang", True)),
+        suppress_duplicates=bool(d.get("suppress_duplicates", True)),
+        max_snaps=int(d.get("max_snaps", 100)),
+        include_memory=bool(d.get("include_memory", False)),
+    )
+
+
+#: RuntimeConfig scalar fields carried through the log verbatim.
+_CONFIG_FIELDS = (
+    "sub_buffer_words",
+    "sub_buffers",
+    "main_buffers",
+    "max_buffers",
+    "clock",
+    "timestamp_syscalls",
+    "trace_slot",
+    "spill_slot",
+    "fail_dynamic_buffers",
+    "static_buffer_words",
+    "max_dag_id",
+    "scavenge_interval",
+    "include_memory",
+)
+
+
+def config_to_dict(config: "RuntimeConfig") -> dict:
+    """Serializable subset of a runtime config (no store, no dagbase)."""
+    d = {name: getattr(config, name) for name in _CONFIG_FIELDS}
+    d["policy"] = policy_to_dict(config.policy)
+    return d
+
+
+def config_from_dict(d: dict) -> "RuntimeConfig":
+    """Rebuild a runtime config for replay (fresh snap store, no
+    re-recording)."""
+    from repro.runtime.runtime import RuntimeConfig
+
+    config = RuntimeConfig(policy=policy_from_dict(d.get("policy", {})))
+    for name in _CONFIG_FIELDS:
+        if name in d:
+            setattr(config, name, d[name])
+    config.snap_store = None
+    config.record_replay = False
+    return config
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_ndlog(ndlog: dict) -> None:
+    """Check structural integrity; raise :class:`ReplayUnavailable`
+    naming the first missing/damaged segment."""
+    if not isinstance(ndlog, dict):
+        raise ReplayUnavailable("ndlog", "nondeterminism log is not a mapping")
+    if ndlog.get("format") != NDLOG_FORMAT:
+        raise ReplayUnavailable(
+            "format",
+            f"unknown ndlog format {ndlog.get('format')!r} "
+            f"(expected {NDLOG_FORMAT!r})",
+        )
+    header = ndlog.get("header")
+    if not isinstance(header, dict):
+        raise ReplayUnavailable("header", "ndlog header missing or malformed")
+    for key in _HEADER_REQUIRED:
+        if key not in header:
+            raise ReplayUnavailable(f"header.{key}")
+    if not isinstance(header["modules"], list):
+        raise ReplayUnavailable("header.modules", "module list malformed")
+    if not isinstance(header["start_threads"], list):
+        raise ReplayUnavailable("header.start_threads", "thread list malformed")
+    events = ndlog.get("events")
+    if not isinstance(events, list):
+        raise ReplayUnavailable("events", "ndlog event list missing")
+    declared = ndlog.get("n_events")
+    if declared != len(events):
+        raise ReplayUnavailable(
+            "events",
+            f"ndlog declares {declared} events but carries {len(events)} "
+            "(truncated or damaged log)",
+        )
+    for i, event in enumerate(events):
+        if not isinstance(event, (list, tuple)) or not event:
+            raise ReplayUnavailable(f"events[{i}]", f"event {i} malformed")
+        tag = event[0]
+        arities = _EVENT_ARITY.get(tag)
+        if arities is None:
+            raise ReplayUnavailable(
+                f"events[{i}]", f"event {i}: unknown tag {tag!r}"
+            )
+        if len(event) not in arities:
+            raise ReplayUnavailable(
+                f"events[{i}]",
+                f"event {i} ({tag!r}): expected {arities} fields, "
+                f"got {len(event)}",
+            )

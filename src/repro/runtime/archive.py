@@ -338,6 +338,8 @@ def inspect_container(data: bytes) -> dict:
     except (json.JSONDecodeError, UnicodeDecodeError) as exc:
         info["problems"].append(f"metadata header unparseable: {exc}")
         return info
+    from repro.replay.ndlog import replayable_status
+
     info["meta"] = {
         "reason": payload.get("reason"),
         "detail": payload.get("detail"),
@@ -347,6 +349,7 @@ def inspect_container(data: bytes) -> dict:
         "modules": len(payload.get("modules", [])),
         "threads": len(payload.get("threads", [])),
         "buffers": len(payload.get("buffers", [])),
+        "replayable": replayable_status(payload.get("replay") or {}),
     }
     cursor = 4 + header_len
     all_ok: bool | None = None

@@ -90,6 +90,9 @@ class RuntimeConfig:
     dagbase: "DagBaseFile | None" = None
     scavenge_interval: int = 32  # wraps between dead-thread scans
     include_memory: bool | None = None  # None = follow policy
+    #: Record a nondeterminism log (``tb-ndlog/1``) so snaps taken by
+    #: this runtime can be deterministically replayed (repro.replay).
+    record_replay: bool = False
 
 
 @dataclass
@@ -147,6 +150,15 @@ class TraceBackRuntime(ProcessHooks):
 
         process.loader.register_host_function(BUFFER_WRAP_IMPORT, self._buffer_wrap)
         process.loader.register_host_function(CATCH_IMPORT, self._catch_upcall)
+        self.recorder = None
+        if self.config.record_replay:
+            # Imported lazily (repro.replay imports this module).  The
+            # recorder registers its hooks first, before the runtime's,
+            # so it observes machine state (cycles, RPC payloads) before
+            # the runtime's record writes charge cycles.
+            from repro.replay.record import ReplayRecorder
+
+            self.recorder = ReplayRecorder(self)
         process.hooks.add(self)
 
         self._allocate_buffers()
@@ -571,6 +583,11 @@ class TraceBackRuntime(ProcessHooks):
 
     def snap_external(self, reason: str = "external", detail: dict | None = None) -> SnapFile | None:
         """Host-initiated snap: the external snap utility / hang path."""
+        if self.recorder is not None:
+            # External snaps are nondeterminism (a host decision): note
+            # the event *before* building the snap so it lands in the
+            # snap's own ndlog and replay re-takes the snap here.
+            self.recorder.note_external_snap(reason, detail or {})
         return self._snap(reason=reason, detail=detail or {}, key=None)
 
     def _snap(self, reason: str, detail: dict, key: tuple | None) -> SnapFile | None:
@@ -641,6 +658,22 @@ class TraceBackRuntime(ProcessHooks):
             for seg in process.memory.segments():
                 if seg.writable and seg.mapped_file is None:
                     memory[seg.name] = (seg.base, list(seg.words))
+        replay: dict = {
+            # The reproducibility seed rides every runtime-taken snap,
+            # even without an ndlog: enough for `tbtrace info` to report
+            # seed-only status, and for audits of the deterministic
+            # inputs (machine identity, pid-derived PRNG seed).
+            "seed": {
+                "machine": process.machine.name,
+                "clock_skew": process.machine.clock_skew,
+                "engine": process.machine.engine,
+                "pid": process.pid,
+                "rand_seed": 0x1234_5678 ^ process.pid,
+                "runtime_id": self.runtime_id,
+            }
+        }
+        if self.recorder is not None:
+            replay["ndlog"] = self.recorder.to_dict()
         return SnapFile(
             reason=reason,
             detail=detail,
@@ -652,6 +685,7 @@ class TraceBackRuntime(ProcessHooks):
             buffers=buffers,
             threads=threads,
             memory=memory,
+            replay=replay,
         )
 
     # ------------------------------------------------------------------

@@ -184,10 +184,25 @@ class SnapFile:
     threads: list[ThreadDump]
     #: Optional memory dump: segment name -> (base, words).
     memory: dict[str, tuple[int, list[int]]] = field(default_factory=dict)
+    #: Reproducibility metadata: ``{"seed": {...}}`` for any snap taken
+    #: by a runtime, plus ``{"ndlog": {...}}`` (the ``tb-ndlog/1``
+    #: nondeterminism log) when the run recorded for replay.  Legacy
+    #: snaps carry an empty dict.
+    replay: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    @property
+    def replayable(self) -> str:
+        """``"full"`` (ndlog present), ``"seed-only"``, or ``"none"``."""
+        if isinstance(self.replay.get("ndlog"), dict):
+            return "full"
+        if isinstance(self.replay.get("seed"), dict):
+            return "seed-only"
+        return "none"
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
-        return {
+        d = {
             "reason": self.reason,
             # Copied, not aliased: round-tripping through to_dict/from_dict
             # is how copy_snap builds independent copies, and callers
@@ -204,6 +219,11 @@ class SnapFile:
             "threads": [dict(vars(t)) for t in self.threads],
             "memory": {k: [v[0], list(v[1])] for k, v in self.memory.items()},
         }
+        if self.replay:
+            # Emitted only when present so legacy artifacts (and their
+            # content digests) are byte-for-byte unchanged.
+            d["replay"] = dict(self.replay)
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "SnapFile":
@@ -218,6 +238,7 @@ class SnapFile:
             buffers=[BufferDump(**b) for b in d["buffers"]],
             threads=[ThreadDump(**t) for t in d["threads"]],
             memory={k: (v[0], v[1]) for k, v in d["memory"].items()},
+            replay=dict(d.get("replay") or {}),
         )
 
     @classmethod
@@ -270,6 +291,7 @@ class SnapFile:
             buffers=pick(d.get("buffers", []), "buffer", build_buffer),
             threads=pick(d.get("threads", []), "thread", lambda t: ThreadDump(**t)),
             memory={},
+            replay=d.get("replay") if isinstance(d.get("replay"), dict) else {},
         )
         memory = d.get("memory")
         if isinstance(memory, dict):

@@ -196,6 +196,7 @@ def cmd_info(args: argparse.Namespace) -> int:
             f"  contents: {meta['modules']} module(s), "
             f"{meta['threads']} thread(s), {meta['buffers']} buffer(s)"
         )
+        print(f"  replayable: {meta['replayable']}")
     for problem in info["problems"]:
         print(f"  problem: {problem}")
     return 0 if not info["problems"] else 1
@@ -644,7 +645,10 @@ def cmd_report(args: argparse.Namespace) -> int:
     except (OSError, ValueError) as exc:
         return _fail(f"cannot open vault {args.vault}: {exc}")
     report = build_report(
-        query, limit=args.limit, exemplar_lines=args.exemplar_lines
+        query,
+        limit=args.limit,
+        exemplar_lines=args.exemplar_lines,
+        verify=args.verify,
     )
     if args.html:
         html_text = render_report_html(report)
@@ -665,6 +669,192 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"report written to {args.out}")
     else:
         print(text)
+    return 0
+
+
+def _replay_resolve(args: argparse.Namespace):
+    """Resolve a digest prefix to ``(digest, snap)`` — local or remote."""
+    if args.remote:
+        from repro.fleet.remote import RemoteQueryError
+
+        try:
+            clients = _remote_clients(args)
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"cannot open vault: {exc}") from exc
+        client = next(iter(clients.values()))
+        try:
+            entries = client.select()
+        except RemoteQueryError as exc:
+            raise ValueError(str(exc)) from exc
+        matches = [e for e in entries if e.digest.startswith(args.digest)]
+        loader = client.load
+    else:
+        from repro.fleet import SnapVault
+
+        vault = SnapVault(_vault_roots(args)[0])
+        matches = [
+            e for e in vault.index.values() if e.digest.startswith(args.digest)
+        ]
+        loader = vault.load
+    if not matches:
+        raise ValueError(f"no stored snap matches digest {args.digest!r}")
+    if len(matches) > 1:
+        raise ValueError(f"digest prefix {args.digest!r} is ambiguous")
+    digest = matches[0].digest
+    snap, _notes = loader(digest, salvage=True)
+    if snap is None:
+        raise ValueError(f"snap {digest[:12]} unrecoverable")
+    return digest, snap
+
+
+def _replay_frame_line(frame: dict) -> str:
+    where = f"pc {frame['pc']:#x}"
+    if "func" in frame:
+        where += f"  {frame.get('module', '?')}.{frame['func']}"
+    if "file" in frame:
+        where += f" ({frame['file']}:{frame['line']})"
+    return where
+
+
+def _replay_print_stop(engine, stop: dict) -> None:
+    print(
+        f"stopped: {stop['reason']}  tid {stop['tid']}  cycle "
+        f"{stop['cycle']}  event {stop['events_applied']}/"
+        f"{stop['events_total']}"
+    )
+    if stop["pc"] is not None:
+        print(f"  at {_replay_frame_line(engine.resolve_pc(stop['pc']))}")
+    if stop["fault"] is not None:
+        fault = stop["fault"]
+        print(
+            f"  fault: code {fault['code']} at pc {fault['pc']:#x}: "
+            f"{fault['detail']}"
+        )
+
+
+def _replay_interactive(engine) -> int:
+    """The stdin debugger loop behind ``tbtrace replay -i``."""
+    print(
+        "commands: step [N] | continue | run | break PC | unbreak PC | "
+        "regs [TID] | bt [TID] | mem ADDR [N] | threads | info | quit"
+    )
+    while True:
+        try:
+            line = input("(tb-replay) ").strip()
+        except EOFError:
+            return 0
+        if not line:
+            continue
+        words = line.split()
+        op, rest = words[0], words[1:]
+        try:
+            if op in ("q", "quit", "exit"):
+                return 0
+            elif op in ("s", "step"):
+                stop = engine.step(int(rest[0], 0) if rest else 1)
+                _replay_print_stop(engine, stop)
+            elif op in ("c", "continue"):
+                _replay_print_stop(engine, engine.cont())
+            elif op == "run":
+                _replay_print_stop(engine, engine.run_to_fault())
+            elif op in ("b", "break"):
+                engine.add_breakpoint(int(rest[0], 0))
+                print(f"breakpoint at pc {int(rest[0], 0):#x}")
+            elif op == "unbreak":
+                engine.remove_breakpoint(int(rest[0], 0))
+            elif op == "regs":
+                regs = engine.registers(int(rest[0]) if rest else None)
+                print(
+                    f"tid {regs['tid']} ({regs['name']}) {regs['state']}  "
+                    f"pc {regs['pc']:#x}  {regs['instructions']} instr"
+                )
+                for base in range(0, len(regs["regs"]), 8):
+                    row = regs["regs"][base : base + 8]
+                    print(
+                        f"  r{base:<2}: "
+                        + " ".join(f"{w:>10}" for w in row)
+                    )
+            elif op == "bt":
+                for frame in engine.backtrace(int(rest[0]) if rest else None):
+                    print(f"  {_replay_frame_line(frame)}")
+            elif op == "mem":
+                addr = int(rest[0], 0)
+                count = int(rest[1], 0) if len(rest) > 1 else 8
+                words_out = engine.read_memory(addr, count)
+                print(
+                    f"  {addr:#x}: "
+                    + " ".join(
+                        "????????" if w is None else f"{w:>10}"
+                        for w in words_out
+                    )
+                )
+            elif op == "threads":
+                for t in engine.threads():
+                    blocked = (
+                        f" ({t['block_reason']})" if t["block_reason"] else ""
+                    )
+                    print(
+                        f"  tid {t['tid']:<3} {t['state']:<8} pc "
+                        f"{t['pc']:#x}  {t['name']}{blocked}"
+                    )
+            elif op == "info":
+                print(
+                    f"  {'done' if engine.finished else 'replaying'}; "
+                    f"breakpoints: "
+                    + (
+                        ", ".join(
+                            f"{pc:#x}" for pc in sorted(engine.breakpoints)
+                        )
+                        or "none"
+                    )
+                )
+            else:
+                print(f"unknown command {op!r}")
+        except (ValueError, IndexError) as exc:
+            print(f"error: {exc}")
+
+
+def cmd_replay(args: argparse.Namespace) -> int:
+    """``tbtrace replay <digest>``: time-travel debug a stored snap."""
+    from repro.replay import ReplayDivergence, ReplayUnavailable
+    from repro.replay.engine import ReplayEngine
+
+    try:
+        digest, snap = _replay_resolve(args)
+    except (OSError, ValueError, ArchiveError) as exc:
+        return _fail(str(exc))
+    print(
+        f"replaying {digest[:12]}: {snap.reason} in {snap.process_name} "
+        f"on {snap.machine_name} (replayable: {snap.replayable})"
+    )
+    try:
+        engine = ReplayEngine(snap, breakpoints=args.breakpoints)
+    except ReplayUnavailable as exc:
+        return _fail(f"cannot replay {digest[:12]}: {exc}")
+    try:
+        if args.interactive:
+            return _replay_interactive(engine)
+        if args.step is not None:
+            stop = engine.step(args.step)
+        elif args.breakpoints:
+            stop = engine.cont()
+        else:
+            stop = engine.run_to_fault()
+    except ReplayDivergence as exc:
+        return _fail(f"replay diverged from the recording: {exc}")
+    except ReplayUnavailable as exc:
+        return _fail(f"cannot replay {digest[:12]}: {exc}")
+    _replay_print_stop(engine, stop)
+    print("backtrace:")
+    for frame in engine.backtrace():
+        print(f"  {_replay_frame_line(frame)}")
+    print("threads:")
+    for t in engine.threads():
+        blocked = f" ({t['block_reason']})" if t["block_reason"] else ""
+        print(
+            f"  tid {t['tid']:<3} {t['state']:<8} pc {t['pc']:#x}  "
+            f"{t['name']}{blocked}"
+        )
     return 0
 
 
@@ -919,6 +1109,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(fn=cmd_serve)
 
+    replay = sub.add_parser(
+        "replay",
+        help="deterministically re-execute a stored snap to its fault",
+    )
+    replay.add_argument(
+        "digest", help="content digest prefix of the stored snap"
+    )
+    replay.add_argument("--vault", required=True, help="vault root directory")
+    replay.add_argument(
+        "--remote", action="store_true",
+        help="fetch the snap blob through the vault wire protocol",
+    )
+    replay.add_argument(
+        "--timeout", type=int, help="cycles: per-request deadline (--remote)"
+    )
+    replay.add_argument(
+        "--break", dest="breakpoints", action="append", default=[],
+        type=lambda s: int(s, 0), metavar="PC",
+        help="stop when the replayed pc reaches PC (repeatable)",
+    )
+    replay.add_argument(
+        "--step", type=int, metavar="N",
+        help="execute only the first N replayed instructions",
+    )
+    replay.add_argument(
+        "-i", "--interactive", action="store_true",
+        help="drive the replay from a debugger prompt on stdin",
+    )
+    replay.set_defaults(fn=cmd_replay)
+
     report = sub.add_parser(
         "report", help="full triage report with exemplar traces"
     )
@@ -929,6 +1149,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--exemplar-lines", type=int, default=30,
         help="max rendered trace rows per exemplar (tail-clipped)",
+    )
+    report.add_argument(
+        "--verify", action="store_true",
+        help="replay each bucket's exemplar and stamp replay_verified",
     )
     report.add_argument(
         "--json", action="store_true", help="canonical JSON document"

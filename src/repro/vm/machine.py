@@ -203,6 +203,11 @@ class Process:
 
     def kill(self) -> None:
         """``kill -9``: immediate teardown, no hooks, no guest cleanup."""
+        observer = getattr(self, "_kill_observer", None)
+        if observer is not None and self.exit_state == ExitState.RUNNING:
+            # Host-side tap (replay recording): guest hooks stay silent,
+            # but the kill itself is external nondeterminism.
+            observer()
         self.exit_state = ExitState.KILLED
         for thread in self.threads.values():
             if thread.alive():
@@ -306,6 +311,9 @@ class Machine:
         self._rr_index = 0
         #: Set by a Network to route RPC off-machine; None = local only.
         self.rpc_router: Callable[[RpcRequest], None] | None = None
+        #: Observers with slice_begin/slice_end methods, called around
+        #: every scheduler slice (the replay recorder's capture point).
+        self.slice_hooks: list = []
 
     # ------------------------------------------------------------------
     def now(self) -> int:
@@ -370,7 +378,14 @@ class Machine:
             self._rr_index %= len(runnable)
             thread = runnable[self._rr_index]
             self._rr_index += 1
-            self.run_thread_slice(thread, quantum)
+            if self.slice_hooks:
+                for hook in self.slice_hooks:
+                    hook.slice_begin(thread)
+                self.run_thread_slice(thread, quantum)
+                for hook in self.slice_hooks:
+                    hook.slice_end(thread)
+            else:
+                self.run_thread_slice(thread, quantum)
 
     def run_thread_slice(self, thread: Thread, quantum: int) -> None:
         """Run up to ``quantum`` instructions of one thread."""

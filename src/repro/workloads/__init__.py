@@ -9,6 +9,7 @@ from repro.workloads.harness import (
     measure_overhead,
     run_once,
 )
+from repro.workloads.randomgen import random_crasher
 from repro.workloads.specint import PAPER_RATIOS, SpecBenchmark, benchmark_named, suite
 
 __all__ = [
@@ -21,6 +22,7 @@ __all__ = [
     "format_table",
     "geo_mean",
     "measure_overhead",
+    "random_crasher",
     "run_once",
     "suite",
 ]

@@ -1,0 +1,106 @@
+"""Seeded random multithreaded MiniC programs for differential testing.
+
+The replay differential suite needs *many* programs nobody hand-tuned:
+each seed yields a multithreaded MiniC source with worker threads
+contending on locks, sleeping, calling helpers, and updating shared
+arrays — and exactly one arithmetic fault planted in a known worker at
+a known iteration, so every program crashes and carries a meaningful
+signature.  The generator is pure (``seed -> source string``): the same
+seed always produces the same program, which keeps failures
+reproducible from the parametrized test id alone.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = ["random_crasher"]
+
+#: Binary integer operators MiniC evaluates; division is reserved for
+#: the planted fault so only the chosen site can trap.
+_SAFE_OPS = ("+", "-", "*")
+
+
+def _expr(rng: random.Random, names: list[str]) -> str:
+    """A small arithmetic expression over ``names`` and literals."""
+    a = rng.choice(names)
+    b = rng.choice(names + [str(rng.randrange(1, 9))])
+    op = rng.choice(_SAFE_OPS)
+    return f"{a} {op} {b}"
+
+
+def random_crasher(seed: int) -> str:
+    """A random multithreaded MiniC program that always crashes.
+
+    Shape: ``n_workers`` threads run ``worker(wid)``, which loops
+    ``n_iters`` times mixing lock-protected shared-array updates,
+    helper calls, local arithmetic, and optional sleeps.  Worker
+    ``fault_wid`` divides by ``(i - fault_iter)`` on its way through
+    the loop, trapping DIVIDE_BY_ZERO at iteration ``fault_iter``;
+    everything else is division-free, so the fault site is unique.
+    """
+    rng = random.Random(seed)
+    n_workers = rng.randrange(2, 5)
+    n_iters = rng.randrange(4, 10)
+    fault_wid = rng.randrange(n_workers)
+    fault_iter = rng.randrange(1, n_iters)
+    n_slots = rng.choice((4, 8, 16))
+
+    helper_body = [
+        "int helper(int x) {",
+        "    int r;",
+        f"    r = x {rng.choice(_SAFE_OPS)} {rng.randrange(1, 7)};",
+    ]
+    if rng.random() < 0.5:
+        helper_body += [
+            f"    if (r > {rng.randrange(2, 30)}) {{",
+            f"        r = r - {rng.randrange(1, 5)};",
+            "    }",
+        ]
+    helper_body += ["    return r;", "}"]
+
+    loop_body = [
+        f"        acc = {_expr(rng, ['acc', 'i', 'wid'])};",
+    ]
+    if rng.random() < 0.7:
+        loop_body += [
+            "        lock(1);",
+            f"        shared[(wid + i) % {n_slots}] = "
+            f"shared[(wid + i) % {n_slots}] + 1;",
+            "        unlock(1);",
+        ]
+    if rng.random() < 0.6:
+        loop_body.append(f"        acc = helper({rng.choice(('acc', 'i'))});")
+    if rng.random() < 0.5:
+        loop_body.append(f"        sleep({rng.randrange(1, 5) * 100});")
+    loop_body += [
+        f"        if (wid == {fault_wid}) {{",
+        f"            acc = acc + 100 / (i - {fault_iter});",
+        "        }",
+    ]
+
+    lines = [
+        f"int shared[{n_slots}];",
+        "",
+        *helper_body,
+        "",
+        "int worker(int wid) {",
+        "    int i;",
+        "    int acc;",
+        f"    acc = wid + {rng.randrange(0, 5)};",
+        f"    for (i = 0; i < {n_iters}; i = i + 1) {{",
+        *loop_body,
+        "    }",
+        "    return acc;",
+        "}",
+        "",
+        "int main() {",
+        "    int t;",
+        f"    for (t = 0; t < {n_workers}; t = t + 1) {{",
+        "        thread_create(worker, t);",
+        "    }",
+        f"    sleep({rng.randrange(50, 200) * 1000});",
+        "    return 0;",
+        "}",
+    ]
+    return "\n".join(lines) + "\n"

@@ -150,6 +150,62 @@ def test_fuzz_every_scenario_every_seed(name, seed):
 
 
 # ----------------------------------------------------------------------
+# Nondeterminism-log damage: replay refuses with a typed error
+# ----------------------------------------------------------------------
+CRASHER = """
+int main() {
+    int i;
+    int n;
+    n = 7;
+    for (i = 0; i < 5; i = i + 1) {
+        n = n - 1;
+    }
+    return 100 / (n - 2);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def recorded_snap():
+    from repro.api import TraceSession
+    from repro.runtime import RuntimeConfig, SnapPolicy
+    from repro.runtime.sync import reset_runtime_ids
+
+    reset_runtime_ids()
+    session = TraceSession(
+        process_name="crasher",
+        runtime_config=RuntimeConfig(
+            policy=SnapPolicy.parse("snap on unhandled"),
+            record_replay=True,
+        ),
+    )
+    session.add_minic(CRASHER, name="crasher", file_name="crasher.c")
+    run = session.run(max_cycles=2_000_000)
+    assert run.snap is not None and run.snap.replayable == "full"
+    return run.snap
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_fuzz_ndlog_damage_is_typed(recorded_snap, seed):
+    """Whatever damage_ndlog did, replay fails with ReplayUnavailable
+    naming the hurt segment — never a crash or a silent divergence."""
+    from repro.chaos.inject import damage_ndlog
+    from repro.replay import ReplayEngine, ReplayUnavailable
+
+    rng = random.Random(seed)
+    bad = copy_snap(recorded_snap)
+    notes = damage_ndlog(bad, rng)
+    assert notes and "ReplayUnavailable" in notes[0]
+    with pytest.raises(ReplayUnavailable) as excinfo:
+        ReplayEngine(bad).run_to_fault()
+    assert excinfo.value.segment
+    assert f"'{excinfo.value.segment}'" in notes[0]
+    # Damage stayed on the copy: the pristine snap still replays.
+    stop = ReplayEngine(recorded_snap).run_to_fault()
+    assert stop["reason"] == "fault"
+
+
+# ----------------------------------------------------------------------
 # Strict mode raises usefully on structural damage
 # ----------------------------------------------------------------------
 @pytest.mark.parametrize("seed", range(10))

@@ -1,0 +1,1 @@
+"""Deterministic time-travel replay: record, re-execute, compare."""

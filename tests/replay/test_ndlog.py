@@ -1,0 +1,136 @@
+"""The ``tb-ndlog/1`` container: validation, status, legacy compat."""
+
+import pytest
+
+from repro.replay import (
+    NDLOG_FORMAT,
+    ReplayUnavailable,
+    config_from_dict,
+    config_to_dict,
+    policy_from_dict,
+    policy_to_dict,
+    replayable_status,
+    validate_ndlog,
+)
+from repro.runtime import RuntimeConfig, SnapPolicy
+from repro.runtime.snap import SnapFile
+
+
+def _ndlog(workqueue_run) -> dict:
+    import json
+
+    return json.loads(json.dumps(workqueue_run.snap.replay["ndlog"]))
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def test_recorded_log_validates(workqueue_run):
+    validate_ndlog(_ndlog(workqueue_run))  # no raise
+
+
+def test_unknown_format_is_typed(workqueue_run):
+    ndlog = _ndlog(workqueue_run)
+    ndlog["format"] = "tb-ndlog/99"
+    with pytest.raises(ReplayUnavailable) as excinfo:
+        validate_ndlog(ndlog)
+    assert excinfo.value.segment == "format"
+    assert NDLOG_FORMAT in str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "key", ["pid", "machine", "runtime_id", "config", "modules",
+            "start_threads", "rpc_services"]
+)
+def test_missing_header_key_names_the_segment(workqueue_run, key):
+    ndlog = _ndlog(workqueue_run)
+    del ndlog["header"][key]
+    with pytest.raises(ReplayUnavailable) as excinfo:
+        validate_ndlog(ndlog)
+    assert excinfo.value.segment == f"header.{key}"
+
+
+def test_event_count_mismatch_is_truncation(workqueue_run):
+    ndlog = _ndlog(workqueue_run)
+    ndlog["events"].pop()
+    with pytest.raises(ReplayUnavailable) as excinfo:
+        validate_ndlog(ndlog)
+    assert excinfo.value.segment == "events"
+    assert "truncated" in str(excinfo.value)
+
+
+def test_malformed_event_names_its_index(workqueue_run):
+    ndlog = _ndlog(workqueue_run)
+    ndlog["events"][3] = ["??", 1, 2]
+    with pytest.raises(ReplayUnavailable) as excinfo:
+        validate_ndlog(ndlog)
+    assert excinfo.value.segment == "events[3]"
+
+
+def test_wrong_arity_names_the_tag(workqueue_run):
+    ndlog = _ndlog(workqueue_run)
+    idx = next(
+        i for i, ev in enumerate(ndlog["events"]) if ev[0] == "s"
+    )
+    ndlog["events"][idx] = ["s", 0]
+    with pytest.raises(ReplayUnavailable) as excinfo:
+        validate_ndlog(ndlog)
+    assert excinfo.value.segment == f"events[{idx}]"
+    assert "'s'" in str(excinfo.value)
+
+
+# ----------------------------------------------------------------------
+# Replayable status and legacy compatibility
+# ----------------------------------------------------------------------
+def test_status_full_seed_none(workqueue_run):
+    snap = workqueue_run.snap
+    assert replayable_status(snap.replay) == "full"
+    assert replayable_status({"seed": snap.replay["seed"]}) == "seed-only"
+    assert replayable_status({}) == "none"
+    assert snap.replayable == "full"
+
+
+def test_legacy_snap_round_trips_without_replay_key(workqueue_run):
+    """A pre-replay snap dict has no ``replay`` key — and a snap with
+    nothing to record must not grow one (byte-stable legacy digests)."""
+    d = workqueue_run.snap.to_dict()
+    assert "replay" in d
+    d.pop("replay")
+    legacy = SnapFile.from_dict(d)
+    assert legacy.replayable == "none"
+    assert "replay" not in legacy.to_dict()
+
+
+def test_salvage_load_keeps_replay(workqueue_run):
+    snap, notes = SnapFile.from_dict_salvage(workqueue_run.snap.to_dict())
+    assert not notes
+    assert snap.replayable == "full"
+
+
+# ----------------------------------------------------------------------
+# Config / policy round trip
+# ----------------------------------------------------------------------
+def test_config_round_trip():
+    config = RuntimeConfig(
+        policy=SnapPolicy.parse(
+            "snap on unhandled\nsnap on exception\nsuppress duplicates on"
+        ),
+        main_buffers=4,
+        max_buffers=6,
+        record_replay=True,
+    )
+    rebuilt = config_from_dict(config_to_dict(config))
+    assert rebuilt.main_buffers == 4
+    assert rebuilt.max_buffers == 6
+    # The rebuilt config never re-records or re-stores: replay is a
+    # read-only re-execution.
+    assert rebuilt.record_replay is False
+    assert rebuilt.snap_store is None
+    assert policy_to_dict(rebuilt.policy) == policy_to_dict(config.policy)
+
+
+def test_policy_round_trip_preserves_triggers():
+    policy = SnapPolicy.parse("snap on unhandled\nsuppress duplicates on")
+    assert policy_to_dict(policy_from_dict(policy_to_dict(policy))) == (
+        policy_to_dict(policy)
+    )
