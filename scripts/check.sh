@@ -41,6 +41,15 @@
 #                                and bare), and the replay benchmark
 #                                (ndlog overhead + replay throughput)
 #                                merged into BENCH_interpreter.json
+#   scripts/check.sh tier3       block-compiled engine subsystem: the
+#                                three-tier differential suite, the
+#                                tier-3 unit tests, the full cross-
+#                                engine replay sweep (62 seeded
+#                                crashers recorded on one tier and
+#                                replayed on another, both directions),
+#                                and the interpreter benchmark (engine
+#                                speedups + decode throughput) with its
+#                                >25% regression guard
 #   scripts/check.sh bench       interpreter + fleet-ingest + fleet-GC +
 #                                federation + replay benchmarks; writes
 #                                BENCH_interpreter.json and
@@ -91,6 +100,12 @@ case "${1:-test-fast}" in
     python benchmarks/bench_replay.py
     exec python benchmarks/bench_replay.py --check
     ;;
+  tier3)
+    python -m pytest -q tests/vm/test_differential.py tests/vm/test_blocks.py \
+      tests/replay/test_cross_engine.py -m "slow or not slow"
+    python benchmarks/bench_interpreter.py
+    exec python benchmarks/bench_interpreter.py --check
+    ;;
   bench)
     python benchmarks/bench_interpreter.py
     python benchmarks/bench_fleet_ingest.py
@@ -103,7 +118,7 @@ case "${1:-test-fast}" in
     exec python benchmarks/bench_replay.py --check
     ;;
   *)
-    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|triage|remote|bench|replay}" >&2
+    echo "usage: $0 {test-fast|test-all|chaos|fleet|gc|triage|remote|replay|tier3|bench}" >&2
     exit 2
     ;;
 esac

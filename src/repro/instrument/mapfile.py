@@ -70,6 +70,12 @@ class DagMap:
     func: str
     entry: int
     blocks: list[BlockMap]
+    #: ``path_bits -> decoded block sequence`` memo.  Hot traces replay
+    #: a small set of paths per DAG (loop bodies), and the blocks are
+    #: immutable once reconstruction starts, so re-walking the plan per
+    #: record is pure waste.  Excluded from equality/repr: a cache is
+    #: not part of the DAG's identity.
+    _decode_cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     def block_by_id(self, block_id: int) -> BlockMap | None:
         """Find a member block by id."""
@@ -86,10 +92,15 @@ class DagMap:
 
     def decode(self, path_bits: int) -> list[BlockMap]:
         """Expand a record's path bits into the executed block sequence."""
+        cached = self._decode_cache.get(path_bits)
+        if cached is not None:
+            return list(cached)
         succs = {block.id: block.succs for block in self.blocks}
         ids = decode_path(self._plan(), path_bits, succs)
         by_id = {block.id: block for block in self.blocks}
-        return [by_id[i] for i in ids]
+        decoded = [by_id[i] for i in ids]
+        self._decode_cache[path_bits] = decoded
+        return list(decoded)
 
     def to_dict(self) -> dict:
         return {
@@ -128,6 +139,14 @@ class Mapfile:
     #: Lets reconstruction "display the values of variables at the point
     #: of the snap" (§3.6) from a snap's memory dump.
     data_symbols: dict[str, tuple[str, int, int]] = field(default_factory=dict)
+    #: Lazily built bisect key for ``line_at`` (the line table is fixed
+    #: after construction) and a ``(start, end) -> lines`` memo for
+    #: ``lines_in_range`` — expansion asks for the same block ranges on
+    #: every loop iteration of a hot trace.
+    _line_starts: list[int] | None = field(
+        default=None, compare=False, repr=False
+    )
+    _range_cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     # ------------------------------------------------------------------
     def dag_by_local_index(self, index: int) -> DagMap | None:
@@ -140,7 +159,9 @@ class Mapfile:
         """Source location covering instrumented code ``offset``."""
         if not self.lines:
             return None
-        starts = [entry[0] for entry in self.lines]
+        starts = self._line_starts
+        if starts is None:
+            starts = self._line_starts = [entry[0] for entry in self.lines]
         idx = bisect_right(starts, offset) - 1
         if idx < 0:
             return None
@@ -156,12 +177,16 @@ class Mapfile:
 
     def lines_in_range(self, start: int, end: int) -> list[tuple[str, int]]:
         """Distinct source lines covered by ``[start, end)``, in order."""
+        cached = self._range_cache.get((start, end))
+        if cached is not None:
+            return list(cached)
         out: list[tuple[str, int]] = []
         for offset in range(start, end):
             loc = self.line_at(offset)
             if loc is not None and (not out or out[-1] != loc):
                 out.append(loc)
-        return out
+        self._range_cache[(start, end)] = out
+        return list(out)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -22,7 +22,7 @@ Covers the paper's three refinements:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.instrument.mapfile import BlockMap, DagMap, Mapfile
 from repro.reconstruct.model import LineStep, ThreadTrace, TraceEvent
@@ -42,6 +42,12 @@ class ModuleIndex:
     """Maps runtime DAG ids and code addresses back to mapfiles."""
 
     entries: list[tuple[ModuleDump, Mapfile]]
+    #: ``dag_id -> resolution`` memo: a hot trace resolves the same few
+    #: ids millions of times, and the entry list / rebased ranges are
+    #: fixed for the index's lifetime.  Misses are cached too (``False``
+    #: stands in for "known unresolvable", since ``None`` is the miss
+    #: sentinel of ``dict.get``).
+    _dag_cache: dict = field(default_factory=dict, compare=False, repr=False)
 
     @classmethod
     def build(cls, snap: SnapFile, mapfiles: list[Mapfile]) -> "ModuleIndex":
@@ -58,11 +64,16 @@ class ModuleIndex:
     def resolve_dag(self, dag_id: int) -> tuple[ModuleDump, Mapfile, DagMap] | None:
         """DAG id -> (module, mapfile, dag), honouring actual (rebased)
         ranges from the snap metadata."""
+        cached = self._dag_cache.get(dag_id)
+        if cached is not None:
+            return cached or None
         for dump, mapfile in self.entries:
             if dump.dag_base_actual <= dag_id < dump.dag_base_actual + dump.dag_count:
                 dag = mapfile.dag_by_local_index(dag_id - dump.dag_base_actual)
                 if dag is not None:
+                    self._dag_cache[dag_id] = (dump, mapfile, dag)
                     return dump, mapfile, dag
+        self._dag_cache[dag_id] = False
         return None
 
     def resolve_addr(self, addr: int) -> tuple[ModuleDump, Mapfile, int] | None:

@@ -26,20 +26,29 @@ Two recovery disciplines coexist:
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 
 from repro.runtime.buffers import BufferFlags, HEADER_WORDS, MAGIC
 from repro.runtime.records import (
+    _CLS_AMB,
+    _CLS_DAG,
+    _CLS_HDR,
+    _CLS_LOW,
+    _DAG_RUN,
     INVALID,
     SENTINEL,
     ExtKind,
     ExtRecord,
     Record,
+    _classify,
+    _decode_dag_run,
     decode_dag,
     is_dag_word,
     is_ext_header,
     is_ext_trailer,
     read_forward,
+    read_forward_bulk,
 )
 from repro.runtime.snap import BufferDump
 
@@ -192,14 +201,16 @@ def mine_buffer(dump: BufferDump) -> list[Record]:
 
     Each sub-buffer is scanned forward from its base to the last
     non-zero, record-aligned entry; sub-buffers are concatenated in
-    commit order.
+    commit order.  Decoding goes through the bulk scanner
+    (:func:`~repro.runtime.records.read_forward_bulk`), which is
+    output-identical to the scalar oracle.
     """
     verify_buffer(dump)
     records: list[Record] = []
     for sub in sub_buffer_order(dump):
         start = HEADER_WORDS + sub * dump.sub_size
         end = start + dump.sub_size - 1  # exclusive of the sentinel
-        records.extend(read_forward(dump.words, start, end))
+        records.extend(read_forward_bulk(dump.words, start, end))
     return records
 
 
@@ -213,21 +224,22 @@ def mine_buffer_backward(dump: BufferDump) -> list[Record]:
     recovery tool would use when the forward scan is cut short by
     corruption at the front of a sub-buffer.
     """
-    from repro.runtime.records import INVALID, read_backward
+    from repro.runtime.records import read_backward_bulk
 
     verify_buffer(dump)
     records: list[Record] = []
+    words = dump.words
     for sub in sub_buffer_order(dump):
         start = HEADER_WORDS + sub * dump.sub_size
         end = start + dump.sub_size - 1  # the sentinel position
         # Find the last non-zero, record-aligned entry: walk back over
         # zeroed tail space first.
         last = end - 1
-        while last >= start and dump.words[last] == INVALID:
+        while last >= start and words[last] == INVALID:
             last -= 1
         if last < start:
             continue
-        records.extend(read_backward(dump.words, last, start))
+        records.extend(read_backward_bulk(words, last, start))
     return records
 
 
@@ -291,6 +303,82 @@ def read_forward_salvage(
     return records, skipped
 
 
+#: Runs the bulk salvage scan consumes whole: zeroed space (class 'z'),
+#: and junk that can never start a record (trailer 't' / garbage 'g').
+_ZERO_RUN = re.compile(b"z+")
+_JUNK_RUN = re.compile(b"[tg]+")
+
+
+def read_forward_salvage_bulk(
+    words: list[int], start: int, end: int
+) -> tuple[list[Record], int]:
+    """Bulk counterpart of :func:`read_forward_salvage`.
+
+    Classifies the whole span once and consumes runs — DAG records,
+    zeroed space, unparseable junk — in bulk, falling back to the scalar
+    scanner when the span holds non-word values (hand-damaged dumps).
+    Output-identical to :func:`read_forward_salvage` on every input.
+    """
+    if end <= start:
+        return [], 0
+    packed = _classify(words, start, end)
+    if packed is None:
+        return read_forward_salvage(words, start, end)
+    arr, classes = packed
+    n = end - start
+    records: list[Record] = []
+    skipped = 0
+    idx = 0
+    while idx < n:
+        cls = classes[idx]
+        if cls == _CLS_DAG:
+            run_end = _DAG_RUN.match(classes, idx).end()
+            _decode_dag_run(arr, idx, run_end, records)
+            idx = run_end
+        elif cls == _CLS_LOW:
+            # Zeroed space walks through uncounted; nonzero low-byte
+            # garbage is skipped — tally both for the run at once.
+            run_end = _ZERO_RUN.match(classes, idx).end()
+            skipped += (run_end - idx) - arr[idx:run_end].count(0)
+            idx = run_end
+        elif cls == _CLS_HDR:
+            word = arr[idx]
+            kind = (word >> 24) & 0x1F
+            length = (word >> 16) & 0xFF
+            inline = word & 0xFFFF
+            if length == 0:
+                records.append(ExtRecord(kind, inline))
+                idx += 1
+                continue
+            trailer_idx = idx + length + 1
+            if trailer_idx < n:
+                trailer = arr[trailer_idx]
+                if (
+                    (trailer >> 29) == 0b011
+                    and (trailer >> 24) & 0x1F == kind
+                    and (trailer >> 16) & 0xFF == length
+                ):
+                    payload = tuple(arr[idx + 1 : trailer_idx])
+                    records.append(ExtRecord(kind, inline, payload))
+                    idx = trailer_idx + 1
+                    continue
+            # Header without a matching trailer: damaged or truncated
+            # mid-write.  Skip just this word and resync.
+            skipped += 1
+            idx += 1
+        elif cls == _CLS_AMB:
+            if arr[idx] == SENTINEL:
+                idx += 1
+            else:
+                _decode_dag_run(arr, idx, idx + 1, records)
+                idx += 1
+        else:
+            run_end = _JUNK_RUN.match(classes, idx).end()
+            skipped += run_end - idx
+            idx = run_end
+    return records, skipped
+
+
 def mine_buffer_salvage(dump: BufferDump) -> tuple[list[Record], SalvageReport]:
     """Best-effort mining of a possibly damaged buffer.
 
@@ -318,7 +406,7 @@ def mine_buffer_salvage(dump: BufferDump) -> tuple[list[Record], SalvageReport]:
             report.words_skipped += dump.sub_size - 1
             report.words_scanned += dump.sub_size - 1
             continue
-        sub_records, skipped = read_forward_salvage(words, start, end)
+        sub_records, skipped = read_forward_salvage_bulk(words, start, end)
         records.extend(sub_records)
         report.words_scanned += end - start
         report.words_skipped += skipped

@@ -52,8 +52,14 @@ from repro.vm.thread import Thread
 class ReplayEngine:
     """Re-execute one snap's recorded run, stopping exactly at the fault."""
 
-    def __init__(self, snap: SnapFile, breakpoints=None):
+    def __init__(self, snap: SnapFile, breakpoints=None, engine: str = "fast"):
         replay = getattr(snap, "replay", None) or {}
+        #: Which interpreter tier re-executes the run.  Replay is
+        #: engine-agnostic: all tiers retire instructions on identical
+        #: boundaries (the block engine falls back to per-instruction
+        #: dispatch at partial slices), so forced slices and breakpoints
+        #: land on the same instruction under any of them.
+        self.engine = engine
         ndlog = replay.get("ndlog")
         if not isinstance(ndlog, dict):
             raise ReplayUnavailable(
@@ -93,7 +99,7 @@ class ReplayEngine:
             name=h["machine"],
             clock_skew=h["clock_skew"],
             io_latency=h["io_latency"],
-            engine="fast",
+            engine=self.engine,
         )
         machine._next_pid = int(h["pid"])
         process = machine.create_process(h["process_name"])

@@ -29,8 +29,10 @@ from __future__ import annotations
 import json
 import os
 import struct
+import sys
 import threading
 import zlib
+from array import array
 
 from repro.runtime.snap import SnapFile
 
@@ -45,15 +47,35 @@ class ArchiveError(ValueError):
     """The container is damaged: torn, truncated, or checksum-corrupt."""
 
 
+#: Precompiled length-word codec: building ``f"<{n}I"`` format strings
+#: per call made ``struct`` re-parse the format on every buffer; the
+#: bulk paths below go through ``array`` instead, and the one-word
+#: header fields use this single compiled Struct.
+_U32 = struct.Struct("<I")
+
+_NATIVE_IS_LE = sys.byteorder == "little"
+
+
 def pack_words(words: list[int]) -> bytes:
     """Serialize a word list to little-endian bytes."""
-    return struct.pack(f"<{len(words)}I", *[w & 0xFFFFFFFF for w in words])
+    try:
+        packed = array("I", words)
+    except (OverflowError, TypeError, ValueError):
+        # Out-of-range values (hand-built snaps): mask and retry.
+        packed = array("I", [w & 0xFFFFFFFF for w in words])
+    if not _NATIVE_IS_LE:
+        packed.byteswap()
+    return packed.tobytes()
 
 
 def unpack_words(data: bytes) -> list[int]:
     """Inverse of :func:`pack_words`."""
     count = len(data) // 4
-    return list(struct.unpack(f"<{count}I", data[: count * 4]))
+    unpacked = array("I")
+    unpacked.frombytes(data[: count * 4])
+    if not _NATIVE_IS_LE:
+        unpacked.byteswap()
+    return unpacked.tolist()
 
 
 def _pack_body(snap: SnapFile, with_crc: bool) -> bytes:
@@ -67,7 +89,7 @@ def _pack_body(snap: SnapFile, with_crc: bool) -> bytes:
         buffer["words"] = marker
         blobs.append(blob)
     header = json.dumps(payload).encode()
-    return struct.pack("<I", len(header)) + header + b"".join(blobs)
+    return _U32.pack(len(header)) + header + b"".join(blobs)
 
 
 def compress_snap(snap: SnapFile, level: int = 6, version: int = 2) -> bytes:
@@ -81,7 +103,7 @@ def compress_snap(snap: SnapFile, level: int = 6, version: int = 2) -> bytes:
     if version == 1:
         return MAGIC_V1 + zlib.compress(_pack_body(snap, with_crc=False), level)
     body = _pack_body(snap, with_crc=True)
-    return MAGIC + struct.pack("<I", len(body)) + zlib.compress(body, level)
+    return MAGIC + _U32.pack(len(body)) + zlib.compress(body, level)
 
 
 def _parse_body(
@@ -98,7 +120,7 @@ def _parse_body(
             raise ArchiveError("container body too short for a header")
         notes.append("container body too short for a header")
         return None
-    (header_len,) = struct.unpack("<I", body[:4])
+    (header_len,) = _U32.unpack(body[:4])
     if 4 + header_len > len(body):
         if strict:
             raise ArchiveError(
@@ -187,7 +209,7 @@ def decompress_snap(data: bytes) -> SnapFile:
         raise ArchiveError("not a compressed snap container")
     if len(data) < len(MAGIC) + 4:
         raise ArchiveError("container truncated before the length word")
-    (body_len,) = struct.unpack("<I", data[len(MAGIC) : len(MAGIC) + 4])
+    (body_len,) = _U32.unpack(data[len(MAGIC) : len(MAGIC) + 4])
     try:
         body = zlib.decompress(data[len(MAGIC) + 4 :])
     except zlib.error as exc:
@@ -215,7 +237,7 @@ def salvage_decompress(data: bytes) -> tuple[SnapFile | None, list[str]]:
     elif data.startswith(MAGIC):
         if len(data) < len(MAGIC) + 4:
             return None, ["container truncated before the length word"]
-        (declared,) = struct.unpack("<I", data[len(MAGIC) : len(MAGIC) + 4])
+        (declared,) = _U32.unpack(data[len(MAGIC) : len(MAGIC) + 4])
         compressed = data[len(MAGIC) + 4 :]
     else:
         return None, ["not a compressed snap container"]
@@ -310,7 +332,7 @@ def inspect_container(data: bytes) -> dict:
         if len(data) < len(MAGIC) + 4:
             info["problems"].append("container truncated before the length word")
             return info
-        (declared,) = struct.unpack("<I", data[len(MAGIC) : len(MAGIC) + 4])
+        (declared,) = _U32.unpack(data[len(MAGIC) : len(MAGIC) + 4])
         compressed = data[len(MAGIC) + 4 :]
     else:
         info["problems"].append("not a compressed snap container")
@@ -329,7 +351,7 @@ def inspect_container(data: bytes) -> dict:
     if len(body) < 4:
         info["problems"].append("container body too short for a header")
         return info
-    (header_len,) = struct.unpack("<I", body[:4])
+    (header_len,) = _U32.unpack(body[:4])
     if 4 + header_len > len(body):
         info["problems"].append("container torn inside the metadata header")
         return info

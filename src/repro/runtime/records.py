@@ -40,6 +40,9 @@ arbitrary bit patterns) without mis-parsing them as records.
 
 from __future__ import annotations
 
+import re
+import sys
+from array import array
 from dataclasses import dataclass
 
 WORD = 0xFFFFFFFF
@@ -205,6 +208,178 @@ def read_forward(words: list[int], start: int, end: int) -> list[Record]:
                 idx += length + 2
         else:
             break  # unrecognized garbage: stop mining this span
+    return records
+
+
+# ----------------------------------------------------------------------
+# Bulk (vectorized) decoding
+#
+# The scalar scanners above run a Python-level type dispatch per word.
+# On real trace buffers the stream is overwhelmingly DAG records — one
+# word each — so the per-word interpreter overhead dominates decode
+# time.  The bulk path classifies every word of a span at once (array
+# pack -> high-byte extraction -> bytes.translate) and then consumes
+# *runs* of same-class words with one regex match and one bulk append,
+# touching Python-level control flow only at class changes.  The scalar
+# scanners stay as the oracle: on any input the bulk functions return
+# exactly what they return (see tests/reconstruct/test_bulk_decode.py).
+# ----------------------------------------------------------------------
+
+#: Byte offset of a word's high byte inside its packed 4-byte cell.
+_HB_OFFSET = 3 if sys.byteorder == "little" else 0
+
+#: Word classes by high byte.  ``0xFF`` is ambiguous (a high-id DAG
+#: record or the sentinel) and gets its own class so the run decoder
+#: never has to check DAG runs word-by-word.
+_CLS_DAG = 0x64  # ord('d'): 0x80..0xFE — definitely a DAG record
+_CLS_AMB = 0x66  # ord('f'): 0xFF — DAG record or SENTINEL
+_CLS_HDR = 0x68  # ord('h'): 0x40..0x5F — extended-record header
+_CLS_TRL = 0x74  # ord('t'): 0x60..0x7F — extended-record trailer
+_CLS_LOW = 0x7A  # ord('z'): 0x00 — INVALID (if the word is 0) or garbage
+_CLS_BAD = 0x67  # ord('g'): anything else — garbage
+
+_CLASS_TABLE = bytes(
+    _CLS_LOW if hb == 0x00
+    else _CLS_HDR if 0x40 <= hb <= 0x5F
+    else _CLS_TRL if 0x60 <= hb <= 0x7F
+    else _CLS_AMB if hb == 0xFF
+    else _CLS_DAG if hb >= 0x80
+    else _CLS_BAD
+    for hb in range(256)
+)
+
+_DAG_RUN = re.compile(b"d+")
+_DAG_TAIL = re.compile(b"d+$")
+
+#: Decoded-record cache: DAG records are frozen, and hot traces repeat a
+#: small working set of (dag id, path bits) words, so decoding becomes a
+#: dict hit.  Bounded to keep pathological inputs from hoarding memory.
+_DAG_CACHE: dict[int, DagRecord] = {}
+_DAG_CACHE_LIMIT = 1 << 16
+
+
+def _classify(words: list[int], start: int, end: int):
+    """``(array, class bytes)`` for ``words[start:end]``, or ``None``
+    when the span cannot be packed (non-word values in salvaged dumps —
+    the callers fall back to the scalar scanners)."""
+    try:
+        arr = array("I", words[start:end])
+    except (OverflowError, TypeError, ValueError):
+        return None
+    return arr, arr.tobytes()[_HB_OFFSET::4].translate(_CLASS_TABLE)
+
+
+def _decode_dag_run(arr, lo: int, hi: int, records: list[Record]) -> None:
+    """Append decoded DAG records for ``arr[lo:hi]`` (all class 'd')."""
+    cache = _DAG_CACHE
+    if len(cache) > _DAG_CACHE_LIMIT:
+        cache.clear()
+    get = cache.get
+    append = records.append
+    for word in arr[lo:hi]:
+        record = get(word)
+        if record is None:
+            record = cache[word] = DagRecord(
+                dag_id=(word >> PATH_BITS) & RESERVED_DAG_ID,
+                path_bits=word & _PATH_MASK,
+            )
+        append(record)
+
+
+def read_forward_bulk(words: list[int], start: int, end: int) -> list[Record]:
+    """Bulk counterpart of :func:`read_forward` — identical output."""
+    if end <= start:
+        return []
+    packed = _classify(words, start, end)
+    if packed is None:
+        return read_forward(words, start, end)
+    arr, classes = packed
+    n = end - start
+    records: list[Record] = []
+    idx = 0
+    while idx < n:
+        cls = classes[idx]
+        if cls == _CLS_DAG:
+            run_end = _DAG_RUN.match(classes, idx).end()
+            _decode_dag_run(arr, idx, run_end, records)
+            idx = run_end
+        elif cls == _CLS_HDR:
+            word = arr[idx]
+            kind = (word >> 24) & 0x1F
+            length = (word >> 16) & 0xFF
+            inline = word & 0xFFFF
+            if length == 0:
+                records.append(ExtRecord(kind, inline))
+                idx += 1
+            else:
+                if idx + length + 2 > n:
+                    break  # truncated record (abrupt kill mid-write)
+                payload = tuple(arr[idx + 1 : idx + 1 + length])
+                records.append(ExtRecord(kind, inline, payload))
+                idx += length + 2
+        elif cls == _CLS_AMB:
+            word = arr[idx]
+            if word == SENTINEL:
+                break
+            _decode_dag_run(arr, idx, idx + 1, records)
+            idx += 1
+        else:
+            # INVALID, trailer in header position, or garbage: the
+            # scalar scanner stops mining here in every case.
+            break
+    return records
+
+
+def read_backward_bulk(words: list[int], last: int, first: int) -> list[Record]:
+    """Bulk counterpart of :func:`read_backward` — identical output."""
+    if last < first:
+        return []
+    packed = _classify(words, first, last + 1)
+    if packed is None:
+        return read_backward(words, last, first)
+    arr, classes = packed
+    chunks: list[list[Record]] = []
+    idx = last - first
+    while idx >= 0:
+        cls = classes[idx]
+        if cls == _CLS_DAG:
+            run_start = _DAG_TAIL.search(classes, 0, idx + 1).start()
+            chunk: list[Record] = []
+            _decode_dag_run(arr, run_start, idx + 1, chunk)
+            chunks.append(chunk)
+            idx = run_start - 1
+        elif cls == _CLS_TRL:
+            word = arr[idx]
+            kind = (word >> 24) & 0x1F
+            length = (word >> 16) & 0xFF
+            head_idx = idx - length - 1
+            if head_idx < 0:
+                break  # the header was overwritten: stop
+            header = arr[head_idx]
+            if classes[head_idx] != _CLS_HDR:
+                break
+            payload = tuple(arr[head_idx + 1 : idx])
+            chunks.append([ExtRecord(kind, header & 0xFFFF, payload)])
+            idx = head_idx - 1
+        elif cls == _CLS_HDR:
+            word = arr[idx]
+            if (word >> 16) & 0xFF:
+                break  # mid-payload landing: unrecoverable from behind
+            chunks.append([ExtRecord((word >> 24) & 0x1F, word & 0xFFFF)])
+            idx -= 1
+        elif cls == _CLS_AMB:
+            word = arr[idx]
+            if word == SENTINEL:
+                break
+            chunk = []
+            _decode_dag_run(arr, idx, idx + 1, chunk)
+            chunks.append(chunk)
+            idx -= 1
+        else:
+            break
+    records: list[Record] = []
+    for chunk in reversed(chunks):
+        records.extend(chunk)
     return records
 
 

@@ -4,7 +4,13 @@ Public surface: :class:`Machine`, :class:`Process`, :class:`Thread`,
 the memory model, hook interfaces, and the syscall numbers.
 """
 
-from repro.vm.errors import ExcCode, Signal, VMError, VMFault
+from repro.vm.errors import (
+    EngineSelectionError,
+    ExcCode,
+    Signal,
+    VMError,
+    VMFault,
+)
 from repro.vm.hooks import HookList, ProcessHooks
 from repro.vm.loader import LoadedModule, Loader
 from repro.vm.machine import (
@@ -31,6 +37,7 @@ from repro.vm.thread import (
 __all__ = [
     "COSTS",
     "ENGINES",
+    "EngineSelectionError",
     "ExcCode",
     "ExitState",
     "Frame",

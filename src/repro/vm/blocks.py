@@ -1,0 +1,538 @@
+"""Tier-3 block-compiled execution engine for TBVM.
+
+The fast engine (:mod:`repro.vm.dispatch`) pays one Python call, one
+handler fetch, and three counter increments *per instruction*.  For
+straight-line code that overhead dominates: a basic block's worth of
+ALU/memory traffic is a handful of arithmetic operations wrapped in a
+dozen dispatch steps each.  This module removes the per-instruction
+costs the way block-translating DBI engines do — by fusing each
+straight-line run into a single compiled Python closure:
+
+* **registers live in locals** for the duration of the run (loaded from
+  ``thread.regs`` once, written back once at the exit);
+* **one clock/trace-counter update per unit** — ``machine.cycles``,
+  ``process.cycles_used`` and ``thread.instructions`` are pre-charged
+  with the unit's full instruction count in three additions;
+* **inline terminators** — conditional branches, ``BR``/``JMP``/
+  ``JTAB``/``BSENT``/``THROW`` are folded into the closure, so a hot
+  loop body is one table lookup + one call per iteration;
+* **handler terminators** — ``SYS``/``CALL*``/``RET``/``HALT`` fall
+  back to the tier-2 predecoded handler *after* register write-back, so
+  syscalls, host calls, and the unwinder see ordinary architectural
+  state.
+
+Bit-identity with the reference interpreter is non-negotiable (the
+differential suite in ``tests/vm/test_differential.py`` runs all three
+tiers against each other).  The subtle cases:
+
+* **faults inside a fused run** — every faultable operation passes its
+  own absolute pc to ``load``/``store``/``_div``, so the recovery path
+  reads the faulting index straight off ``VMFault.pc``: it writes the
+  register locals back (instructions *before* the fault completed;
+  partial side effects like ``PUSH``'s sp decrement persist, exactly as
+  in tier 2), restores ``thread.pc`` to the faulting instruction, and
+  rolls the pre-charged counters back by the instructions that never
+  ran.  The faulting instruction itself stays charged, as in both
+  other tiers.
+* **slice boundaries** — a compiled unit only runs when the remaining
+  quantum covers it whole; otherwise :meth:`Machine._run_slice_block`
+  falls back to per-instruction tier-2 dispatch.  Replay's forced
+  scheduler slices and ``chunk=1`` breakpoint stepping therefore land
+  on exact instruction boundaries with no special cases here.
+* **code rewriting** — the block table is compiled lazily from the
+  *live* decode cache (``loaded.decoded``), and
+  ``LoadedModule.refresh_decode_cache`` drops it, so DAG rebasing and
+  TLS fixups recompile just like tier-2 handler rebuilds.
+
+Units are capped at :data:`MAX_UNIT` instructions so two compiled units
+fit the default scheduler quantum; longer straight-line runs chain
+through resume-point units.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.analysis.cfg import build_all_cfgs
+from repro.isa.instructions import BLOCK_ENDERS, Instr, Op
+from repro.vm.dispatch import _div, _mod
+from repro.vm.errors import VMFault
+from repro.vm.thread import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.vm.loader import LoadedModule
+
+#: A compiled unit: (instruction count, fused closure).  The closure has
+#: the tier-2 handler signature ``fn(machine, thread)`` but executes the
+#: whole unit.
+BlockUnit = tuple[int, Callable]
+
+#: Longest unit emitted: two of these fit the default QUANTUM=40, so a
+#: long straight-line run alternates compiled units without drifting out
+#: of phase with scheduler slices.
+MAX_UNIT = 20
+
+#: Smallest unit worth compiling; a lone terminator gains nothing over
+#: the tier-2 handler it would wrap.
+MIN_UNIT = 2
+
+_M = 0xFFFFFFFF
+_H = 0x80000000
+
+#: Straight-line opcodes a unit may fuse: they always fall through, read
+#: no clock, and run no hooks (memory access has none).  Everything else
+#: — including ``BSENT``, which can branch out mid-block — terminates
+#: the unit.
+FUSIBLE = frozenset(
+    {
+        Op.ADDI, Op.LDW, Op.STW, Op.MOVI, Op.MOV, Op.MOVHI,
+        Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.MOD,
+        Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+        Op.SLT, Op.SLE, Op.SEQ, Op.SNE,
+        Op.ANDI, Op.ORI, Op.XORI, Op.SHLI, Op.SHRI, Op.SLTI, Op.MULI,
+        Op.PUSH, Op.POP, Op.NOP, Op.TLSLD, Op.TLSST,
+        Op.ORM, Op.STDAG,
+    }
+)
+
+#: Terminators folded into the closure (pure pc computation, or a fault
+#: whose pc/charging needs no rollback because it is the last
+#: instruction).  ``CALL``/``RET`` are folded too — after register
+#: write-back, operating on ``thread.regs`` directly, exactly like
+#: their tier-2 handlers.  The rest (``SYS``, ``CALLR``, ``CALLX``,
+#: ``HALT``) route through their tier-2 handler.
+_INLINE_TERMS = frozenset(
+    {Op.BR, Op.BZ, Op.BNZ, Op.BEQ, Op.BNE, Op.BLT, Op.BGE,
+     Op.JMP, Op.JTAB, Op.BSENT, Op.THROW, Op.CALL, Op.RET}
+)
+
+_SIGNED_CMP = {Op.SLT: "<", Op.SLE: "<="}
+_ALU_R_EXPR = {
+    Op.ADD: "({a} + {b}) & 4294967295",
+    Op.SUB: "({a} - {b}) & 4294967295",
+    Op.MUL: "({a} * {b}) & 4294967295",
+    Op.AND: "{a} & {b}",
+    Op.OR: "{a} | {b}",
+    Op.XOR: "{a} ^ {b}",
+    Op.SHL: "({a} << ({b} & 31)) & 4294967295",
+    Op.SHR: "({a} & 4294967295) >> ({b} & 31)",
+    Op.SEQ: "1 if {a} == {b} else 0",
+    Op.SNE: "1 if {a} != {b} else 0",
+}
+
+
+def _signed(expr: str) -> str:
+    """An order-preserving unsigned image of the signed value: for
+    32-bit ``x``, ``s32(a) < s32(b)`` iff ``(a^H) < (b^H)``."""
+    return f"(({expr} & 4294967295) ^ 2147483648)"
+
+
+def _emit_fused(instr: Instr, pc: int) -> tuple[list[str], set[int], set[int]]:
+    """Source lines for one fused instruction, plus its register
+    read/write sets.  Mirrors :func:`repro.vm.dispatch._build_one`
+    exactly, including fault ordering (``PUSH`` moves sp before the
+    store that may fault) and masking discipline."""
+    op, rd, rs, rt, imm = instr.op, instr.rd, instr.rs, instr.rt, instr.imm
+    if op is Op.ADDI:
+        return [f"r{rd} = (r{rs} + {imm}) & 4294967295"], {rs}, {rd}
+    if op is Op.LDW:
+        # The segment-cache fast path of Memory.load, inlined; the slow
+        # call handles misses and faults identically.
+        return (
+            [
+                f"_a = (r{rs} + {imm}) & 4294967295",
+                "if _hr[0] <= _a < _hr[1]:",
+                f"    r{rd} = _hr[2][_a - _hr[0]]",
+                "else:",
+                f"    r{rd} = _ld(_a, {pc})",
+                "    _hr = _mem._read_hit",
+            ],
+            {rs}, {rd},
+        )
+    if op is Op.STW:
+        return (
+            [
+                f"_a = (r{rs} + {imm}) & 4294967295",
+                "if _hw[0] <= _a < _hw[1]:",
+                f"    _hw[2][_a - _hw[0]] = r{rd} & 4294967295",
+                "else:",
+                f"    _st(_a, r{rd}, {pc})",
+                "    _hw = _mem._write_hit",
+            ],
+            {rs, rd}, set(),
+        )
+    if op is Op.MOVI:
+        return [f"r{rd} = {imm & _M}"], set(), {rd}
+    if op is Op.MOV:
+        return [f"r{rd} = r{rs}"], {rs}, {rd}
+    if op is Op.MOVHI:
+        return [f"r{rd} = {(imm & 0xFFFF) << 16}"], set(), {rd}
+    if op in _ALU_R_EXPR:
+        expr = _ALU_R_EXPR[op].format(a=f"r{rs}", b=f"r{rt}")
+        return [f"r{rd} = {expr}"], {rs, rt}, {rd}
+    if op in _SIGNED_CMP:
+        cmp = _SIGNED_CMP[op]
+        cond = f"{_signed(f'r{rs}')} {cmp} {_signed(f'r{rt}')}"
+        return [f"r{rd} = 1 if {cond} else 0"], {rs, rt}, {rd}
+    if op is Op.DIV:
+        return [f"r{rd} = _div(r{rs}, r{rt}, {pc})"], {rs, rt}, {rd}
+    if op is Op.MOD:
+        return [f"r{rd} = _mod(r{rs}, r{rt}, {pc})"], {rs, rt}, {rd}
+    if op is Op.ANDI:
+        return [f"r{rd} = r{rs} & {imm & 0xFFFF}"], {rs}, {rd}
+    if op is Op.ORI:
+        return [f"r{rd} = r{rs} | {imm & 0xFFFF}"], {rs}, {rd}
+    if op is Op.XORI:
+        return [f"r{rd} = r{rs} ^ {imm & 0xFFFF}"], {rs}, {rd}
+    if op is Op.SHLI:
+        return [f"r{rd} = (r{rs} << {imm & 31}) & 4294967295"], {rs}, {rd}
+    if op is Op.SHRI:
+        return [f"r{rd} = (r{rs} & 4294967295) >> {imm & 31}"], {rs}, {rd}
+    if op is Op.SLTI:
+        return (
+            [f"r{rd} = 1 if {_signed(f'r{rs}')} < {imm + _H} else 0"],
+            {rs}, {rd},
+        )
+    if op is Op.MULI:
+        return [f"r{rd} = (r{rs} * {imm}) & 4294967295"], {rs}, {rd}
+    if op is Op.PUSH:
+        return (
+            [
+                "r12 = (r12 - 1) & 4294967295",
+                "if _hw[0] <= r12 < _hw[1]:",
+                f"    _hw[2][r12 - _hw[0]] = r{rd} & 4294967295",
+                "else:",
+                f"    _st(r12, r{rd}, {pc})",
+                "    _hw = _mem._write_hit",
+            ],
+            {rd, 12}, {12},
+        )
+    if op is Op.POP:
+        # rd == 12 composes correctly: load into r12, then increment.
+        return (
+            [
+                "if _hr[0] <= r12 < _hr[1]:",
+                f"    r{rd} = _hr[2][r12 - _hr[0]]",
+                "else:",
+                f"    r{rd} = _ld(r12, {pc})",
+                "    _hr = _mem._read_hit",
+                "r12 = (r12 + 1) & 4294967295",
+            ],
+            {12}, {rd, 12},
+        )
+    if op is Op.NOP:
+        return [], set(), set()
+    if op is Op.TLSLD:
+        return [f"r{rd} = tls[{imm}]"], set(), {rd}
+    if op is Op.TLSST:
+        return [f"tls[{imm}] = r{rd}"], {rd}, set()
+    if op is Op.ORM:
+        bits = imm & 0xFFFF
+        return (
+            [
+                f"if _hw[0] <= r{rd} < _hw[1]:",
+                f"    _a = r{rd} - _hw[0]",
+                f"    _hw[2][_a] = (_hw[2][_a] | {bits}) & 4294967295",
+                "else:",
+                f"    _om(r{rd}, {bits}, {pc})",
+                "    _hw = _mem._write_hit",
+            ],
+            {rd}, set(),
+        )
+    if op is Op.STDAG:
+        header = 0x80000000 | ((imm & 0xFFFFF) << 11)
+        return (
+            [
+                f"if _hw[0] <= r{rd} < _hw[1]:",
+                f"    _hw[2][r{rd} - _hw[0]] = {header}",
+                "else:",
+                f"    _st(r{rd}, {header}, {pc})",
+                "    _hw = _mem._write_hit",
+            ],
+            {rd}, set(),
+        )
+    raise AssertionError(f"non-fusible op {op!r} in fused run")
+
+
+#: Fused opcodes that can raise VMFault (everything touching memory or
+#: dividing).  Units without any of these skip the try/except entirely.
+_FAULTABLE = frozenset(
+    {Op.LDW, Op.STW, Op.PUSH, Op.POP, Op.ORM, Op.STDAG, Op.DIV, Op.MOD}
+)
+
+
+def _emit_terminator(
+    instr: Instr, pc: int
+) -> tuple[list[str], set[int], bool, bool]:
+    """Source lines for an inline terminator, its register reads,
+    whether it could be inlined (``False`` = use the tier-2 handler),
+    and whether the lines touch ``regs`` directly."""
+    op, rd, rs, imm = instr.op, instr.rd, instr.rs, instr.imm
+    nxt = pc + 1
+    if op is Op.BR:
+        return [f"thread.pc = {nxt + imm}"], set(), True, False
+    if op is Op.BZ:
+        return (
+            [f"thread.pc = {nxt + imm} if r{rd} == 0 else {nxt}"],
+            {rd}, True, False,
+        )
+    if op is Op.BNZ:
+        return (
+            [f"thread.pc = {nxt + imm} if r{rd} != 0 else {nxt}"],
+            {rd}, True, False,
+        )
+    if op is Op.BEQ:
+        return (
+            [f"thread.pc = {nxt + imm} if r{rd} == r{rs} else {nxt}"],
+            {rd, rs}, True, False,
+        )
+    if op is Op.BNE:
+        return (
+            [f"thread.pc = {nxt + imm} if r{rd} != r{rs} else {nxt}"],
+            {rd, rs}, True, False,
+        )
+    if op is Op.BLT:
+        cond = f"{_signed(f'r{rd}')} < {_signed(f'r{rs}')}"
+        return (
+            [f"thread.pc = {nxt + imm} if {cond} else {nxt}"],
+            {rd, rs}, True, False,
+        )
+    if op is Op.BGE:
+        cond = f"{_signed(f'r{rd}')} >= {_signed(f'r{rs}')}"
+        return (
+            [f"thread.pc = {nxt + imm} if {cond} else {nxt}"],
+            {rd, rs}, True, False,
+        )
+    if op is Op.JMP:
+        return [f"thread.pc = r{rd}"], {rd}, True, False
+    if op is Op.JTAB:
+        # The table load may fault: thread.pc must already point at the
+        # terminator, and the unit is fully charged (it is the last
+        # instruction), so the raise propagates with no rollback.
+        return (
+            [
+                f"thread.pc = {pc}",
+                f"thread.pc = _ld((r{rs} + r{rd}) & 4294967295, {pc})",
+            ],
+            {rd, rs}, True, False,
+        )
+    if op is Op.BSENT:
+        return (
+            [
+                f"thread.pc = {pc}",
+                f"thread.pc = {nxt + imm} "
+                f"if _ld(r{rd}, {pc}) == 4294967295 else {nxt}",
+            ],
+            {rd}, True, False,
+        )
+    if op is Op.THROW:
+        return (
+            [
+                f"thread.pc = {pc}",
+                f"raise _F(r{rd}, {pc}, 'THROW')",
+            ],
+            {rd}, True, False,
+        )
+    if op is Op.CALL:
+        # Mirrors the tier-2 handler exactly: sp moves before the store
+        # that may fault (partial effect persists), the frame is pushed
+        # only on success.  Runs after write-back, on regs directly.
+        target = nxt + imm
+        return (
+            [
+                f"thread.pc = {pc}",
+                "_sp = (regs[12] - 1) & 4294967295",
+                "regs[12] = _sp",
+                f"_st(_sp, {nxt}, {pc})",
+                "thread.frames.append("
+                f"_Fr(entry_pc={target}, return_pc={nxt}, entry_sp=_sp))",
+                f"thread.pc = {target}",
+            ],
+            set(), True, True,
+        )
+    if op is Op.RET:
+        return (
+            [
+                f"thread.pc = {pc}",
+                f"_ra = _ld(regs[12], {pc})",
+                "regs[12] = (regs[12] + 1) & 4294967295",
+                "if thread.frames:",
+                "    thread.frames.pop()",
+                f"if _ra == {0x7FFFFFF0}:",
+                "    thread.process.thread_finished(thread, regs[0])",
+                f"elif _ra == {0x7FFFFFF1}:",
+                "    _sig = getattr(thread, 'current_signum', 0)",
+                "    thread.process.hooks.signal_return(thread, _sig)",
+                "    assert thread.interrupted_pc is not None",
+                "    thread.pc = thread.interrupted_pc",
+                "    thread.interrupted_pc = None",
+                "else:",
+                "    thread.pc = _ra",
+            ],
+            set(), True, True,
+        )
+    return [], set(), False, False
+
+
+def _compile_unit(
+    offset: int,
+    instrs: list[Instr],
+    code_base: int,
+    source: list[str],
+    glb: dict,
+    handlers: list,
+) -> int | None:
+    """Append one unit function to ``source``; returns its instruction
+    count, or None when the unit is not worth compiling."""
+    base_pc = code_base + offset
+    fused = instrs[:-1] if instrs[-1].op not in FUSIBLE else instrs
+    term = instrs[-1] if len(fused) != len(instrs) else None
+
+    body: list[str] = []
+    reads: set[int] = set()
+    writes: set[int] = set()
+    uses_tls = False
+    faultable = False
+    for k, instr in enumerate(fused):
+        lines, r, w = _emit_fused(instr, base_pc + k)
+        body.extend(lines)
+        # Registers first read after being written stay pure locals.
+        reads |= r - writes
+        writes |= w
+        uses_tls = uses_tls or instr.op in (Op.TLSLD, Op.TLSST)
+        faultable = faultable or instr.op in _FAULTABLE
+
+    term_lines: list[str] = []
+    term_regs = False
+    if term is not None:
+        term_pc = base_pc + len(fused)
+        lines, term_reads, inline, term_regs = _emit_terminator(term, term_pc)
+        if inline:
+            term_lines = lines
+            reads |= term_reads - writes
+        else:
+            hname = f"_h{offset + len(fused)}"
+            glb[hname] = handlers[offset + len(fused)]
+            term_lines = [f"thread.pc = {term_pc}", f"{hname}(machine, thread)"]
+    count = len(instrs)
+    if count < MIN_UNIT:
+        return None
+
+    name = f"_u{offset}"
+    touched = sorted(reads | writes)
+    src = [f"def {name}(machine, thread):"]
+    src.append("    process = thread.process")
+    if touched or term_regs:
+        src.append("    regs = thread.regs")
+    if uses_tls:
+        src.append("    tls = thread.tls")
+    for r in touched:
+        src.append(f"    r{r} = regs[{r}]")
+    # The segment caches stay valid for the whole unit: no host call
+    # (hence no map/unmap) can happen mid-unit, so fetch them once.
+    # Misses inside the unit go through _ld/_st, which refresh the
+    # shared caches for subsequent units.
+    if any("_hr" in line for line in body):
+        src.append("    _hr = _mem._read_hit")
+    if any("_hw" in line for line in body):
+        src.append("    _hw = _mem._write_hit")
+    src.append(f"    machine.cycles += {count}")
+    src.append(f"    process.cycles_used += {count}")
+    src.append(f"    thread.instructions += {count}")
+    writeback = [f"regs[{r}] = r{r}" for r in sorted(writes)]
+    if faultable:
+        src.append("    try:")
+        src.extend(f"        {line}" for line in body)
+        src.append("    except _F as e:")
+        src.extend(f"        {line}" for line in writeback)
+        # VMFault.pc identifies the faulting index: restore the pc and
+        # un-charge the instructions that never ran (the faulting one
+        # stays charged, as in tiers 1 and 2).
+        src.append("        thread.pc = e.pc")
+        src.append(f"        _n = {base_pc + count - 1} - e.pc")
+        src.append("        machine.cycles -= _n")
+        src.append("        process.cycles_used -= _n")
+        src.append("        thread.instructions -= _n")
+        src.append("        raise")
+    else:
+        src.extend(f"    {line}" for line in body)
+    src.extend(f"    {line}" for line in writeback)
+    if term is None:
+        src.append(f"    thread.pc = {base_pc + count}")
+    else:
+        src.extend(f"    {line}" for line in term_lines)
+    source.append("\n".join(src))
+    return count
+
+
+def compile_blocks(loaded: "LoadedModule") -> dict[int, BlockUnit]:
+    """Compile a loaded module's straight-line runs to fused closures.
+
+    Returns a table keyed by module-relative code offset; every CFG
+    block start, every resume point after a terminator, and every
+    :data:`MAX_UNIT` chain point gets an entry when the run there is
+    long enough to be worth fusing.  Instruction semantics come from the
+    *live* decode cache, so load-time code rewriting is honoured; the
+    CFGs only contribute the leader set (all the places control can
+    enter, including indirect targets and handler entries).
+    """
+    module = loaded.module
+    decoded = loaded.decoded
+    memory = loaded.memory
+    if memory is None or not decoded or not getattr(module, "funcs", None):
+        return {}
+    try:
+        cfgs = build_all_cfgs(module)
+    except Exception:
+        # A module whose static image defeats CFG recovery simply runs
+        # on per-instruction dispatch.
+        return {}
+
+    bounds: list[tuple[int, int]] = sorted(
+        (block.start, block.end)
+        for cfg in cfgs.values()
+        for block in cfg.blocks.values()
+    )
+
+    glb: dict = {
+        "_mem": memory,
+        "_ld": memory.load,
+        "_st": memory.store,
+        "_om": memory.or_word,
+        "_div": _div,
+        "_mod": _mod,
+        "_F": VMFault,
+        "_Fr": Frame,
+    }
+    source: list[str] = []
+    counts: dict[int, int] = {}
+    handlers = loaded.handlers
+    limit = len(decoded)
+    for start, end in bounds:
+        if end > limit:
+            end = limit
+        offset = start
+        while offset < end:
+            unit: list[Instr] = []
+            scan = offset
+            while (
+                scan < end
+                and len(unit) < MAX_UNIT
+                and decoded[scan].op in FUSIBLE
+            ):
+                unit.append(decoded[scan])
+                scan += 1
+            if scan < end and len(unit) < MAX_UNIT:
+                unit.append(decoded[scan])  # the terminator
+                scan += 1
+            if unit:
+                count = _compile_unit(
+                    offset, unit, loaded.code_base, source, glb, handlers
+                )
+                if count is not None:
+                    counts[offset] = count
+            offset = scan if scan > offset else offset + 1
+
+    if source:
+        exec(compile("\n\n".join(source), f"<blocks:{module.name}>", "exec"), glb)
+    return {off: (count, glb[f"_u{off}"]) for off, count in counts.items()}

@@ -91,3 +91,21 @@ class VMFault(Exception):
 class VMError(Exception):
     """A bug in the embedding program (not in guest code): bad module,
     unresolved import, misconfigured machine, and so on."""
+
+
+class EngineSelectionError(VMError):
+    """An unknown TBVM engine tier was requested.
+
+    Raised by :class:`~repro.vm.machine.Machine` for a bad ``engine=``
+    argument or an unrecognized ``TBVM_ENGINE`` environment value,
+    naming the valid tiers so a typo'd selection fails loudly instead
+    of silently running a different interpreter.
+    """
+
+    def __init__(self, engine: object, valid: tuple, source: str):
+        self.engine = engine
+        self.valid = tuple(valid)
+        super().__init__(
+            f"unknown TBVM engine {engine!r} (from {source}); "
+            f"valid tiers: {', '.join(self.valid)}"
+        )

@@ -48,6 +48,11 @@ class LoadedModule:
     #: The owning process's memory; bound by the loader so predecoded
     #: handlers can capture ``load``/``store`` directly.
     memory: Memory | None = None
+    #: Tier-3 compiled-unit table (offset -> (count, closure)); built
+    #: lazily by the block engine on first execution, ``None`` until
+    #: then and again after every decode-cache refresh (see
+    #: :mod:`repro.vm.blocks`).
+    block_table: dict | None = None
     unloaded: bool = False
 
     @property
@@ -80,6 +85,9 @@ class LoadedModule:
         self.decoded = [decode(word) for word in code_seg.words]
         if self.memory is not None:
             self.handlers = build_handlers(self, self.memory)
+        # Compiled units capture the old handlers/immediates; drop them
+        # so the block engine recompiles from the fresh decode.
+        self.block_table = None
 
 
 class Loader:

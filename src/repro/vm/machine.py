@@ -38,7 +38,13 @@ from repro.vm.dispatch import (
     HOST_CALL_COST,
     _s32,
 )
-from repro.vm.errors import ExcCode, Signal, VMError, VMFault
+from repro.vm.errors import (
+    EngineSelectionError,
+    ExcCode,
+    Signal,
+    VMError,
+    VMFault,
+)
 from repro.vm.hooks import HookList, ProcessHooks
 from repro.vm.loader import LoadedModule, Loader
 from repro.vm.memory import MappedFile, Memory, Segment
@@ -53,8 +59,11 @@ from repro.vm.thread import (
 
 WORD_MASK = 0xFFFFFFFF
 
-#: The two execution engines a Machine can run (see ``Machine.engine``).
-ENGINES = ("fast", "reference")
+#: The execution engine tiers a Machine can run (see ``Machine.engine``).
+#: ``fast`` (the default) is tier-2 predecoded closure dispatch;
+#: ``block`` is the tier-3 block-compiled engine (:mod:`repro.vm.blocks`);
+#: ``reference`` is the tier-1 ``step()`` if/elif interpreter.
+ENGINES = ("fast", "block", "reference")
 
 #: Environment variable overriding the default engine for new Machines.
 ENGINE_ENV_VAR = "TBVM_ENGINE"
@@ -166,6 +175,7 @@ class Process:
         self._next_tid += 1
         thread = Thread(tid, self, entry_pc, stack, arg=arg, name=name)
         self.threads[tid] = thread
+        self.machine.spawn_epoch += 1
         return thread
 
     def register_rpc_service(self, service: int, func_name: str) -> None:
@@ -283,11 +293,15 @@ class Machine:
 
     ``engine`` selects the interpreter: ``"fast"`` (the default) runs the
     predecoded closure-dispatch engine in :mod:`repro.vm.dispatch`;
-    ``"reference"`` runs the original ``step()`` if/elif interpreter.
-    The two are bit-identical in architectural state, cycle counts, and
-    trace output (enforced by ``tests/vm/test_differential.py``); the
-    fast engine exists purely for throughput.  The ``TBVM_ENGINE``
-    environment variable overrides the default for debugging.
+    ``"block"`` runs the tier-3 block-compiled engine in
+    :mod:`repro.vm.blocks` (fused basic-block closures, falling back to
+    fast dispatch at block exits and partial slices); ``"reference"``
+    runs the original ``step()`` if/elif interpreter.  All tiers are
+    bit-identical in architectural state, cycle counts, and trace
+    output (enforced by ``tests/vm/test_differential.py``); the upper
+    tiers exist purely for throughput.  The ``TBVM_ENGINE`` environment
+    variable overrides the default for debugging; an unknown value
+    raises :class:`~repro.vm.errors.EngineSelectionError`.
     """
 
     def __init__(
@@ -298,9 +312,12 @@ class Machine:
         engine: str | None = None,
     ):
         if engine is None:
+            source = f"${ENGINE_ENV_VAR}"
             engine = os.environ.get(ENGINE_ENV_VAR, ENGINES[0])
+        else:
+            source = "Machine(engine=...)"
         if engine not in ENGINES:
-            raise VMError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+            raise EngineSelectionError(engine, ENGINES, source)
         self.name = name
         self.engine = engine
         self.cycles = 0
@@ -309,6 +326,9 @@ class Machine:
         self.processes: list[Process] = []
         self._next_pid = 1
         self._rr_index = 0
+        #: Bumped on every process/thread creation anywhere on the
+        #: machine — the scheduler fast path's O(1) population guard.
+        self.spawn_epoch = 0
         #: Set by a Network to route RPC off-machine; None = local only.
         self.rpc_router: Callable[[RpcRequest], None] | None = None
         #: Observers with slice_begin/slice_end methods, called around
@@ -325,6 +345,7 @@ class Machine:
         process = Process(self, name, self._next_pid)
         self._next_pid += 1
         self.processes.append(process)
+        self.spawn_epoch += 1
         return process
 
     # ------------------------------------------------------------------
@@ -378,14 +399,49 @@ class Machine:
             self._rr_index %= len(runnable)
             thread = runnable[self._rr_index]
             self._rr_index += 1
-            if self.slice_hooks:
-                for hook in self.slice_hooks:
+            single = len(live) == 1
+            if single:
+                # Spawn epoch *before* the slice: any creation during it
+                # (thread_create, a new process, an RPC service thread
+                # in another process) bumps the counter and must send us
+                # back to the full scheduler.
+                epoch = self.spawn_epoch
+            hooks = self.slice_hooks
+            if hooks:
+                for hook in hooks:
                     hook.slice_begin(thread)
                 self.run_thread_slice(thread, quantum)
-                for hook in self.slice_hooks:
+                for hook in hooks:
                     hook.slice_end(thread)
             else:
                 self.run_thread_slice(thread, quantum)
+            if not single:
+                continue
+            # Single-thread fast path: while this thread is the whole
+            # machine (no other thread to wake, schedule, or prefer)
+            # and stays runnable, re-slice without rebuilding the
+            # bookkeeping lists — the round-robin outcome is forced.
+            # Any change in the thread/process population falls back to
+            # the full scheduler.
+            process = thread.process
+            while (
+                process.exit_state == ExitState.RUNNING
+                and thread.runnable()
+                and self.spawn_epoch == epoch
+                and not (max_cycles is not None and self.cycles >= max_cycles)
+            ):
+                # What the full path's modulo arithmetic leaves behind
+                # for a single runnable thread.
+                self._rr_index = 1
+                hooks = self.slice_hooks
+                if hooks:
+                    for hook in hooks:
+                        hook.slice_begin(thread)
+                    self.run_thread_slice(thread, quantum)
+                    for hook in hooks:
+                        hook.slice_end(thread)
+                else:
+                    self.run_thread_slice(thread, quantum)
 
     def run_thread_slice(self, thread: Thread, quantum: int) -> None:
         """Run up to ``quantum`` instructions of one thread."""
@@ -401,6 +457,9 @@ class Machine:
                 return
         if self.engine == "fast":
             self._run_slice_fast(thread, process, quantum)
+            return
+        if self.engine == "block":
+            self._run_slice_block(thread, process, quantum)
             return
         for _ in range(quantum):
             if not process.alive or not thread.runnable():
@@ -422,9 +481,13 @@ class Machine:
         it does for the reference engine's ``loaded.decoded`` reads.
         """
         loader = process.loader
-        loaded: LoadedModule | None = None
-        code_base = 1
-        code_end = 0
+        loaded: LoadedModule | None = thread.code_hint
+        if loaded is not None and not loaded.unloaded:
+            code_base = loaded.code_base
+            code_end = loaded.code_end
+        else:
+            code_base = 1
+            code_end = 0
         ready = ThreadState.READY
         for _ in range(quantum):
             if process.exit_state != ExitState.RUNNING or thread.state is not ready:
@@ -432,6 +495,7 @@ class Machine:
             pc = thread.pc
             if pc < code_base or pc >= code_end or loaded.unloaded:
                 loaded = loader.find_code(pc)
+                thread.code_hint = loaded
                 if loaded is None:
                     self._fault(
                         thread,
@@ -450,6 +514,79 @@ class Machine:
                 loaded.handlers[pc - code_base](self, thread)
             except VMFault as fault:
                 self._fault(thread, fault)
+
+    def _run_slice_block(
+        self, thread: Thread, process: Process, quantum: int
+    ) -> None:
+        """The tier-3 hot loop: compiled-unit dispatch.
+
+        Each iteration either executes one fused unit (when the pc sits
+        on a compiled entry *and* the unit fits the remaining quantum —
+        compiled units never straddle a slice boundary, so replay's
+        forced slices and ``chunk=1`` breakpoint stepping stay exact) or
+        falls back to one tier-2 handler step, bit-identical to
+        :meth:`_run_slice_fast`.  The block table is compiled lazily on
+        first execution and re-read through the attribute every
+        iteration, so a decode-cache refresh (code rewriting) drops and
+        rebuilds it just like the tier-2 handler list.
+        """
+        from repro.vm.blocks import compile_blocks
+
+        loader = process.loader
+        loaded: LoadedModule | None = thread.code_hint
+        if loaded is not None and not loaded.unloaded:
+            code_base = loaded.code_base
+            code_end = loaded.code_end
+        else:
+            code_base = 1
+            code_end = 0
+        ready = ThreadState.READY
+        running = ExitState.RUNNING
+        remaining = quantum
+        while remaining > 0:
+            if process.exit_state != running or thread.state is not ready:
+                return
+            pc = thread.pc
+            if pc < code_base or pc >= code_end or loaded.unloaded:
+                loaded = loader.find_code(pc)
+                thread.code_hint = loaded
+                if loaded is None:
+                    self._fault(
+                        thread,
+                        VMFault(ExcCode.ACCESS_VIOLATION, pc,
+                                f"execute of unmapped {pc:#x}"),
+                    )
+                    code_base = 1
+                    code_end = 0
+                    remaining -= 1
+                    continue
+                code_base = loaded.code_base
+                code_end = loaded.code_end
+            table = loaded.block_table
+            if table is None:
+                table = compile_blocks(loaded)
+                loaded.block_table = table
+            unit = table.get(pc - code_base)
+            if unit is not None:
+                n, fn = unit
+                if n <= remaining:
+                    before = thread.instructions
+                    try:
+                        fn(self, thread)
+                    except VMFault as fault:
+                        remaining -= thread.instructions - before
+                        self._fault(thread, fault)
+                        continue
+                    remaining -= n
+                    continue
+            self.cycles += 1
+            process.cycles_used += 1
+            thread.instructions += 1
+            try:
+                loaded.handlers[pc - code_base](self, thread)
+            except VMFault as fault:
+                self._fault(thread, fault)
+            remaining -= 1
 
     # ------------------------------------------------------------------
     # Signals

@@ -87,6 +87,18 @@ class Memory:
     def __init__(self) -> None:
         self._segments: list[Segment] = []
         self._bases: list[int] = []
+        # Last-hit caches for the interpreter's load/store hot path:
+        # (base, end, words) of the two most recent readable / writable
+        # segments (primary + victim — pointer-heavy guests alternate
+        # between stack and a data segment, which a single entry would
+        # ping-pong on).  Guest locality makes these hit almost always,
+        # skipping the bisect + permission check.  Safe because a
+        # segment's base, size, backing list, and permissions never
+        # change after construction; invalidated on map/unmap.
+        self._read_hit: tuple[int, int, list[int] | None] = (1, 0, None)
+        self._read_hit2: tuple[int, int, list[int] | None] = (1, 0, None)
+        self._write_hit: tuple[int, int, list[int] | None] = (1, 0, None)
+        self._write_hit2: tuple[int, int, list[int] | None] = (1, 0, None)
 
     # ------------------------------------------------------------------
     # Mapping
@@ -102,6 +114,8 @@ class Memory:
         idx = bisect_right(self._bases, segment.base)
         self._segments.insert(idx, segment)
         self._bases.insert(idx, segment.base)
+        self._read_hit = self._read_hit2 = (1, 0, None)
+        self._write_hit = self._write_hit2 = (1, 0, None)
         return segment
 
     def unmap(self, segment: Segment) -> None:
@@ -109,6 +123,8 @@ class Memory:
         idx = self._segments.index(segment)
         del self._segments[idx]
         del self._bases[idx]
+        self._read_hit = self._read_hit2 = (1, 0, None)
+        self._write_hit = self._write_hit2 = (1, 0, None)
 
     def segment_at(self, addr: int) -> Segment | None:
         """The segment containing ``addr``, or ``None``."""
@@ -131,23 +147,52 @@ class Memory:
     # ------------------------------------------------------------------
     def load(self, addr: int, pc: int = -1) -> int:
         """Read the word at ``addr``."""
+        base, end, words = self._read_hit
+        if base <= addr < end:
+            return words[addr - base]
+        hit2 = self._read_hit2
+        if hit2[0] <= addr < hit2[1]:
+            self._read_hit2 = self._read_hit
+            self._read_hit = hit2
+            return hit2[2][addr - hit2[0]]
         segment = self.segment_at(addr)
         if segment is None or not segment.readable:
             raise VMFault(ExcCode.ACCESS_VIOLATION, pc, f"read of {addr:#x}")
+        self._read_hit2 = self._read_hit
+        self._read_hit = (segment.base, segment.end, segment.words)
         return segment.words[addr - segment.base]
 
     def store(self, addr: int, value: int, pc: int = -1) -> None:
         """Write ``value`` to the word at ``addr``."""
+        base, end, words = self._write_hit
+        if base <= addr < end:
+            words[addr - base] = value & WORD_MASK
+            return
+        hit2 = self._write_hit2
+        if hit2[0] <= addr < hit2[1]:
+            self._write_hit2 = self._write_hit
+            self._write_hit = hit2
+            hit2[2][addr - hit2[0]] = value & WORD_MASK
+            return
         segment = self.segment_at(addr)
         if segment is None or not segment.writable:
             raise VMFault(ExcCode.ACCESS_VIOLATION, pc, f"write of {addr:#x}")
+        self._write_hit2 = self._write_hit
+        self._write_hit = (segment.base, segment.end, segment.words)
         segment.words[addr - segment.base] = value & WORD_MASK
 
     def or_word(self, addr: int, bits: int, pc: int = -1) -> None:
         """``mem[addr] |= bits`` — the lightweight probe's memory op."""
+        base, end, words = self._write_hit
+        if base <= addr < end:
+            index = addr - base
+            words[index] = (words[index] | bits) & WORD_MASK
+            return
         segment = self.segment_at(addr)
         if segment is None or not segment.writable:
             raise VMFault(ExcCode.ACCESS_VIOLATION, pc, f"or-write of {addr:#x}")
+        self._write_hit2 = self._write_hit
+        self._write_hit = (segment.base, segment.end, segment.words)
         index = addr - segment.base
         segment.words[index] = (segment.words[index] | bits) & WORD_MASK
 

@@ -111,6 +111,11 @@ class Thread:
         #: True while the thread is executing inside the TraceBack
         #: runtime (exceptions it causes there are suppressed, §3.7).
         self.in_runtime = False
+        #: Last module this thread executed in — seeds the slice loops'
+        #: module lookup so consecutive slices skip ``find_code``.
+        #: Purely an optimization: stale values are caught by the pc
+        #: range / ``unloaded`` checks.
+        self.code_hint = None
 
         # Initial stack: sp at the top of the stack segment; entry arg
         # in r0; returning from the entry function ends the thread.

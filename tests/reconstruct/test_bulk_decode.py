@@ -1,0 +1,180 @@
+"""The bulk (vectorized) record decoders are output-identical to the
+scalar oracles on every input class: clean streams, every record shape,
+damaged words, truncation, non-word garbage, and fuzzed buffers.
+
+The scalar scanners in :mod:`repro.runtime.records` define the format;
+the bulk paths exist purely for throughput (``bench_interpreter.py``'s
+decode section holds them to >=3x), so any divergence is a bug in the
+bulk path by definition.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.reconstruct.recovery import (
+    read_forward_salvage,
+    read_forward_salvage_bulk,
+)
+from repro.runtime.records import (
+    INVALID,
+    SENTINEL,
+    DagRecord,
+    ExtKind,
+    ExtRecord,
+    read_backward,
+    read_backward_bulk,
+    read_forward,
+    read_forward_bulk,
+)
+
+
+def assert_all_agree(words: list[int]) -> None:
+    """Every bulk scanner matches its scalar oracle on ``words``."""
+    end = len(words)
+    assert read_forward_bulk(words, 0, end) == read_forward(words, 0, end)
+    assert read_forward_salvage_bulk(words, 0, end) == read_forward_salvage(
+        words, 0, end
+    )
+    if end:
+        assert read_backward_bulk(words, end - 1, 0) == read_backward(
+            words, end - 1, 0
+        )
+
+
+def _stream(*records) -> list[int]:
+    words: list[int] = []
+    for record in records:
+        if isinstance(record, DagRecord):
+            words.append(record.encode())
+        else:
+            words.extend(record.encode())
+    return words
+
+
+DAGS = [DagRecord(dag_id=i, path_bits=(i * 7) & 0x7FF) for i in range(1, 40)]
+EXTS = [
+    ExtRecord(ExtKind.SYNC, 3, (1, 2, 3, 4, 5)),
+    ExtRecord(ExtKind.TIMESTAMP, 9, (10, 20)),
+    ExtRecord(ExtKind.THREAD_START, 0, (7, 0, 1)),
+    ExtRecord(ExtKind.SNAP_MARK, 0),
+]
+
+
+def test_clean_dag_stream():
+    assert_all_agree(_stream(*DAGS))
+
+
+def test_mixed_stream_with_zero_tail():
+    words = _stream(DAGS[0], EXTS[0], DAGS[1], EXTS[3], *DAGS[2:10])
+    assert_all_agree(words + [INVALID] * 6)
+
+
+def test_high_id_dag_records_near_sentinel():
+    # High bytes 0xFF: real records the classifier must not mistake for
+    # the sentinel.
+    words = [
+        DagRecord(dag_id=0xFFFFE, path_bits=0x7FF).encode(),
+        DagRecord(dag_id=0xFF800, path_bits=0).encode(),
+        SENTINEL,
+        DagRecord(dag_id=1, path_bits=1).encode(),
+    ]
+    assert_all_agree(words)
+
+
+def test_sentinel_stops_forward_scan():
+    words = _stream(*DAGS[:4]) + [SENTINEL] + _stream(*DAGS[4:8])
+    assert_all_agree(words)
+
+
+def test_truncated_ext_record():
+    header = ExtRecord(ExtKind.SYNC, 1, (9, 9, 9, 9, 9)).encode()[0]
+    words = _stream(*DAGS[:3]) + [header, 9, 9]  # payload cut short
+    assert_all_agree(words)
+
+
+def test_garbage_words_resync():
+    words = _stream(*DAGS[:3])
+    words += [0x12345678, 0x00000007]  # neither DAG nor ext
+    words += _stream(*DAGS[3:6], EXTS[1])
+    assert_all_agree(words)
+
+
+def test_trailer_in_header_position():
+    trailer = EXTS[0].encode()[-1]
+    words = [trailer] + _stream(*DAGS[:3])
+    assert_all_agree(words)
+
+
+def test_ext_header_with_wrong_trailer():
+    words = _stream(DAGS[0])
+    bad = list(EXTS[0].encode())
+    bad[-1] = EXTS[1].encode()[-1]  # kind/length mismatch
+    words += bad + _stream(*DAGS[1:4])
+    assert_all_agree(words)
+
+
+def test_non_word_values_fall_back_to_scalar():
+    words = _stream(*DAGS[:3]) + [1 << 40] + _stream(*DAGS[3:5])
+    assert_all_agree(words)
+    words = _stream(*DAGS[:3]) + [-5]
+    assert_all_agree(words)
+
+
+def test_empty_and_single_word_spans():
+    assert_all_agree([])
+    assert_all_agree([INVALID])
+    assert_all_agree([SENTINEL])
+    assert_all_agree([DAGS[0].encode()])
+
+
+@pytest.mark.parametrize("seed", range(30))
+def test_fuzzed_buffers_agree(seed):
+    """Random mixtures of records, garbage, zeros, and torn ext records."""
+    rng = random.Random(seed)
+    words: list[int] = []
+    for _ in range(rng.randrange(1, 120)):
+        roll = rng.random()
+        if roll < 0.55:
+            words.append(
+                DagRecord(
+                    dag_id=rng.randrange(0, 1 << 20),
+                    path_bits=rng.randrange(0, 1 << 11),
+                ).encode()
+            )
+        elif roll < 0.70:
+            record = ExtRecord(
+                rng.randrange(0, 32),
+                rng.randrange(0, 1 << 16),
+                tuple(
+                    rng.randrange(0, 1 << 32)
+                    for _ in range(rng.randrange(0, 6))
+                ),
+            )
+            words.extend(record.encode())
+        elif roll < 0.80:
+            words.append(rng.randrange(0, 1 << 32))  # raw garbage
+        elif roll < 0.90:
+            words.extend([INVALID] * rng.randrange(1, 5))
+        else:
+            # A torn ext record: header plus a slice of its body.
+            encoded = ExtRecord(
+                rng.randrange(0, 32),
+                rng.randrange(0, 1 << 16),
+                tuple(rng.randrange(0, 1 << 32) for _ in range(3)),
+            ).encode()
+            words.extend(encoded[: rng.randrange(1, len(encoded))])
+    assert_all_agree(words)
+    # Sub-spans exercise boundary clamping.
+    lo = rng.randrange(0, len(words))
+    hi = rng.randrange(lo, len(words) + 1)
+    assert read_forward_bulk(words, lo, hi) == read_forward(words, lo, hi)
+    assert read_forward_salvage_bulk(words, lo, hi) == read_forward_salvage(
+        words, lo, hi
+    )
+    if hi > lo:
+        assert read_backward_bulk(words, hi - 1, lo) == read_backward(
+            words, hi - 1, lo
+        )

@@ -1,0 +1,141 @@
+"""Tier-3 block engine specifics: engine selection, lazy compilation,
+slice-boundary exactness, and recompilation after code rewriting.
+
+Full bit-identity with the reference interpreter is covered by the
+differential suite (``test_differential.py`` runs every engine in
+``ENGINES``); these tests pin the machinery around the compiled units.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lang.minic import compile_source
+from repro.vm import ENGINES, EngineSelectionError, Machine
+from repro.vm.machine import ENGINE_ENV_VAR
+
+SOURCE = """
+int main() {
+    int i;
+    int total;
+    total = 0;
+    for (i = 0; i < 200; i = i + 1) {
+        total = total + i * 3;
+    }
+    print_int(total);
+    return 0;
+}
+"""
+
+
+# ----------------------------------------------------------------------
+# Engine selection
+# ----------------------------------------------------------------------
+
+
+def test_engines_tuple_lists_all_tiers():
+    assert ENGINES == ("fast", "block", "reference")
+
+
+def test_unknown_engine_argument_raises_typed_error():
+    with pytest.raises(EngineSelectionError) as excinfo:
+        Machine(engine="turbo")
+    err = excinfo.value
+    assert err.engine == "turbo"
+    assert err.valid == ENGINES
+    # The message names the bad value, its source, and every valid tier.
+    message = str(err)
+    assert "turbo" in message
+    assert "Machine(engine=...)" in message
+    for tier in ENGINES:
+        assert tier in message
+
+
+def test_unknown_engine_env_var_raises_typed_error(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV_VAR, "warp")
+    with pytest.raises(EngineSelectionError) as excinfo:
+        Machine()
+    message = str(excinfo.value)
+    assert "warp" in message
+    assert ENGINE_ENV_VAR in message
+    for tier in ENGINES:
+        assert tier in message
+
+
+def test_engine_env_var_selects_block(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV_VAR, "block")
+    assert Machine().engine == "block"
+
+
+def test_explicit_engine_wins_over_env(monkeypatch):
+    monkeypatch.setenv(ENGINE_ENV_VAR, "reference")
+    assert Machine(engine="block").engine == "block"
+
+
+# ----------------------------------------------------------------------
+# Compiled-unit machinery
+# ----------------------------------------------------------------------
+
+
+def _run(engine, max_cycles=200_000):
+    machine = Machine(engine=engine)
+    process = machine.create_process("blk")
+    process.load_module(compile_source(SOURCE, "blk"))
+    process.start()
+    machine.run(max_cycles=max_cycles)
+    return machine, process
+
+
+def test_block_table_built_lazily_on_first_run():
+    machine = Machine(engine="block")
+    process = machine.create_process("lazy")
+    loaded = process.load_module(compile_source(SOURCE, "lazy"))
+    assert loaded.block_table is None
+    process.start()
+    machine.run(max_cycles=200_000)
+    assert loaded.block_table, "execution should compile at least one unit"
+    for count, fn in loaded.block_table.values():
+        assert count >= 2
+        assert callable(fn)
+
+
+def test_block_engine_matches_reference_output():
+    _, ref = _run("reference")
+    _, blk = _run("block")
+    assert blk.output == ref.output
+    assert blk.exit_code == ref.exit_code
+
+
+def test_refresh_decode_cache_drops_block_table():
+    machine = Machine(engine="block")
+    process = machine.create_process("refresh")
+    loaded = process.load_module(compile_source(SOURCE, "refresh"))
+    process.start()
+    machine.run(max_cycles=200_000)
+    assert loaded.block_table
+    loaded.refresh_decode_cache()
+    assert loaded.block_table is None
+
+
+def test_slice_boundaries_identical_across_engines():
+    """run_thread_slice consumes exactly the same instruction counts on
+    every tier — the invariant replay's forced scheduler depends on."""
+    counts = {}
+    for engine in ENGINES:
+        machine = Machine(engine=engine)
+        process = machine.create_process("slice")
+        process.load_module(compile_source(SOURCE, "slice"))
+        process.start()
+        thread = next(iter(process.threads.values()))
+        seen = []
+        # Deliberately awkward slice sizes: units (<= 20 instructions)
+        # must never straddle a boundary.
+        for chunk in [1, 3, 7, 40, 13, 1, 1, 40, 5, 40, 40, 40]:
+            before = thread.instructions
+            machine.run_thread_slice(thread, chunk)
+            seen.append(thread.instructions - before)
+            if not thread.runnable():
+                break
+        counts[engine] = (seen, thread.pc, list(thread.regs))
+    assert counts["block"] == counts["reference"]
+    assert counts["fast"] == counts["reference"]
