@@ -13,8 +13,11 @@ multithreaded subjects:
 * **marginal event cost (long run)** — the log's *variable* cost is
   scheduler-slice events, which grow with run length while the trace
   rings wrap in place.  Measured as compressed archive bytes per
-  logged event on a ~60k-iteration run; asserted under
-  ``MAX_BYTES_PER_EVENT``.
+  logged (v1-equivalent) event on a ~60k-iteration run, for both wire
+  formats: the plain-JSON ``tb-ndlog/1`` baseline (asserted under
+  ``MAX_BYTES_PER_EVENT``) and the packed columnar ``tb-ndlog/2`` the
+  snap actually ships (asserted under ``MAX_BYTES_PER_EVENT_V2``,
+  with the v1->v2 size reduction asserted >= ``MIN_V2_REDUCTION``).
 * **replay throughput** — replay re-executes on the fast engine while
   forcing recorded slice boundaries; the recorded run pays
   instrumentation and record-write costs instead.  Both sides are
@@ -28,9 +31,10 @@ report shape is untouched)::
     PYTHONPATH=src python benchmarks/bench_replay.py          # measure
     PYTHONPATH=src python benchmarks/bench_replay.py --check  # guard
 
-``--check`` compares ``replay_ips`` between the two most recent
-history entries and fails on a >25% regression; fewer than two entries
-is not an error (the section is new).
+``--check`` compares ``replay_ips`` and the v2 compressed
+bytes-per-event between the two most recent history entries and fails
+on a >25% regression of either; fewer than two entries (or entries
+predating a metric) is not an error.
 
 Also runs in the slow pytest lane.
 """
@@ -66,8 +70,18 @@ REPEATS = 3
 MAX_ARCHIVE_GROWTH_PCT = 300.0
 
 #: Compressed bytes per logged event on a long run (the variable
-#: cost); measured ~4-5 B, capped with headroom.
+#: cost) for the plain-JSON v1 log; measured ~4-5 B, capped with
+#: headroom.
 MAX_BYTES_PER_EVENT = 16.0
+
+#: Same metric for the packed v2 log the snap actually ships, per
+#: *v1-equivalent* event (coalescing shrinks the slice count, but the
+#: denominator stays the uncoalesced event count so the two formats
+#: are directly comparable).  The acceptance bar: 4.23 -> <= 0.85.
+MAX_BYTES_PER_EVENT_V2 = 0.85
+
+#: Required v1->v2 shrink of the log's share of the archive.
+MIN_V2_REDUCTION = 5.0
 
 #: ``--check`` tolerance on replay instructions/second.
 REGRESSION_TOLERANCE = 0.25
@@ -130,7 +144,7 @@ def _record_workqueue():
 
 
 def _record():
-    """One recorded long run; returns (snap, seconds, instructions)."""
+    """One recorded long run; returns (run, seconds, instructions)."""
     reset_runtime_ids()
     session = TraceSession(
         process_name="replay-bench",
@@ -147,7 +161,15 @@ def _record():
     instructions = sum(
         t.instructions for t in run.process.threads.values()
     )
-    return run.snap, seconds, instructions
+    return run, seconds, instructions
+
+
+def _snap_with_ndlog(snap, ndlog: dict):
+    """The same snap carrying a different wire-format ndlog."""
+    d = snap.to_dict()
+    d["replay"] = dict(d["replay"])
+    d["replay"]["ndlog"] = ndlog
+    return SnapFile.from_dict(d)
 
 
 def _replay_once(snap):
@@ -187,18 +209,32 @@ def run_benchmark() -> dict:
 
     # --- variable cost + throughput: the long run -------------------
     best_record = None
-    snap = None
+    run = None
     for _ in range(REPEATS):
         recorded, seconds, instructions = _record()
         if best_record is None or seconds < best_record["seconds"]:
             best_record = {"seconds": seconds, "instructions": instructions}
-            snap = recorded
-    long_legacy, long_replay = _archive_sizes(snap)
-    n_events = snap.replay["ndlog"]["n_events"]
-    bytes_per_event = (long_replay - long_legacy) / n_events
-    assert bytes_per_event <= MAX_BYTES_PER_EVENT, (
-        f"{bytes_per_event:.1f} compressed B/event "
+            run = recorded
+    snap = run.snap  # ships packed tb-ndlog/2
+    # The v1 baseline: the same recording re-serialized plain-JSON.
+    v1_ndlog = run.runtime.recorder.to_dict(version=1)
+    long_legacy, long_v2 = _archive_sizes(snap)
+    _, long_v1 = _archive_sizes(_snap_with_ndlog(snap, v1_ndlog))
+    n_events = v1_ndlog["n_events"]  # v1-equivalent (uncoalesced) count
+    bytes_per_event_v1 = (long_v1 - long_legacy) / n_events
+    bytes_per_event = (long_v2 - long_legacy) / n_events
+    v2_reduction = (long_v1 - long_legacy) / max(1, long_v2 - long_legacy)
+    assert bytes_per_event_v1 <= MAX_BYTES_PER_EVENT, (
+        f"{bytes_per_event_v1:.1f} compressed B/event (v1) "
         f"(cap {MAX_BYTES_PER_EVENT:.0f})"
+    )
+    assert bytes_per_event <= MAX_BYTES_PER_EVENT_V2, (
+        f"{bytes_per_event:.2f} compressed B/event (v2) "
+        f"(cap {MAX_BYTES_PER_EVENT_V2:.2f})"
+    )
+    assert v2_reduction >= MIN_V2_REDUCTION, (
+        f"v2 shrank the log's archive share only {v2_reduction:.1f}x "
+        f"(floor {MIN_V2_REDUCTION:.0f}x)"
     )
 
     best_replay = None
@@ -220,9 +256,13 @@ def run_benchmark() -> dict:
         },
         "long_run": {
             "events": n_events,
+            "packed_slices": snap.replay["ndlog"]["slices"]["count"],
             "legacy_archive_bytes": long_legacy,
-            "replayable_archive_bytes": long_replay,
-            "compressed_bytes_per_event": round(bytes_per_event, 2),
+            "v1_archive_bytes": long_v1,
+            "replayable_archive_bytes": long_v2,
+            "compressed_bytes_per_event_v1": round(bytes_per_event_v1, 2),
+            "compressed_bytes_per_event": round(bytes_per_event, 3),
+            "v2_reduction": round(v2_reduction, 1),
         },
         "record": {
             "seconds": round(best_record["seconds"], 4),
@@ -253,34 +293,63 @@ def run_benchmark() -> dict:
 
 
 def check_regression() -> int:
-    """Exit 1 when replay throughput regressed >25% between the two
-    most recent history entries."""
+    """Exit 1 when replay throughput dropped or the packed log's
+    compressed bytes-per-event grew by >25% between the two most
+    recent history entries."""
     try:
         report = json.loads(OUTPUT_PATH.read_text())
     except (OSError, ValueError):
         report = {}
     history = report.get("replay", {}).get("history", [])
+    failed = False
+
     rates = [
         h["replay_ips"] for h in history if h.get("replay_ips")
     ]
     if len(rates) < 2:
         print(f"bench_replay --check: {len(rates)} replay history "
               "entr(ies) in BENCH_interpreter.json, nothing to compare")
-        return 0
-    prev, last = rates[-2], rates[-1]
-    if last < prev * (1 - REGRESSION_TOLERANCE):
-        print(
-            f"bench_replay --check: FAIL — replay throughput "
-            f"{last:,.0f} ips is down {(1 - last / prev):.0%} from "
-            f"previous {prev:,.0f} ips "
-            f"(tolerance {REGRESSION_TOLERANCE:.0%})"
-        )
-        return 1
-    print(
-        f"bench_replay --check: ok — replay throughput {last:,.0f} ips "
-        f"vs previous {prev:,.0f} ips"
-    )
-    return 0
+    else:
+        prev, last = rates[-2], rates[-1]
+        if last < prev * (1 - REGRESSION_TOLERANCE):
+            print(
+                f"bench_replay --check: FAIL — replay throughput "
+                f"{last:,.0f} ips is down {(1 - last / prev):.0%} from "
+                f"previous {prev:,.0f} ips "
+                f"(tolerance {REGRESSION_TOLERANCE:.0%})"
+            )
+            failed = True
+        else:
+            print(
+                f"bench_replay --check: ok — replay throughput "
+                f"{last:,.0f} ips vs previous {prev:,.0f} ips"
+            )
+
+    # v2 size rows only exist in entries recorded since tb-ndlog/2.
+    sizes = [
+        h["long_run"]["compressed_bytes_per_event"]
+        for h in history
+        if "v2_reduction" in h.get("long_run", {})
+    ]
+    if len(sizes) < 2:
+        print(f"bench_replay --check: {len(sizes)} v2 size entr(ies), "
+              "nothing to compare")
+    else:
+        prev, last = sizes[-2], sizes[-1]
+        if last > prev * (1 + REGRESSION_TOLERANCE):
+            print(
+                f"bench_replay --check: FAIL — v2 log cost "
+                f"{last:.3f} B/event is up {(last / prev - 1):.0%} from "
+                f"previous {prev:.3f} B/event "
+                f"(tolerance {REGRESSION_TOLERANCE:.0%})"
+            )
+            failed = True
+        else:
+            print(
+                f"bench_replay --check: ok — v2 log cost {last:.3f} "
+                f"B/event vs previous {prev:.3f} B/event"
+            )
+    return 1 if failed else 0
 
 
 def _render(entry: dict) -> str:
@@ -293,10 +362,16 @@ def _render(entry: dict) -> str:
         ("exemplar ndlog", f"{ex['ndlog_bytes']:,} B = "
                            f"{ex['ndlog_vs_trace_pct']:.0f}% of "
                            f"{ex['trace_buffer_bytes']:,} B trace"),
-        ("long-run events", f"{lr['events']:,} @ "
-                            f"{lr['compressed_bytes_per_event']:.1f} "
-                            f"B/event compressed (cap "
-                            f"{MAX_BYTES_PER_EVENT:.0f})"),
+        ("long-run events", f"{lr['events']:,} "
+                            f"({lr['packed_slices']:,} packed slices)"),
+        ("v1 log cost", f"{lr['compressed_bytes_per_event_v1']:.2f} "
+                        f"B/event compressed (cap "
+                        f"{MAX_BYTES_PER_EVENT:.0f})"),
+        ("v2 log cost", f"{lr['compressed_bytes_per_event']:.3f} "
+                        f"B/event compressed (cap "
+                        f"{MAX_BYTES_PER_EVENT_V2:.2f})"),
+        ("v2 reduction", f"{lr['v2_reduction']:.1f}x smaller archive "
+                         f"share (floor {MIN_V2_REDUCTION:.0f}x)"),
         ("record", f"{entry['record']['ips']:,} ips "
                    f"({entry['record']['seconds']:.3f}s)"),
         ("replay", f"{entry['replay']['ips']:,} ips "
@@ -315,9 +390,14 @@ def test_replay_overhead_and_throughput(report):
     report.append(_render(entry))
     assert entry["exemplar"]["archive_growth_pct"] <= MAX_ARCHIVE_GROWTH_PCT
     assert (
-        entry["long_run"]["compressed_bytes_per_event"]
+        entry["long_run"]["compressed_bytes_per_event_v1"]
         <= MAX_BYTES_PER_EVENT
     )
+    assert (
+        entry["long_run"]["compressed_bytes_per_event"]
+        <= MAX_BYTES_PER_EVENT_V2
+    )
+    assert entry["long_run"]["v2_reduction"] >= MIN_V2_REDUCTION
 
 
 if __name__ == "__main__":

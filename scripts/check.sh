@@ -96,7 +96,11 @@ case "${1:-test-fast}" in
     exec python benchmarks/bench_fleet_federation.py --check
     ;;
   replay)
+    # Full replay suite: engine + both ndlog wire formats (the v2
+    # codec/golden tests and the 62-seed v1-vs-v2 differential sweep),
+    # plus the version-aware ndlog chaos fuzz.
     python -m pytest -q tests/replay -m "slow or not slow"
+    python -m pytest -q tests/chaos/test_fuzz.py -k ndlog -m "slow or not slow"
     python benchmarks/bench_replay.py
     exec python benchmarks/bench_replay.py --check
     ;;

@@ -17,7 +17,7 @@ for the run-time ones).
 
 from __future__ import annotations
 
-import json
+import base64
 import random
 
 from repro.runtime.buffers import BufferFlags, HEADER_WORDS
@@ -210,26 +210,72 @@ def duplicate_sync_records(
 def damage_ndlog(snap: SnapFile, rng: random.Random) -> list[str]:
     """Hurt the snap's ``tb-ndlog`` so replay must refuse, not crash.
 
-    Three failure shapes, mirroring how real logs get hurt: an event
-    range lost without the count being fixed (torn re-serialization),
-    a required header segment gone (salvage dropped it), or the whole
-    log missing (the snap degrades to seed-only).  Ground truth names
-    the segment a typed :class:`~repro.replay.ReplayUnavailable` must
-    report; a snap with no ndlog is left alone (nothing to damage).
+    Version-aware: plain-JSON ``tb-ndlog/1`` logs lose event ranges or
+    grow wrong-typed fields (torn re-serialization); packed
+    ``tb-ndlog/2`` logs get their byte columns truncated, stuffed with
+    runaway varint continuation bytes, or their slice count bumped out
+    of agreement with the columns.  Both versions can lose a required
+    header segment (salvage dropped it) or the whole log (the snap
+    degrades to seed-only).  Ground truth names the segment a typed
+    :class:`~repro.replay.ReplayUnavailable` must report; a snap with
+    no ndlog is left alone (nothing to damage).
+
+    Mutates in place: callers damage copies (:func:`copy_snap` now
+    deep-copies the nested ndlog, so the pristine original is safe).
     """
     if not isinstance(snap.replay, dict) or not isinstance(
         snap.replay.get("ndlog"), dict
     ):
         return []
-    # copy_snap copies the snap shallowly at the replay dict; deep-copy
-    # before mutating so damage never reaches the pristine original.
-    snap.replay = json.loads(json.dumps(snap.replay))
     ndlog = snap.replay["ndlog"]
+    slices = ndlog.get("slices")
+    packed = isinstance(slices, dict)
     events = ndlog.get("events")
+    rare = ndlog.get("rare")
     modes = ["drop-log", "drop-header-key"]
-    if isinstance(events, list) and events:
-        modes.append("drop-events")
+    if packed:
+        modes += ["truncate-column", "bad-varint", "wrong-count"]
+        if isinstance(rare, list) and rare:
+            modes.append("poison-rare")
+    elif isinstance(events, list) and events:
+        modes += ["drop-events", "poison-event-field"]
     mode = rng.choice(modes)
+
+    def recode(key: str, mutate) -> None:
+        raw = bytearray(base64.b64decode(slices[key]))
+        slices[key] = base64.b64encode(bytes(mutate(raw))).decode("ascii")
+
+    if mode == "truncate-column":
+        key = rng.choice(("tids", "starts", "counts", "end_pcs"))
+        chop = rng.randrange(1, 4)
+        recode(key, lambda raw: raw[: max(0, len(raw) - chop)])
+        return [
+            f"ndlog/2: chopped {chop} byte(s) off column {key!r} "
+            f"(expect ReplayUnavailable segment 'slices.{key}')"
+        ]
+    if mode == "bad-varint":
+        key = rng.choice(("tids", "starts", "counts", "end_pcs"))
+        extra = rng.randrange(1, 11)
+        recode(key, lambda raw: raw + b"\x80" * extra)
+        return [
+            f"ndlog/2: appended {extra} runaway continuation byte(s) to "
+            f"column {key!r} "
+            f"(expect ReplayUnavailable segment 'slices.{key}')"
+        ]
+    if mode == "wrong-count":
+        slices["count"] = int(slices.get("count", 0)) + rng.randrange(1, 4)
+        # The tid column runs out first: its runs no longer cover count.
+        return [
+            "ndlog/2: slice count disagrees with the packed columns "
+            "(expect ReplayUnavailable segment 'slices.tids')"
+        ]
+    if mode == "poison-rare":
+        j = rng.randrange(len(rare))
+        rare[j] = [rare[j][0], repr(rare[j][1])]  # event became a string
+        return [
+            f"ndlog/2: rare event {j} re-serialized as a string "
+            f"(expect ReplayUnavailable segment 'rare[{j}]')"
+        ]
     if mode == "drop-events":
         start = rng.randrange(len(events))
         end = min(len(events), start + rng.randrange(1, 8))
@@ -237,6 +283,20 @@ def damage_ndlog(snap: SnapFile, rng: random.Random) -> list[str]:
         return [
             f"ndlog: lost events {start}..{end} without fixing n_events "
             "(expect ReplayUnavailable segment 'events')"
+        ]
+    if mode == "poison-event-field":
+        i = rng.randrange(len(events))
+        event = events[i]
+        # Only non-string fields: stringifying e.g. an "x" reason (a
+        # string already) would leave the event valid.
+        candidates = [
+            f for f in range(1, len(event)) if not isinstance(event[f], str)
+        ]
+        field = rng.choice(candidates)
+        event[field] = str(event[field])  # JSON survives, the type didn't
+        return [
+            f"ndlog: event {i} field {field} re-typed as a string "
+            f"(expect ReplayUnavailable segment 'events[{i}]')"
         ]
     if mode == "drop-header-key":
         key = rng.choice(("modules", "start_threads", "runtime_id", "config"))

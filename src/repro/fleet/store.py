@@ -162,8 +162,10 @@ class VaultEntry:
     #: Appended last with a default so pre-signature manifests load.
     sig: str | None = None
     #: Replay capability of the stored snap: "full" (carries a
-    #: tb-ndlog), "seed-only", or "none".  Defaulted so pre-replay
-    #: manifests load; rebuild_index re-derives it from the archive.
+    #: tb-ndlog, either version — classification is format-agnostic,
+    #: see ``repro.replay.ndlog.replayable_status``), "seed-only", or
+    #: "none".  Defaulted so pre-replay manifests load; rebuild_index
+    #: re-derives it from the archive.
     replayable: str = "none"
 
     def to_dict(self) -> dict:

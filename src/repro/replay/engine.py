@@ -34,7 +34,7 @@ from repro.replay.ndlog import (
     ReplayDivergence,
     ReplayUnavailable,
     config_from_dict,
-    validate_ndlog,
+    decode_events,
 )
 from repro.runtime.runtime import TraceBackRuntime
 from repro.runtime.snap import SnapFile
@@ -67,8 +67,10 @@ class ReplayEngine:
                 "snap carries no nondeterminism log (recorded without "
                 "record_replay, or a legacy snap)",
             )
-        validate_ndlog(ndlog)
-        header = ndlog["header"]
+        # decode_events validates either format and hands back the
+        # v1-layout event stream (v2 columns unpacked in one pass).
+        decoded = decode_events(ndlog)
+        header = decoded["header"]
         if header.get("dagbase"):
             raise ReplayUnavailable(
                 "header.dagbase",
@@ -76,7 +78,7 @@ class ReplayEngine:
             )
         self.source_snap = snap
         self.header = header
-        self._events: list = ndlog["events"]
+        self._events: list = decoded["events"]
         self.breakpoints: set[int] = set(breakpoints or [])
         self._loopback = {int(s) for s in header.get("loopback_seqs", [])}
         self._idx = 0

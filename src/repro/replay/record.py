@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.replay.ndlog import NDLOG_FORMAT, config_to_dict
+from repro.replay.ndlog import NDLOG_FORMAT, config_to_dict, encode_ndlog
 from repro.runtime.sync import PAYLOAD_KEY
 from repro.vm.hooks import ProcessHooks
 
@@ -42,6 +42,12 @@ class ReplayRecorder(ProcessHooks):
         self.process = runtime.process
         self.machine = runtime.process.machine
         self.events: list[list] = []
+        #: Machine cycles at each slice's end, parallel to ``events``
+        #: (None for non-slice events).  Not part of the v1 format: it
+        #: feeds the v2 encoder's coalescing check — two same-thread
+        #: slices merge only when the second starts on the exact cycle
+        #: the first ended (nothing else ran in between).
+        self._end_cycles: list[int | None] = []
         self._modules: list[dict] = []
         self._start_threads: list[dict] | None = None
         #: Open slice: (thread, start_cycle, start_instruction_count).
@@ -74,9 +80,14 @@ class ReplayRecorder(ProcessHooks):
         if opened is None:
             return
         t, start_cycle, start_instr = opened
-        self.events.append(
-            ["s", t.tid, start_cycle, t.instructions - start_instr, t.pc]
+        self._append(
+            ["s", t.tid, start_cycle, t.instructions - start_instr, t.pc],
+            end_cycle=self.machine.cycles,
         )
+
+    def _append(self, event: list, end_cycle: int | None = None) -> None:
+        self.events.append(event)
+        self._end_cycles.append(end_cycle)
 
     def _snapshot_start_threads(self) -> None:
         # RPC service threads may already exist (a request can arrive
@@ -107,7 +118,7 @@ class ReplayRecorder(ProcessHooks):
         # Delivery point of an externally posted signal: stream-ordered
         # just before the slice that delivers it (slices append at
         # slice_end).
-        self.events.append(["sig", signum])
+        self._append(["sig", signum])
 
     def rpc_caller_send(self, thread: "Thread", request: "RpcRequest") -> None:
         self._rpc_seq[id(request)] = self._next_seq
@@ -122,7 +133,7 @@ class ReplayRecorder(ProcessHooks):
                 self._loopback_seqs.add(seq)
             return
         triple = request.extra.get(PAYLOAD_KEY)
-        self.events.append(
+        self._append(
             [
                 "rs",
                 self.machine.cycles,
@@ -138,7 +149,7 @@ class ReplayRecorder(ProcessHooks):
         if seq is None or seq in self._loopback_seqs:
             return  # loopback completion is re-derived, not forced
         reply = request.extra_reply.get(PAYLOAD_KEY)
-        self.events.append(
+        self._append(
             [
                 "rr",
                 seq,
@@ -154,30 +165,39 @@ class ReplayRecorder(ProcessHooks):
     # ------------------------------------------------------------------
     def note_external_snap(self, reason: str, detail: dict) -> None:
         """Called by the runtime just before a host-initiated snap."""
-        self.events.append(["x", self.machine.cycles, reason, dict(detail)])
+        self._append(["x", self.machine.cycles, reason, dict(detail)])
 
     def _on_kill(self) -> None:
-        self.events.append(["k", self.machine.cycles])
+        self._append(["k", self.machine.cycles])
 
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------
-    def to_dict(self) -> dict:
+    def to_dict(self, version: int = 2) -> dict:
         """The ndlog as of this instant (called from ``build_snap``).
 
         A slice may be open — the snap is usually taken from a hook in
         the middle of one — so a synthetic partial slice (trailing
         ``1``) covers the instructions executed so far, ending with the
         faulting instruction itself.
+
+        ``version`` selects the wire format: 2 (default) packs slices
+        into the columnar ``tb-ndlog/2`` encoding; 1 emits the plain
+        JSON ``tb-ndlog/1`` event list.  Both describe the same run and
+        replay identically.
         """
+        if version not in (1, 2):
+            raise ValueError(f"unknown ndlog version: {version!r}")
         if self._start_threads is None:
             self._snapshot_start_threads()
         events = list(self.events)
+        end_cycles = list(self._end_cycles)
         if self._open is not None:
             t, start_cycle, start_instr = self._open
             events.append(
                 ["s", t.tid, start_cycle, t.instructions - start_instr, t.pc, 1]
             )
+            end_cycles.append(None)  # partial: never coalesced into
         header = {
             "pid": self.process.pid,
             "process_name": self.process.name,
@@ -195,6 +215,8 @@ class ReplayRecorder(ProcessHooks):
             "loopback_seqs": sorted(self._loopback_seqs),
             "dagbase": self.runtime.config.dagbase is not None,
         }
+        if version == 2:
+            return encode_ndlog(header, events, end_cycles)
         return {
             "format": NDLOG_FORMAT,
             "header": header,

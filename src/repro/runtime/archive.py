@@ -362,6 +362,8 @@ def inspect_container(data: bytes) -> dict:
         return info
     from repro.replay.ndlog import replayable_status
 
+    replay = payload.get("replay") or {}
+    ndlog = replay.get("ndlog") if isinstance(replay, dict) else None
     info["meta"] = {
         "reason": payload.get("reason"),
         "detail": payload.get("detail"),
@@ -371,7 +373,12 @@ def inspect_container(data: bytes) -> dict:
         "modules": len(payload.get("modules", [])),
         "threads": len(payload.get("threads", [])),
         "buffers": len(payload.get("buffers", [])),
-        "replayable": replayable_status(payload.get("replay") or {}),
+        "replayable": replayable_status(replay if isinstance(replay, dict) else {}),
+        # Wire format of the embedded nondeterminism log, when any
+        # ("tb-ndlog/1" plain JSON, "tb-ndlog/2" packed columnar).
+        "ndlog_format": (
+            ndlog.get("format") if isinstance(ndlog, dict) else None
+        ),
     }
     cursor = 4 + header_len
     all_ok: bool | None = None

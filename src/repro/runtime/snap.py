@@ -24,6 +24,7 @@ snaps cost runtime, disk, and attention.
 
 from __future__ import annotations
 
+import copy
 import json
 import os
 from dataclasses import dataclass, field
@@ -185,20 +186,25 @@ class SnapFile:
     #: Optional memory dump: segment name -> (base, words).
     memory: dict[str, tuple[int, list[int]]] = field(default_factory=dict)
     #: Reproducibility metadata: ``{"seed": {...}}`` for any snap taken
-    #: by a runtime, plus ``{"ndlog": {...}}`` (the ``tb-ndlog/1``
-    #: nondeterminism log) when the run recorded for replay.  Legacy
-    #: snaps carry an empty dict.
+    #: by a runtime, plus ``{"ndlog": {...}}`` (the ``tb-ndlog/1`` or
+    #: ``tb-ndlog/2`` nondeterminism log) when the run recorded for
+    #: replay.  Legacy snaps carry an empty dict.
     replay: dict = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
     def replayable(self) -> str:
-        """``"full"`` (ndlog present), ``"seed-only"``, or ``"none"``."""
-        if isinstance(self.replay.get("ndlog"), dict):
-            return "full"
-        if isinstance(self.replay.get("seed"), dict):
-            return "seed-only"
-        return "none"
+        """``"full"`` (ndlog present), ``"seed-only"``, or ``"none"``.
+
+        Delegates to :func:`repro.replay.ndlog.replayable_status` — the
+        single implementation of the status ladder — so local snaps and
+        vault manifests can never classify the same replay dict
+        differently.
+        """
+        # Deferred import: repro.replay imports the runtime package.
+        from repro.replay.ndlog import replayable_status
+
+        return replayable_status(self.replay)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -238,7 +244,10 @@ class SnapFile:
             buffers=[BufferDump(**b) for b in d["buffers"]],
             threads=[ThreadDump(**t) for t in d["threads"]],
             memory={k: (v[0], v[1]) for k, v in d["memory"].items()},
-            replay=dict(d.get("replay") or {}),
+            # Deep, not shallow: the nested ndlog is mutated by chaos
+            # injection and must stay independent of the source dict
+            # (the copy_snap contract).
+            replay=copy.deepcopy(d.get("replay") or {}),
         )
 
     @classmethod
@@ -291,7 +300,13 @@ class SnapFile:
             buffers=pick(d.get("buffers", []), "buffer", build_buffer),
             threads=pick(d.get("threads", []), "thread", lambda t: ThreadDump(**t)),
             memory={},
-            replay=d.get("replay") if isinstance(d.get("replay"), dict) else {},
+            # Copied like from_dict (a salvaged snap must never alias
+            # the caller's dict — mutations leaked into the source).
+            replay=(
+                copy.deepcopy(d.get("replay"))
+                if isinstance(d.get("replay"), dict)
+                else {}
+            ),
         )
         memory = d.get("memory")
         if isinstance(memory, dict):

@@ -196,7 +196,13 @@ def cmd_info(args: argparse.Namespace) -> int:
             f"  contents: {meta['modules']} module(s), "
             f"{meta['threads']} thread(s), {meta['buffers']} buffer(s)"
         )
-        print(f"  replayable: {meta['replayable']}")
+        if meta.get("ndlog_format"):
+            print(
+                f"  replayable: {meta['replayable']} "
+                f"({meta['ndlog_format']})"
+            )
+        else:
+            print(f"  replayable: {meta['replayable']}")
     for problem in info["problems"]:
         print(f"  problem: {problem}")
     return 0 if not info["problems"] else 1

@@ -165,8 +165,9 @@ int main() {
 """
 
 
-@pytest.fixture(scope="module")
-def recorded_snap():
+@pytest.fixture(scope="module", params=[1, 2], ids=["ndlog-v1", "ndlog-v2"])
+def recorded_snap(request):
+    """One recorded crash snap per ndlog wire format (v1 and v2)."""
     from repro.api import TraceSession
     from repro.runtime import RuntimeConfig, SnapPolicy
     from repro.runtime.sync import reset_runtime_ids
@@ -177,6 +178,7 @@ def recorded_snap():
         runtime_config=RuntimeConfig(
             policy=SnapPolicy.parse("snap on unhandled"),
             record_replay=True,
+            ndlog_version=request.param,
         ),
     )
     session.add_minic(CRASHER, name="crasher", file_name="crasher.c")
@@ -188,7 +190,9 @@ def recorded_snap():
 @pytest.mark.parametrize("seed", range(12))
 def test_fuzz_ndlog_damage_is_typed(recorded_snap, seed):
     """Whatever damage_ndlog did, replay fails with ReplayUnavailable
-    naming the hurt segment — never a crash or a silent divergence."""
+    naming the hurt segment — never a crash or a silent divergence.
+    Runs against both wire formats: v1 damage tears the JSON event
+    list, v2 damage corrupts the packed byte columns."""
     from repro.chaos.inject import damage_ndlog
     from repro.replay import ReplayEngine, ReplayUnavailable
 
@@ -203,6 +207,13 @@ def test_fuzz_ndlog_damage_is_typed(recorded_snap, seed):
     # Damage stayed on the copy: the pristine snap still replays.
     stop = ReplayEngine(recorded_snap).run_to_fault()
     assert stop["reason"] == "fault"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", range(12, 40))
+def test_fuzz_ndlog_damage_is_typed_slow(recorded_snap, seed):
+    """Wider seed sweep over the same contract (slow lane)."""
+    test_fuzz_ndlog_damage_is_typed(recorded_snap, seed)
 
 
 # ----------------------------------------------------------------------

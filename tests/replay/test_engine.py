@@ -106,11 +106,16 @@ def test_seed_only_snap_refuses(workqueue_run):
 
 
 def test_tampered_slice_is_a_divergence(workqueue_run):
+    from repro.replay import decode_events
+
     d = json.loads(json.dumps(workqueue_run.snap.to_dict()))
-    ndlog = d["replay"]["ndlog"]
+    # The snap carries packed v2; tamper in the v1 layout (the engine
+    # accepts both) so the slice fields are directly editable.
+    ndlog = json.loads(json.dumps(decode_events(d["replay"]["ndlog"])))
     # Shrink one scheduler slice: replay then executes fewer
     # instructions than the recording claims and must notice.
     ev = next(e for e in ndlog["events"] if e[0] == "s" and e[3] > 1)
     ev[3] -= 1
+    d["replay"]["ndlog"] = ndlog
     with pytest.raises(ReplayDivergence):
         ReplayEngine(SnapFile.from_dict(d)).run_to_fault()

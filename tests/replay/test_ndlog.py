@@ -1,4 +1,10 @@
-"""The ``tb-ndlog/1`` container: validation, status, legacy compat."""
+"""The ``tb-ndlog`` container: validation, status, legacy compat.
+
+These tests exercise the *v1* (plain JSON) layout — snaps now carry
+packed v2 by default, so ``_ndlog`` decodes back to the v1 in-memory
+form before tampering with the event list.  The packed format's own
+byte-level checks live in ``test_ndlog_v2.py``.
+"""
 
 import pytest
 
@@ -7,6 +13,7 @@ from repro.replay import (
     ReplayUnavailable,
     config_from_dict,
     config_to_dict,
+    decode_events,
     policy_from_dict,
     policy_to_dict,
     replayable_status,
@@ -19,14 +26,16 @@ from repro.runtime.snap import SnapFile
 def _ndlog(workqueue_run) -> dict:
     import json
 
-    return json.loads(json.dumps(workqueue_run.snap.replay["ndlog"]))
+    raw = workqueue_run.snap.replay["ndlog"]
+    return json.loads(json.dumps(decode_events(raw)))
 
 
 # ----------------------------------------------------------------------
 # Validation
 # ----------------------------------------------------------------------
 def test_recorded_log_validates(workqueue_run):
-    validate_ndlog(_ndlog(workqueue_run))  # no raise
+    validate_ndlog(workqueue_run.snap.replay["ndlog"])  # as recorded (v2)
+    validate_ndlog(_ndlog(workqueue_run))  # decoded v1 layout
 
 
 def test_unknown_format_is_typed(workqueue_run):

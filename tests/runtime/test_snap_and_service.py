@@ -189,6 +189,78 @@ def test_snap_store_directory(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# Replay-dict independence (regression: salvage aliased the source)
+# ----------------------------------------------------------------------
+def _snap_dict_with_replay() -> dict:
+    return {
+        "reason": "exception",
+        "detail": {"code": 3},
+        "process_name": "app",
+        "pid": 1,
+        "machine_name": "m",
+        "clock": 10,
+        "modules": [],
+        "buffers": [],
+        "threads": [],
+        "memory": {},
+        "replay": {
+            "seed": {"pid": 1},
+            "ndlog": {"format": "tb-ndlog/2", "header": {"pid": 1}},
+        },
+    }
+
+
+def test_from_dict_salvage_does_not_alias_replay():
+    """Regression: the salvage path handed the caller's replay dict to
+    the snap uncopied, so chaos damage on a salvaged snap leaked into
+    the source artifact."""
+    d = _snap_dict_with_replay()
+    snap, notes = SnapFile.from_dict_salvage(d)
+    assert not notes
+    snap.replay["ndlog"]["header"]["pid"] = 999
+    del snap.replay["seed"]
+    assert d["replay"]["ndlog"]["header"]["pid"] == 1
+    assert "seed" in d["replay"]
+
+
+def test_from_dict_deep_copies_nested_ndlog():
+    d = _snap_dict_with_replay()
+    snap = SnapFile.from_dict(d)
+    snap.replay["ndlog"]["format"] = "damaged"
+    assert d["replay"]["ndlog"]["format"] == "tb-ndlog/2"
+
+
+def test_copy_snap_replay_is_deep_independent():
+    from repro.chaos.inject import copy_snap
+
+    original = SnapFile.from_dict(_snap_dict_with_replay())
+    clone = copy_snap(original)
+    clone.replay["ndlog"]["header"]["pid"] = 999
+    del clone.replay["ndlog"]["format"]
+    assert original.replay["ndlog"]["header"]["pid"] == 1
+    assert original.replay["ndlog"]["format"] == "tb-ndlog/2"
+
+
+def test_replayable_property_delegates_to_status_ladder():
+    """The property and replayable_status must be the same
+    classification (vault manifests vs local snaps)."""
+    from repro.replay import replayable_status
+
+    base = _snap_dict_with_replay()
+    shapes = [
+        base["replay"],
+        {"seed": {"pid": 1}},
+        {},
+        {"ndlog": "not-a-dict"},
+        {"ndlog": {"format": "tb-ndlog/1"}},
+    ]
+    for replay in shapes:
+        d = dict(base)
+        d["replay"] = replay
+        assert SnapFile.from_dict(d).replayable == replayable_status(replay)
+
+
+# ----------------------------------------------------------------------
 # Service process: groups and hangs
 # ----------------------------------------------------------------------
 def test_group_snap_triggers_partners():
